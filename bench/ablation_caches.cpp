@@ -1,0 +1,87 @@
+// Ablation: the §VII-B/D caching optimizations.
+//
+// Runs the repeated scatter-destination group pattern with (a) everything
+// on, (b) the group request cache disabled (metadata re-exchanged and
+// re-shipped every call). Quantifies how much of the steady-state win comes
+// from each cache layer; also reports the dual GVMI cache hit rates.
+#include "bench/bench_common.h"
+#include "common/bytes.h"
+
+namespace {
+
+using namespace dpu;
+using harness::Rank;
+using harness::World;
+
+struct Result {
+  double warm_us = 0;
+  std::uint64_t host_gvmi_miss = 0;
+  std::uint64_t host_gvmi_hit = 0;
+  std::uint64_t proxy_gvmi_miss = 0;
+  std::uint64_t proxy_gvmi_hit = 0;
+};
+
+Result run(bool group_cache_on, int nodes, int ppn, std::size_t bpr) {
+  World w(bench::spec_of(nodes, ppn));
+  Result res;
+  auto prog = [&, group_cache_on, bpr](Rank& r) -> sim::Task<void> {
+    r.off->set_group_cache_enabled(group_cache_on);
+    const int n = r.world->spec().total_host_ranks();
+    const int me = r.rank;
+    const auto nn = static_cast<std::size_t>(n);
+    const auto sbuf = r.mem().alloc(bpr * nn, false);
+    const auto rbuf = r.mem().alloc(bpr * nn, false);
+    auto greq = r.off->group_start();
+    for (int i = 1; i < n; ++i) {
+      const int dst = (me + i) % n;
+      const int src = (me - i + n) % n;
+      r.off->group_send(greq, sbuf + static_cast<machine::Addr>(dst) * bpr, bpr, dst, 0);
+      r.off->group_recv(greq, rbuf + static_cast<machine::Addr>(src) * bpr, bpr, src, 0);
+    }
+    r.off->group_end(greq);
+    const int iters = 4;
+    SimTime t0 = 0;
+    for (int it = 0; it < iters; ++it) {
+      co_await r.mpi->barrier(*r.world->mpi().world());
+      t0 = r.world->now();
+      co_await r.off->group_call(greq);
+      co_await r.off->group_wait(greq);
+    }
+    if (r.rank == 0) {
+      res.warm_us = to_us(r.world->now() - t0);
+      res.host_gvmi_miss = r.off->gvmi_cache().stats().misses;
+      res.host_gvmi_hit = r.off->gvmi_cache().stats().hits;
+      auto& proxy = r.world->offload().proxy(r.world->spec().proxy_for_host(0));
+      res.proxy_gvmi_miss = proxy.gvmi_cache().stats().misses;
+      res.proxy_gvmi_hit = proxy.gvmi_cache().stats().hits;
+    }
+  };
+  w.launch_all(prog);
+  w.run();
+  return res;
+}
+
+}  // namespace
+
+int main() {
+  using namespace dpu;
+  bench::header("Ablation: caches", "group request cache on/off, GVMI cache hit rates");
+  const bool fast = bench::fast_mode();
+  const int nodes = fast ? 2 : 8;
+  const int ppn = fast ? 4 : 16;
+  const std::size_t bpr = 32_KiB;
+  const auto on = run(true, nodes, ppn, bpr);
+  const auto off = run(false, nodes, ppn, bpr);
+  Table t({"config", "warm iteration (us)", "host GVMI m/h", "proxy GVMI m/h"});
+  t.add_row({"all caches on", Table::num(on.warm_us),
+             std::to_string(on.host_gvmi_miss) + "/" + std::to_string(on.host_gvmi_hit),
+             std::to_string(on.proxy_gvmi_miss) + "/" + std::to_string(on.proxy_gvmi_hit)});
+  t.add_row({"group cache off", Table::num(off.warm_us),
+             std::to_string(off.host_gvmi_miss) + "/" + std::to_string(off.host_gvmi_hit),
+             std::to_string(off.proxy_gvmi_miss) + "/" + std::to_string(off.proxy_gvmi_hit)});
+  t.print(std::cout);
+  bench::shape("group cache reduces steady-state iteration time", on.warm_us < off.warm_us);
+  bench::shape("GVMI caches miss only on first touch (misses << hits)",
+               off.host_gvmi_hit > off.host_gvmi_miss);
+  return 0;
+}

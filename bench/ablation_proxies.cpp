@@ -1,0 +1,60 @@
+// Ablation: number of proxy (worker) processes per DPU.
+//
+// The §VII-A mapping assigns hosts to proxies round-robin; with few proxies
+// each serializes more hosts' traffic on one ARM core. Sweeps
+// proxies_per_dpu for the group scatter-destination pattern.
+#include "bench/bench_common.h"
+#include "common/bytes.h"
+#include "offload/coll.h"
+
+namespace {
+
+using namespace dpu;
+using harness::Rank;
+using harness::World;
+
+double run(int proxies, int nodes, int ppn, std::size_t bpr) {
+  World w(bench::spec_of(nodes, ppn, proxies));
+  double out = 0;
+  auto prog = [&, bpr](Rank& r) -> sim::Task<void> {
+    const auto n = static_cast<std::size_t>(r.world->spec().total_host_ranks());
+    const auto sbuf = r.mem().alloc(bpr * n, false);
+    const auto rbuf = r.mem().alloc(bpr * n, false);
+    offload::GroupAlltoall group(*r.off, *r.mpi);
+    SimTime t0 = 0;
+    for (int it = 0; it < 3; ++it) {  // warm-up + 2 timed
+      if (it == 1) {
+        co_await r.mpi->barrier(*r.world->mpi().world());
+        t0 = r.world->now();
+      }
+      auto q = co_await group.icall(sbuf, rbuf, bpr, r.world->mpi().world());
+      co_await group.wait(q);
+    }
+    if (r.rank == 0) out = to_us(r.world->now() - t0) / 2;
+  };
+  w.launch_all(prog);
+  w.run();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace dpu;
+  bench::header("Ablation: proxies per DPU", "worker count vs group alltoall time");
+  const bool fast = bench::fast_mode();
+  const int nodes = fast ? 2 : 4;
+  const int ppn = fast ? 4 : 32;
+  Table t({"proxies/DPU", "alltoall (us)"});
+  double one = 0;
+  double eight = 0;
+  for (int proxies : {1, 2, 4, 8}) {
+    const double us = run(proxies, nodes, ppn, 32_KiB);
+    if (proxies == 1) one = us;
+    if (proxies == 8) eight = us;
+    t.add_row({std::to_string(proxies), Table::num(us)});
+  }
+  t.print(std::cout);
+  bench::shape("more workers reduce proxy serialization (8 beats 1)", eight < one);
+  return 0;
+}

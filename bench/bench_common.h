@@ -1,0 +1,53 @@
+// Shared scaffolding for the figure benches.
+//
+// Every fig* binary prints: a header naming the paper figure it reproduces,
+// a column-aligned table of the measured series, and a PAPER-SHAPE section
+// stating the qualitative property that should (and does) hold. Absolute
+// values are simulated microseconds, not testbed numbers.
+//
+// DPU_BENCH_FAST=1 in the environment shrinks scales for smoke runs.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "common/table.h"
+#include "common/units.h"
+#include "harness/measure.h"
+#include "harness/world.h"
+
+namespace dpu::bench {
+
+inline bool fast_mode() {
+  const char* v = std::getenv("DPU_BENCH_FAST");
+  return v != nullptr && v[0] == '1';
+}
+
+inline machine::ClusterSpec spec_of(int nodes, int ppn, int proxies = 8) {
+  machine::ClusterSpec s;
+  s.nodes = nodes;
+  s.host_procs_per_node = ppn;
+  s.proxies_per_dpu = proxies;
+  return s;
+}
+
+inline void header(const std::string& fig, const std::string& what) {
+  std::cout << "==============================================================\n"
+            << fig << " — " << what << "\n"
+            << "(simulated cluster; shapes comparable to the paper, absolute\n"
+            << " values are model time)\n"
+            << "==============================================================\n";
+}
+
+inline void shape(const std::string& claim, bool holds) {
+  if (!holds && fast_mode()) {
+    // Shrunken scales change compute/communication balances; shape claims
+    // are only meaningful at full scale.
+    std::cout << "PAPER-SHAPE: " << claim << " -> not meaningful at fast scale\n";
+    return;
+  }
+  std::cout << "PAPER-SHAPE: " << claim << " -> " << (holds ? "HOLDS" : "VIOLATED") << "\n";
+}
+
+}  // namespace dpu::bench

@@ -1,0 +1,132 @@
+// Figure 1: the motivating ring-broadcast timeline.
+//
+// An 8-hop, 1 MiB ring broadcast runs while every rank computes. Three
+// implementations:
+//   (1) MPI point-to-point with polling between compute chunks (Listing 1),
+//   (2) staging-based offload (BluesMPI ibcast),
+//   (3) the proposed framework's Group Primitives ring (Listing 5).
+// Reported: when the LAST rank actually holds the data (for the offloaded
+// schemes that is the completion-counter write into host memory; for MPI it
+// is when the polling loop observes the receive — which is the point of the
+// paper's case 1: the data is not usable earlier).
+#include <sstream>
+
+#include "bench/bench_common.h"
+#include "common/bytes.h"
+#include "offload/coll.h"
+
+namespace {
+
+using namespace dpu;
+using harness::Rank;
+using harness::World;
+
+constexpr int kRanks = 8;
+constexpr std::size_t kLen = 1_MiB;
+constexpr SimDuration kCompute = 2_ms;
+constexpr int kChunks = 4;  // polling granularity of Listing 1
+
+struct Result {
+  double data_at_last_us = 0;  ///< last rank holds (observes) the payload
+  double all_done_us = 0;      ///< compute + communication finished everywhere
+};
+
+Result run_mpi_ring() {
+  World w(bench::spec_of(kRanks, 1, 1));
+  Result res;
+  w.launch_all([&](Rank& r) -> sim::Task<void> {
+    const int me = r.rank;
+    const auto buf = r.mem().alloc(kLen, false);
+    const SimDuration chunk = kCompute / kChunks;
+    SimDuration computed = 0;
+    auto poll_until_done = [&](mpi::Request req) -> sim::Task<void> {
+      while (!co_await r.mpi->test(req)) {
+        if (computed < kCompute) {
+          co_await r.compute(chunk);
+          computed += chunk;
+        } else {
+          co_await r.mpi->wait(req);
+        }
+      }
+    };
+    if (me > 0) {
+      co_await poll_until_done(co_await r.mpi->irecv(buf, kLen, me - 1, 0));
+      if (me == kRanks - 1) res.data_at_last_us = to_us(r.world->now());
+    }
+    if (me < kRanks - 1) co_await poll_until_done(co_await r.mpi->isend(buf, kLen, me + 1, 0));
+    if (computed < kCompute) co_await r.compute(kCompute - computed);
+    res.all_done_us = std::max(res.all_done_us, to_us(r.world->now()));
+  });
+  w.run();
+  return res;
+}
+
+Result run_staged() {
+  World w(bench::spec_of(kRanks, 1, 1));
+  Result res;
+  w.launch_all([&](Rank& r) -> sim::Task<void> {
+    const auto buf = r.mem().alloc(kLen, false);
+    auto req = co_await r.blues->ibcast(buf, kLen, 0, r.world->mpi().world());
+    if (r.rank == kRanks - 1) {
+      // The completion counter lands in host memory without host CPU help.
+      req->flag->subscribe([&res, &r] { res.data_at_last_us = to_us(r.world->now()); });
+    }
+    co_await r.compute(kCompute);
+    co_await r.blues->wait(req);
+    res.all_done_us = std::max(res.all_done_us, to_us(r.world->now()));
+  });
+  w.run();
+  return res;
+}
+
+Result run_proposed(std::ostream* timeline = nullptr) {
+  World w(bench::spec_of(kRanks, 1, 1));
+  if (timeline) w.enable_trace();
+  Result res;
+  w.launch_all([&](Rank& r) -> sim::Task<void> {
+    const auto buf = r.mem().alloc(kLen, false);
+    offload::GroupRingBcast ring(*r.off);
+    auto req = co_await ring.icall(buf, kLen, 0, r.world->mpi().world());
+    if (r.rank == kRanks - 1) {
+      req->current_flag->subscribe(
+          [&res, &r] { res.data_at_last_us = to_us(r.world->now()); });
+    }
+    co_await r.compute(kCompute);
+    co_await ring.wait(req);
+    res.all_done_us = std::max(res.all_done_us, to_us(r.world->now()));
+  });
+  w.run();
+  if (timeline) w.enable_trace().print_timeline(*timeline, 90);
+  return res;
+}
+
+}  // namespace
+
+int main() {
+  using namespace dpu;
+  bench::header("Figure 1", "ring broadcast under compute: MPI p2p vs staged vs proposed");
+  const Result mpi = run_mpi_ring();
+  const Result staged = run_staged();
+  std::ostringstream timeline;
+  const Result prop = run_proposed(&timeline);
+  Table t({"case", "data at last rank (us)", "all ranks done (us)"});
+  t.add_row({"(1) MPI p2p + polling", Table::num(mpi.data_at_last_us),
+             Table::num(mpi.all_done_us)});
+  t.add_row({"(2) staged offload", Table::num(staged.data_at_last_us),
+             Table::num(staged.all_done_us)});
+  t.add_row({"(3) proposed (GVMI group)", Table::num(prop.data_at_last_us),
+             Table::num(prop.all_done_us)});
+  t.print(std::cout);
+  std::cout << "compute per rank: " << to_us(kCompute) << " us, " << kRanks
+            << "-rank ring, " << format_size(kLen) << " payload\n"
+            << "\nproposed-case timeline (c = compute, x = wire/PCIe transfer):\n"
+            << timeline.str();
+  bench::shape("proposed delivers the data fastest (no staging, no CPU gating)",
+               prop.data_at_last_us < staged.data_at_last_us &&
+                   prop.data_at_last_us < mpi.data_at_last_us);
+  bench::shape("proposed hides the whole pattern inside the compute window",
+               prop.all_done_us < to_us(kCompute) * 1.05);
+  bench::shape("MPI p2p hops wait for polling; its ring lands latest",
+               mpi.data_at_last_us > prop.data_at_last_us);
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Figure 3: RDMA-write bandwidth, host-to-host versus DPU-to-host,
+// normalized to host-to-host (higher is better).
+//
+// Paper observation: the DPU's injection rate is core-frequency bound, so
+// small/medium messages reach roughly HALF the host bandwidth, converging
+// to parity once the wire (not the posting rate) is the bottleneck.
+#include "bench/bench_common.h"
+#include "common/bytes.h"
+
+namespace {
+
+using namespace dpu;
+using harness::Rank;
+using harness::World;
+
+/// Windowed write bandwidth (GB/s) from host rank 0 or its proxy.
+double write_bw_gbps(bool from_dpu, std::size_t len) {
+  World w(bench::spec_of(2, 1, 1));
+  double out = 0;
+  w.launch(0, [&, from_dpu, len](Rank& r) -> sim::Task<void> {
+    auto& initiator =
+        from_dpu ? r.world->verbs().ctx(r.world->spec().proxy_id(0, 0)) : *r.vctx;
+    auto& tgt = r.world->verbs().ctx(1);
+    const int window = 64;
+    const auto src = initiator.mem().alloc(len, false);
+    const auto dst = tgt.mem().alloc(len * window, false);
+    auto src_mr = co_await initiator.reg_mr(src, len);
+    auto dst_mr = co_await tgt.reg_mr(dst, len * window);
+    const SimTime t0 = r.world->now();
+    std::vector<verbs::Completion> cs;
+    for (int i = 0; i < window; ++i) {
+      cs.push_back(co_await initiator.post_rdma_write(
+          src_mr.lkey, src, 1, dst_mr.rkey, dst + static_cast<machine::Addr>(i) * len,
+          len));
+    }
+    for (auto& c : cs) co_await initiator.wait(c);
+    const double secs = to_sec(r.world->now() - t0);
+    out = static_cast<double>(len) * window / secs / 1e9;
+  });
+  w.run();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace dpu;
+  bench::header("Figure 3", "RDMA-write bandwidth, normalized to host-to-host");
+  Table t({"size", "host-host (GB/s)", "DPU-host (GB/s)", "normalized"});
+  double small_ratio = 1;
+  double large_ratio = 0;
+  for (std::size_t len : {256_B, 1_KiB, 4_KiB, 16_KiB, 64_KiB, 256_KiB, 1_MiB}) {
+    const double hh = write_bw_gbps(false, len);
+    const double hd = write_bw_gbps(true, len);
+    const double norm = hd / hh;
+    if (len == 1_KiB) small_ratio = norm;
+    if (len == 1_MiB) large_ratio = norm;
+    t.add_row({format_size(len), Table::num(hh), Table::num(hd), Table::num(norm)});
+  }
+  t.print(std::cout);
+  bench::shape("small-message DPU bandwidth ~half of host (injection-rate bound)",
+               small_ratio < 0.65);
+  bench::shape("large messages converge toward parity (wire bound)", large_ratio > 0.9);
+  return 0;
+}

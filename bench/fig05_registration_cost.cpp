@@ -1,0 +1,63 @@
+// Figure 5: the two registrations every cross-GVMI transfer needs —
+// host-side GVMI registration (mkey) and DPU-side cross-registration
+// (mkey2) — versus message size.
+//
+// Paper observation: both costs are significant and grow with the buffer
+// size; the DPU-side one is worse (ARM cores). This is why the framework's
+// dual registration caches exist.
+#include "bench/bench_common.h"
+#include "common/bytes.h"
+
+namespace {
+
+using namespace dpu;
+using harness::Rank;
+using harness::World;
+
+struct RegCosts {
+  double host_us = 0;
+  double cross_us = 0;
+};
+
+RegCosts measure(std::size_t len) {
+  World w(bench::spec_of(1, 1, 1));
+  RegCosts out;
+  w.launch(0, [&, len](Rank& r) -> sim::Task<void> {
+    auto& dpu = r.world->verbs().ctx(r.world->spec().proxy_id(0, 0));
+    const auto gvmi = r.world->offload().gvmi_of(r.world->spec().proxy_id(0, 0));
+    const auto buf = r.mem().alloc(len, false);
+    SimTime t0 = r.world->now();
+    auto info = co_await r.vctx->reg_mr_gvmi(buf, len, gvmi);
+    out.host_us = to_us(r.world->now() - t0);
+    t0 = r.world->now();
+    (void)co_await dpu.cross_register(info);
+    out.cross_us = to_us(r.world->now() - t0);
+  });
+  w.run();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace dpu;
+  bench::header("Figure 5",
+                "cost of host GVMI registration and DPU cross-registration");
+  Table t({"size", "host reg (us)", "cross reg (us)", "total (us)"});
+  double small_total = 0;
+  double large_total = 0;
+  bool cross_worse = true;
+  for (std::size_t len : {4_KiB, 16_KiB, 64_KiB, 256_KiB, 1_MiB, 4_MiB}) {
+    const auto c = measure(len);
+    if (len == 4_KiB) small_total = c.host_us + c.cross_us;
+    if (len == 4_MiB) large_total = c.host_us + c.cross_us;
+    cross_worse = cross_worse && c.cross_us > c.host_us;
+    t.add_row({format_size(len), Table::num(c.host_us), Table::num(c.cross_us),
+               Table::num(c.host_us + c.cross_us)});
+  }
+  t.print(std::cout);
+  bench::shape("registration cost grows with buffer size", large_total > 3 * small_total);
+  bench::shape("cross-registration (ARM) costs more than the host registration",
+               cross_worse);
+  return 0;
+}

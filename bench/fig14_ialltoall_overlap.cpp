@@ -1,0 +1,91 @@
+// Figure 14: MPI_Ialltoall overlap percentage (OMB NBC definition) on
+// 4/8/16 nodes x 32 PPN — BluesMPI vs Proposed vs IntelMPI.
+//
+// Paper observation: both DPU-offloaded schemes reach close to 100% overlap
+// (the host is free after posting); IntelMPI cannot, because rendezvous
+// progress needs the host CPU.
+#include "bench/bench_common.h"
+#include "common/bytes.h"
+#include "harness/measure.h"
+#include "offload/coll.h"
+
+namespace {
+
+using namespace dpu;
+using harness::Rank;
+using harness::World;
+
+enum class Lib { kIntel, kBlues, kProposed };
+
+double one_run(Lib lib, int nodes, int ppn, std::size_t bpr, SimDuration compute,
+               double* pure_out) {
+  World w(bench::spec_of(nodes, ppn));
+  double out = 0;
+  auto prog = [&, lib, bpr, compute](Rank& r) -> sim::Task<void> {
+    const auto n = static_cast<std::size_t>(r.world->spec().total_host_ranks());
+    const auto sbuf = r.mem().alloc(bpr * n, false);
+    const auto rbuf = r.mem().alloc(bpr * n, false);
+    offload::GroupAlltoall group(*r.off, *r.mpi);
+    const int warm = 1;
+    const int iters = 2;
+    SimTime t0 = 0;
+    for (int i = 0; i < warm + iters; ++i) {
+      if (i == warm) {
+        co_await r.mpi->barrier(*r.world->mpi().world());
+        t0 = r.world->now();
+      }
+      if (lib == Lib::kIntel) {
+        auto q = co_await r.mpi->ialltoall(sbuf, rbuf, bpr, *r.world->mpi().world());
+        if (compute > 0) co_await r.compute(compute);
+        co_await r.mpi->wait(q);
+      } else if (lib == Lib::kBlues) {
+        auto q = co_await r.blues->ialltoall(sbuf, rbuf, bpr, r.world->mpi().world());
+        if (compute > 0) co_await r.compute(compute);
+        co_await r.blues->wait(q);
+      } else {
+        auto q = co_await group.icall(sbuf, rbuf, bpr, r.world->mpi().world());
+        if (compute > 0) co_await r.compute(compute);
+        co_await group.wait(q);
+      }
+    }
+    if (r.rank == 0) out = to_us(r.world->now() - t0) / iters;
+  };
+  w.launch_all(prog);
+  w.run();
+  if (pure_out) *pure_out = out;
+  return out;
+}
+
+/// OMB overlap: compute == the library's own pure communication time.
+double overlap_of(Lib lib, int nodes, int ppn, std::size_t bpr) {
+  double pure = 0;
+  (void)one_run(lib, nodes, ppn, bpr, 0, &pure);
+  const double overall = one_run(lib, nodes, ppn, bpr, from_us(pure), nullptr);
+  return harness::overlap_pct(overall, pure, pure);
+}
+
+}  // namespace
+
+int main() {
+  using namespace dpu;
+  bench::header("Figure 14", "MPI_Ialltoall overlap %: BluesMPI / Proposed / Intel");
+  const bool fast = bench::fast_mode();
+  const int ppn = fast ? 4 : 32;
+  const std::size_t bpr = 128_KiB;
+  Table t({"nodes", "Intel %", "BluesMPI %", "Proposed %"});
+  bool offloaded_high = true;
+  bool intel_lower = true;
+  for (int nodes : {4, 8, 16}) {
+    const double intel = overlap_of(Lib::kIntel, nodes, ppn, bpr);
+    const double blues = overlap_of(Lib::kBlues, nodes, ppn, bpr);
+    const double prop = overlap_of(Lib::kProposed, nodes, ppn, bpr);
+    offloaded_high = offloaded_high && blues > 85.0 && prop > 85.0;
+    intel_lower = intel_lower && intel < prop;
+    t.add_row({std::to_string(nodes), Table::num(intel, 1), Table::num(blues, 1),
+               Table::num(prop, 1)});
+  }
+  t.print(std::cout);
+  bench::shape("both DPU-offloaded schemes overlap close to 100%", offloaded_high);
+  bench::shape("IntelMPI overlaps less than the proposed scheme", intel_lower);
+  return 0;
+}

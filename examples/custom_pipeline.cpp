@@ -1,0 +1,89 @@
+// A communication pattern no MPI collective expresses: a two-stage pipeline
+// with a fan-out — demonstrating that Group Primitives offload ARBITRARY
+// dependency graphs, the paper's central API claim.
+//
+//   rank 0 --(A)--> rank 1 --(barrier)--> rank 2 and rank 3   (fan-out)
+//   rank 2 --(barrier)--> rank 0                              (ack back)
+//
+// Every edge is recorded up front; the whole DAG executes on the DPU
+// proxies while the hosts compute.
+//
+//   $ ./custom_pipeline
+#include <iostream>
+
+#include "common/bytes.h"
+#include "common/units.h"
+#include "harness/world.h"
+
+using namespace dpu;
+using harness::Rank;
+using harness::World;
+
+int main() {
+  machine::ClusterSpec spec;
+  spec.nodes = 4;
+  spec.host_procs_per_node = 1;
+  spec.proxies_per_dpu = 1;
+  World world(spec);
+  constexpr std::size_t kLen = 32_KiB;
+
+  world.launch(0, [](Rank& r) -> sim::Task<void> {
+    const auto data = r.mem().alloc(kLen);
+    const auto ack = r.mem().alloc(kLen);
+    r.mem().write(data, pattern_bytes(11, kLen));
+    auto req = r.off->group_start();
+    r.off->group_send(req, data, kLen, 1, 0);
+    r.off->group_recv(req, ack, kLen, 2, 9);  // ack arrives after the fan-out
+    r.off->group_end(req);
+    co_await r.off->group_call(req);
+    co_await r.compute(4_ms);
+    co_await r.off->group_wait(req);
+    std::cout << "[0] ack " << (check_pattern(r.mem().read(ack, kLen), 11) ? "ok" : "BAD")
+              << " at t=" << to_us(r.world->now()) << " us\n";
+  });
+
+  world.launch(1, [](Rank& r) -> sim::Task<void> {
+    const auto buf = r.mem().alloc(kLen);
+    auto req = r.off->group_start();
+    r.off->group_recv(req, buf, kLen, 0, 0);
+    r.off->group_barrier(req);  // forward only after the data arrived
+    r.off->group_send(req, buf, kLen, 2, 1);
+    r.off->group_send(req, buf, kLen, 3, 2);
+    r.off->group_end(req);
+    co_await r.off->group_call(req);
+    co_await r.compute(4_ms);
+    co_await r.off->group_wait(req);
+    std::cout << "[1] fan-out done\n";
+  });
+
+  world.launch(2, [](Rank& r) -> sim::Task<void> {
+    const auto buf = r.mem().alloc(kLen);
+    auto req = r.off->group_start();
+    r.off->group_recv(req, buf, kLen, 1, 1);
+    r.off->group_barrier(req);
+    r.off->group_send(req, buf, kLen, 0, 9);  // ack the source
+    r.off->group_end(req);
+    co_await r.off->group_call(req);
+    co_await r.compute(4_ms);
+    co_await r.off->group_wait(req);
+    std::cout << "[2] " << (check_pattern(r.mem().read(buf, kLen), 11) ? "ok" : "BAD")
+              << "\n";
+  });
+
+  world.launch(3, [](Rank& r) -> sim::Task<void> {
+    const auto buf = r.mem().alloc(kLen);
+    auto req = r.off->group_start();
+    r.off->group_recv(req, buf, kLen, 1, 2);
+    r.off->group_end(req);
+    co_await r.off->group_call(req);
+    co_await r.compute(4_ms);
+    co_await r.off->group_wait(req);
+    std::cout << "[3] " << (check_pattern(r.mem().read(buf, kLen), 11) ? "ok" : "BAD")
+              << "\n";
+  });
+
+  world.run();
+  std::cout << "whole DAG ran on the proxies during the 4 ms compute; t="
+            << to_us(world.now()) << " us\n";
+  return 0;
+}

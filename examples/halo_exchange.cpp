@@ -1,0 +1,48 @@
+// Halo exchange (the §VIII-A scenario): a 2x2x2 process grid exchanges
+// stencil faces every iteration. Inter-node faces ride the offload
+// framework's Basic Primitives (proxy-progressed); intra-node faces stay on
+// shared-memory MPI — mirroring how a production library would mix paths.
+//
+//   $ ./halo_exchange
+#include <iostream>
+
+#include "apps/stencil3d.h"
+#include "common/units.h"
+#include "harness/world.h"
+
+using namespace dpu;
+using apps::StencilBackend;
+using apps::StencilConfig;
+using apps::StencilStats;
+
+int main() {
+  // One rank per node: every face is inter-node, the offloadable case.
+  machine::ClusterSpec spec;
+  spec.nodes = 8;
+  spec.host_procs_per_node = 1;
+  spec.proxies_per_dpu = 1;
+
+  auto run = [&](StencilBackend backend) {
+    harness::World world(spec);
+    StencilConfig cfg;
+    cfg.nx = cfg.ny = cfg.nz = 256;
+    cfg.px = cfg.py = cfg.pz = 2;
+    cfg.iters = 4;
+    cfg.ns_per_cell = 0.04;  // comm-bound regime: the offload win is visible
+    cfg.backend = backend;
+    StencilStats stats;
+    world.launch_all(stencil_program(cfg, &stats));
+    world.run();
+    return stats;
+  };
+
+  const auto mpi = run(StencilBackend::kMpi);
+  const auto off = run(StencilBackend::kOffload);
+  std::cout << "3-D halo exchange, 256^3 grid on a 2x2x2 rank grid\n"
+            << "  host-MPI backend : " << mpi.total_us << " us/iteration\n"
+            << "  offload backend  : " << off.total_us << " us/iteration\n"
+            << "  improvement      : " << 100.0 * (1.0 - off.total_us / mpi.total_us)
+            << " %\n"
+            << "(compute per iteration: " << mpi.compute_us << " us, overlapped)\n";
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Quickstart: the paper's Listing 3 — ping-pong with Basic Primitives.
+//
+// Builds a 2-node simulated cluster, launches one rank per node, and moves
+// a real payload through the full offload pipeline: host GVMI registration,
+// RTS/RTR control messages to the DPU proxy, cross-registration, the
+// proxy's on-behalf RDMA write, and FIN completion counters.
+//
+//   $ ./quickstart
+#include <iostream>
+
+#include "common/bytes.h"
+#include "common/units.h"
+#include "harness/world.h"
+
+using namespace dpu;
+using harness::Rank;
+using harness::World;
+
+int main() {
+  machine::ClusterSpec spec;
+  spec.nodes = 2;
+  spec.host_procs_per_node = 1;
+  spec.proxies_per_dpu = 1;
+  World world(spec);
+
+  constexpr std::size_t kLen = 64_KiB;
+
+  // Rank 0: Send_Offload + Recv_Offload + Wait (Listing 3).
+  world.launch(0, [](Rank& r) -> sim::Task<void> {
+    const auto sbuf = r.mem().alloc(kLen);
+    const auto rbuf = r.mem().alloc(kLen);
+    r.mem().write(sbuf, pattern_bytes(/*seed=*/1, kLen));
+
+    auto send = co_await r.off->send_offload(sbuf, kLen, /*dst=*/1, /*tag=*/3);
+    auto recv = co_await r.off->recv_offload(rbuf, kLen, /*src=*/1, /*tag=*/4);
+    co_await r.off->wait(send);
+    co_await r.off->wait(recv);
+
+    std::cout << "[rank 0] round trip done at t=" << to_us(r.world->now())
+              << " us, payload "
+              << (check_pattern(r.mem().read(rbuf, kLen), 2) ? "verified" : "CORRUPT")
+              << "\n";
+  });
+
+  // Rank 1: mirror side.
+  world.launch(1, [](Rank& r) -> sim::Task<void> {
+    const auto sbuf = r.mem().alloc(kLen);
+    const auto rbuf = r.mem().alloc(kLen);
+    r.mem().write(sbuf, pattern_bytes(/*seed=*/2, kLen));
+
+    auto recv = co_await r.off->recv_offload(rbuf, kLen, /*src=*/0, /*tag=*/3);
+    auto send = co_await r.off->send_offload(sbuf, kLen, /*dst=*/0, /*tag=*/4);
+    co_await r.off->wait(recv);
+    co_await r.off->wait(send);
+
+    std::cout << "[rank 1] payload "
+              << (check_pattern(r.mem().read(rbuf, kLen), 1) ? "verified" : "CORRUPT")
+              << ", GVMI cache: " << r.off->gvmi_cache().stats().misses << " miss / "
+              << r.off->gvmi_cache().stats().hits << " hit\n";
+  });
+
+  world.run();
+  std::cout << "simulated time: " << to_us(world.now()) << " us\n"
+            << world.stats_summary() << "\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+// The paper's Listing 5: a ring broadcast recorded with Group Primitives
+// and offloaded in one shot, overlapping a compute phase.
+//
+// Every rank records its piece of the pattern (recv-from-left, local
+// barrier, send-to-right), calls Group_Offload_call, computes, and
+// Group_Waits. The DPU proxies chain the hops with zero host involvement —
+// compare the wait times printed at the end (they are ~zero).
+//
+//   $ ./ring_broadcast
+#include <iostream>
+
+#include "common/bytes.h"
+#include "common/units.h"
+#include "harness/world.h"
+
+using namespace dpu;
+using harness::Rank;
+using harness::World;
+
+int main() {
+  constexpr int kRanks = 6;
+  constexpr std::size_t kLen = 128_KiB;
+
+  machine::ClusterSpec spec;
+  spec.nodes = kRanks;
+  spec.host_procs_per_node = 1;
+  spec.proxies_per_dpu = 1;
+  World world(spec);
+
+  world.launch_all([](Rank& r) -> sim::Task<void> {
+    const int n = r.world->spec().total_host_ranks();
+    const int me = r.rank;
+    const int left = (me - 1 + n) % n;
+    const int right = (me + 1) % n;
+    const auto buf = r.mem().alloc(kLen);
+    if (me == 0) r.mem().write(buf, pattern_bytes(7, kLen));
+
+    // Record the pattern (Listing 5).
+    auto req = r.off->group_start();
+    if (me == 0) {
+      r.off->group_send(req, buf, kLen, right, /*tag=*/4);
+    } else {
+      r.off->group_recv(req, buf, kLen, left, /*tag=*/4);
+      if (me != n - 1) {
+        r.off->group_barrier(req);  // Local_barrier_Goffload: order recv -> send
+        r.off->group_send(req, buf, kLen, right, /*tag=*/4);
+      }
+    }
+    r.off->group_end(req);
+
+    // Offload the whole pattern, then overlap with compute.
+    co_await r.off->group_call(req);
+    co_await r.compute(5_ms);
+    const SimTime before_wait = r.world->now();
+    co_await r.off->group_wait(req);
+    const auto waited = to_us(r.world->now() - before_wait);
+
+    std::cout << "[rank " << me << "] payload "
+              << (check_pattern(r.mem().read(buf, kLen), 7) ? "ok" : "CORRUPT")
+              << ", time blocked in Group_Wait: " << waited << " us\n";
+  });
+
+  world.run();
+  std::cout << "ring completed during the compute window; simulated time "
+            << to_us(world.now()) << " us\n";
+  return 0;
+}

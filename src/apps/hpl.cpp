@@ -1,0 +1,178 @@
+#include "apps/hpl.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "common/check.h"
+#include "offload/coll.h"
+
+namespace dpu::apps {
+
+using harness::Rank;
+
+namespace {
+
+void auto_grid(int procs, int& p, int& q) {
+  p = static_cast<int>(std::sqrt(static_cast<double>(procs)));
+  while (procs % p != 0) --p;
+  q = procs / p;
+  if (p > q) std::swap(p, q);
+}
+
+SimDuration flops_time(double flops, double gflops) {
+  return from_ns(flops / gflops);  // 1 GF/s == 1 flop/ns
+}
+
+sim::Task<void> hpl_rank(HplConfig cfg, HplStats* stats, Rank& r) {
+  const int procs = r.world->spec().total_host_ranks();
+  int p = cfg.p;
+  int q = cfg.q;
+  if (p == 0 || q == 0) auto_grid(procs, p, q);
+  require(p * q == procs, "HPL process grid mismatch");
+  // HPL's default column-major grid: row communicators stride by P and thus
+  // span nodes (the broadcast the paper offloads is inter-node).
+  const int my_row = r.rank % p;
+  const int my_col = r.rank / p;
+
+  std::vector<int> row_ranks;
+  for (int c = 0; c < q; ++c) row_ranks.push_back(c * p + my_row);
+  auto row_comm = r.world->mpi().create_comm(row_ranks);
+
+  // One reusable panel buffer of the largest panel footprint.
+  const long max_rows_local = (cfg.n + p - 1) / p;
+  const std::size_t max_panel =
+      static_cast<std::size_t>(max_rows_local) * static_cast<std::size_t>(cfg.nb) * 8;
+  const auto panel = r.mem().alloc(std::max<std::size_t>(max_panel, 64), false);
+
+  std::unique_ptr<offload::GroupRingBcast> ring;
+  if (cfg.bcast == HplBcast::kProposed) {
+    ring = std::make_unique<offload::GroupRingBcast>(*r.off);
+  }
+
+  const long panels = cfg.n / cfg.nb;
+  SimDuration compute_total = 0;
+  SimDuration wait_total = 0;
+  const SimTime t0 = r.world->now();
+
+  for (long k = 0; k < panels; ++k) {
+    const long remaining = cfg.n - k * cfg.nb;
+    const long rows_local = std::max<long>(remaining / p, 1);
+    const long cols_local = std::max<long>(remaining / q, 1);
+    const int root_col = static_cast<int>(k % q);
+    const std::size_t panel_bytes =
+        static_cast<std::size_t>(rows_local) * static_cast<std::size_t>(cfg.nb) * 8;
+
+    // 1. Panel factorization on the owning column.
+    if (my_col == root_col) {
+      const double pf_flops = 2.0 * static_cast<double>(rows_local) *
+                              static_cast<double>(cfg.nb) * static_cast<double>(cfg.nb);
+      const auto t = flops_time(pf_flops, cfg.panel_gflops);
+      co_await r.compute(t);
+      compute_total += t;
+    }
+
+    // 2. Trailing update: the look-ahead fraction overlaps the broadcast,
+    // the remainder runs after the panel arrived (it needs the panel data).
+    const double up_flops = 2.0 * static_cast<double>(rows_local) *
+                            static_cast<double>(cols_local) * static_cast<double>(cfg.nb);
+    const SimDuration update = flops_time(up_flops, cfg.gemm_gflops);
+    const auto overlap_part =
+        static_cast<SimDuration>(static_cast<double>(update) * cfg.lookahead_frac);
+    const SimDuration serial_part = update - overlap_part;
+    compute_total += update;
+
+    if (q == 1) {  // degenerate: nothing to broadcast
+      co_await r.compute(update);
+      continue;
+    }
+
+    switch (cfg.bcast) {
+      case HplBcast::k1Ring: {
+        // Listing 1: ring over point-to-point; the CPU polls between
+        // compute chunks of the look-ahead portion.
+        const int me = row_comm->rank_of_world(r.rank);
+        const int vrank = (me - root_col + q) % q;
+        const int left = row_comm->world_rank((me - 1 + q) % q);
+        const int right = row_comm->world_rank((me + 1) % q);
+        const SimDuration chunk =
+            std::max<SimDuration>(overlap_part / cfg.poll_chunks, 1);
+        SimDuration computed = 0;
+        auto poll_through = [&](mpi::Request req) -> sim::Task<void> {
+          while (!co_await r.mpi->test(req)) {
+            if (computed < overlap_part) {
+              co_await r.compute(chunk);
+              computed += chunk;
+            } else {
+              const SimTime w = r.world->now();
+              co_await r.mpi->wait(req);
+              wait_total += r.world->now() - w;
+            }
+          }
+        };
+        if (vrank != 0) co_await poll_through(co_await r.mpi->irecv(panel, panel_bytes, left, 7));
+        if (vrank != q - 1) {
+          co_await poll_through(co_await r.mpi->isend(panel, panel_bytes, right, 7));
+        }
+        if (computed < overlap_part) co_await r.compute(overlap_part - computed);
+        break;
+      }
+      case HplBcast::kIntelIbcast: {
+        auto req = co_await r.mpi->ibcast(panel, panel_bytes, root_col, *row_comm);
+        const SimDuration chunk =
+            std::max<SimDuration>(overlap_part / cfg.poll_chunks, 1);
+        SimDuration computed = 0;
+        while (computed < overlap_part) {
+          co_await r.compute(chunk);
+          computed += chunk;
+          (void)co_await r.mpi->test(req);  // progress the tree
+        }
+        const SimTime w = r.world->now();
+        co_await r.mpi->wait(req);
+        wait_total += r.world->now() - w;
+        break;
+      }
+      case HplBcast::kBlues: {
+        auto req = co_await r.blues->ibcast(panel, panel_bytes, root_col, row_comm);
+        co_await r.compute(overlap_part);
+        const SimTime w = r.world->now();
+        co_await r.blues->wait(req);
+        wait_total += r.world->now() - w;
+        break;
+      }
+      case HplBcast::kProposed: {
+        auto req = co_await ring->icall(panel, panel_bytes, root_col, row_comm);
+        co_await r.compute(overlap_part);
+        const SimTime w = r.world->now();
+        co_await ring->wait(req);
+        wait_total += r.world->now() - w;
+        break;
+      }
+    }
+    // 3. The non-look-ahead part of the update needs the panel: serial.
+    co_await r.compute(serial_part);
+  }
+  co_await r.mpi->barrier(*r.world->mpi().world());
+
+  if (r.rank == 0 && stats != nullptr) {
+    stats->total_us = to_us(r.world->now() - t0);
+    stats->compute_us = to_us(compute_total);
+    stats->bcast_wait_us = to_us(wait_total);
+    stats->panels = panels;
+  }
+}
+
+}  // namespace
+
+long hpl_n_for_memory(double fraction, int nodes, std::size_t bytes_per_node) {
+  const double total = fraction * static_cast<double>(bytes_per_node) *
+                       static_cast<double>(nodes);
+  return static_cast<long>(std::sqrt(total / 8.0));
+}
+
+harness::RankProgram hpl_program(const HplConfig& cfg, HplStats* stats) {
+  return [cfg, stats](Rank& r) -> sim::Task<void> { co_await hpl_rank(cfg, stats, r); };
+}
+
+}  // namespace dpu::apps

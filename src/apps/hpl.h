@@ -1,0 +1,51 @@
+// Mini-HPL (paper §VIII-D): 2-D block-cyclic LU factorization skeleton.
+//
+// Per panel k: the owning process column factorizes the panel, the panel is
+// broadcast along each process row, and every rank updates its trailing
+// submatrix (DGEMM, modelled time). The broadcast is what HPL overlaps with
+// the update via look-ahead, and it is the piece the paper swaps out:
+//   k1Ring        — HPL's stock ring broadcast over MPI point-to-point with
+//                   MPI_Test polling between compute chunks (Listing 1);
+//   kIntelIbcast  — binomial MPI_Ibcast, still CPU-progressed;
+//   kBlues        — BluesMPI staged ibcast (no point-to-point offload
+//                   exists in that framework, so ibcast is its only option);
+//   kProposed     — Group-Primitives ring broadcast, proxy-progressed.
+// Column-direction pivoting/U-swap traffic is not modelled (the paper only
+// modifies the row broadcast; the skeleton keeps the compute/overlap
+// structure that decides the comparison).
+#pragma once
+
+#include "harness/world.h"
+#include "sim/task.h"
+
+namespace dpu::apps {
+
+enum class HplBcast { k1Ring, kIntelIbcast, kBlues, kProposed };
+
+struct HplConfig {
+  long n = 16384;    ///< matrix dimension
+  int nb = 256;      ///< block size
+  int p = 0, q = 0;  ///< process grid (0 = auto near-square, p <= q)
+  HplBcast bcast = HplBcast::k1Ring;
+  double gemm_gflops = 28.0;    ///< effective per-core DGEMM rate
+  double panel_gflops = 7.0;    ///< panel factorization rate (memory bound)
+  int poll_chunks = 8;          ///< compute chunks between MPI_Test polls
+  /// Fraction of the trailing update HPL's look-ahead can overlap with the
+  /// panel broadcast (depth-1 look-ahead only covers the look-ahead panel's
+  /// columns); the rest runs after the broadcast completes.
+  double lookahead_frac = 0.35;
+};
+
+struct HplStats {
+  double total_us = 0;
+  double compute_us = 0;   ///< rank-0 modelled compute
+  double bcast_wait_us = 0;  ///< rank-0 time blocked on panel broadcasts
+  long panels = 0;
+};
+
+harness::RankProgram hpl_program(const HplConfig& cfg, HplStats* stats);
+
+/// HPL problem size occupying `fraction` of `bytes_per_node * nodes` memory.
+long hpl_n_for_memory(double fraction, int nodes, std::size_t bytes_per_node);
+
+}  // namespace dpu::apps

@@ -1,0 +1,182 @@
+#include "apps/omb.h"
+
+#include <vector>
+
+#include "harness/measure.h"
+#include "harness/world.h"
+#include "offload/coll.h"
+
+namespace dpu::apps::omb {
+
+using harness::Rank;
+using harness::World;
+
+namespace {
+
+/// Runs a two-rank program on ranks 0 and the first rank of node 1.
+void run_pair(const machine::ClusterSpec& spec, harness::RankProgram a,
+              harness::RankProgram b) {
+  World w(spec);
+  w.launch(0, std::move(a));
+  w.launch(w.spec().first_host_on_node(1), std::move(b));
+  w.run();
+}
+
+}  // namespace
+
+std::vector<SizeSample> p2p_latency(const machine::ClusterSpec& spec, P2pBackend backend,
+                                    const std::vector<std::size_t>& sizes, int iters) {
+  std::vector<SizeSample> out;
+  for (const std::size_t len : sizes) {
+    double us = 0;
+    const int peer_of_0 = spec.host_procs_per_node;  // first rank on node 1
+    auto initiator = [&, len, iters, backend, peer_of_0](Rank& r) -> sim::Task<void> {
+      const auto s = r.mem().alloc(len, false);
+      const auto d = r.mem().alloc(len, false);
+      SimTime t0 = 0;
+      for (int i = 0; i < iters + 2; ++i) {  // 2 warm-up round trips
+        if (i == 2) t0 = r.world->now();
+        if (backend == P2pBackend::kMpi) {
+          co_await r.mpi->send(s, len, peer_of_0, 0);
+          co_await r.mpi->recv(d, len, peer_of_0, 1);
+        } else {
+          auto qs = co_await r.off->send_offload(s, len, peer_of_0, 0);
+          co_await r.off->wait(qs);
+          auto qr = co_await r.off->recv_offload(d, len, peer_of_0, 1);
+          co_await r.off->wait(qr);
+        }
+      }
+      us = to_us(r.world->now() - t0) / (2.0 * iters);  // one-way latency
+    };
+    auto responder = [len, iters, backend](Rank& r) -> sim::Task<void> {
+      const auto s = r.mem().alloc(len, false);
+      const auto d = r.mem().alloc(len, false);
+      for (int i = 0; i < iters + 2; ++i) {
+        if (backend == P2pBackend::kMpi) {
+          co_await r.mpi->recv(d, len, 0, 0);
+          co_await r.mpi->send(s, len, 0, 1);
+        } else {
+          auto qr = co_await r.off->recv_offload(d, len, 0, 0);
+          co_await r.off->wait(qr);
+          auto qs = co_await r.off->send_offload(s, len, 0, 1);
+          co_await r.off->wait(qs);
+        }
+      }
+    };
+    run_pair(spec, initiator, responder);
+    out.push_back({len, us});
+  }
+  return out;
+}
+
+std::vector<SizeSample> p2p_bandwidth(const machine::ClusterSpec& spec, P2pBackend backend,
+                                      const std::vector<std::size_t>& sizes, int window,
+                                      int iters) {
+  std::vector<SizeSample> out;
+  for (const std::size_t len : sizes) {
+    double gbps = 0;
+    const int peer_of_0 = spec.host_procs_per_node;
+    auto sender = [&, len, window, iters, backend, peer_of_0](Rank& r) -> sim::Task<void> {
+      const auto s = r.mem().alloc(len, false);
+      const auto ack = r.mem().alloc(8, false);
+      SimTime t0 = 0;
+      for (int i = 0; i < iters + 1; ++i) {  // 1 warm-up window
+        if (i == 1) t0 = r.world->now();
+        if (backend == P2pBackend::kMpi) {
+          std::vector<mpi::Request> reqs;
+          for (int k = 0; k < window; ++k) {
+            reqs.push_back(co_await r.mpi->isend(s, len, peer_of_0, k));
+          }
+          co_await r.mpi->waitall(reqs);
+          co_await r.mpi->recv(ack, 8, peer_of_0, 999);
+        } else {
+          std::vector<offload::OffloadReqPtr> reqs;
+          for (int k = 0; k < window; ++k) {
+            reqs.push_back(co_await r.off->send_offload(s, len, peer_of_0, k));
+          }
+          co_await r.off->waitall(reqs);
+          auto a = co_await r.off->recv_offload(ack, 8, peer_of_0, 999);
+          co_await r.off->wait(a);
+        }
+      }
+      const double secs = to_sec(r.world->now() - t0);
+      gbps = static_cast<double>(len) * window * iters / secs / 1e9;
+    };
+    auto receiver = [len, window, iters, backend](Rank& r) -> sim::Task<void> {
+      const auto d = r.mem().alloc(len, false);
+      const auto ack = r.mem().alloc(8, false);
+      for (int i = 0; i < iters + 1; ++i) {
+        if (backend == P2pBackend::kMpi) {
+          std::vector<mpi::Request> reqs;
+          for (int k = 0; k < window; ++k) {
+            reqs.push_back(co_await r.mpi->irecv(d, len, 0, k));
+          }
+          co_await r.mpi->waitall(reqs);
+          co_await r.mpi->send(ack, 8, 0, 999);
+        } else {
+          std::vector<offload::OffloadReqPtr> reqs;
+          for (int k = 0; k < window; ++k) {
+            reqs.push_back(co_await r.off->recv_offload(d, len, 0, k));
+          }
+          co_await r.off->waitall(reqs);
+          auto a = co_await r.off->send_offload(ack, 8, 0, 999);
+          co_await r.off->wait(a);
+        }
+      }
+    };
+    run_pair(spec, sender, receiver);
+    out.push_back({len, gbps});
+  }
+  return out;
+}
+
+namespace {
+
+double one_ialltoall(const machine::ClusterSpec& spec, CollLib lib, std::size_t bpr,
+                     SimDuration compute, int iters) {
+  World w(spec);
+  double out = 0;
+  auto prog = [&, lib, bpr, compute, iters](Rank& r) -> sim::Task<void> {
+    const auto n = static_cast<std::size_t>(r.world->spec().total_host_ranks());
+    const auto sbuf = r.mem().alloc(bpr * n, false);
+    const auto rbuf = r.mem().alloc(bpr * n, false);
+    offload::GroupAlltoall group(*r.off, *r.mpi);
+    SimTime t0 = 0;
+    for (int i = 0; i < iters + 1; ++i) {
+      if (i == 1) {
+        co_await r.mpi->barrier(*r.world->mpi().world());
+        t0 = r.world->now();
+      }
+      if (lib == CollLib::kIntel) {
+        auto q = co_await r.mpi->ialltoall(sbuf, rbuf, bpr, *r.world->mpi().world());
+        if (compute > 0) co_await r.compute(compute);
+        co_await r.mpi->wait(q);
+      } else if (lib == CollLib::kBlues) {
+        auto q = co_await r.blues->ialltoall(sbuf, rbuf, bpr, r.world->mpi().world());
+        if (compute > 0) co_await r.compute(compute);
+        co_await r.blues->wait(q);
+      } else {
+        auto q = co_await group.icall(sbuf, rbuf, bpr, r.world->mpi().world());
+        if (compute > 0) co_await r.compute(compute);
+        co_await group.wait(q);
+      }
+    }
+    if (r.rank == 0) out = to_us(r.world->now() - t0) / iters;
+  };
+  w.launch_all(prog);
+  w.run();
+  return out;
+}
+
+}  // namespace
+
+NbcResult ialltoall_overlap(const machine::ClusterSpec& spec, CollLib lib,
+                            std::size_t bytes_per_rank, int iters) {
+  NbcResult res;
+  res.pure_us = one_ialltoall(spec, lib, bytes_per_rank, 0, iters);
+  res.overall_us = one_ialltoall(spec, lib, bytes_per_rank, from_us(res.pure_us), iters);
+  res.overlap_pct = harness::overlap_pct(res.overall_us, res.pure_us, res.pure_us);
+  return res;
+}
+
+}  // namespace dpu::apps::omb

@@ -1,0 +1,44 @@
+// OMB-style microbenchmark suite (the paper evaluates with OSU
+// Micro-Benchmarks [12]); reusable measurement routines over the simulated
+// cluster, each returning per-size series:
+//   * point-to-point latency / bandwidth (minimpi or Basic Primitives),
+//   * nonblocking-collective overall time and overlap % (OMB NBC method)
+//     for the three libraries the paper compares.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "machine/spec.h"
+
+namespace dpu::apps::omb {
+
+enum class P2pBackend { kMpi, kOffload };
+enum class CollLib { kIntel, kBlues, kProposed };
+
+struct SizeSample {
+  std::size_t bytes = 0;
+  double value = 0;  ///< us for latency benches, GB/s for bandwidth
+};
+
+/// osu_latency: ping-pong between rank 0 (node 0) and rank on node 1.
+std::vector<SizeSample> p2p_latency(const machine::ClusterSpec& spec, P2pBackend backend,
+                                    const std::vector<std::size_t>& sizes, int iters = 20);
+
+/// osu_bw: windowed unidirectional bandwidth (GB/s).
+std::vector<SizeSample> p2p_bandwidth(const machine::ClusterSpec& spec, P2pBackend backend,
+                                      const std::vector<std::size_t>& sizes,
+                                      int window = 32, int iters = 4);
+
+struct NbcResult {
+  double pure_us = 0;     ///< post+wait, no compute
+  double overall_us = 0;  ///< post+compute(pure)+wait
+  double overlap_pct = 0;
+};
+
+/// osu_ialltoall -style overlap measurement for one library and one
+/// per-pair message size.
+NbcResult ialltoall_overlap(const machine::ClusterSpec& spec, CollLib lib,
+                            std::size_t bytes_per_rank, int iters = 2);
+
+}  // namespace dpu::apps::omb

@@ -1,0 +1,39 @@
+// Mini-P3DFFT (paper §VIII-D): pencil-decomposed 3-D FFT whose transposes
+// are nonblocking alltoalls overlapped with FFT compute.
+//
+// The communication structure follows the paper's profile of test_sine.x
+// (fig. 16c): each phase initiates TWO nonblocking alltoalls on different
+// buffer pairs, computes, waits for the first, computes more, waits for the
+// second; forward and backward transforms per iteration. Three library
+// backends reproduce the comparison:
+//   kIntel    — minimpi ialltoall (host-driven progress),
+//   kBlues    — BluesMPI staged ialltoall (great overlap, staging latency,
+//               and a first-touch setup the alternating buffers expose),
+//   kProposed — Group-Primitives alltoall (direct GVMI, cached metadata).
+#pragma once
+
+#include "harness/world.h"
+#include "sim/task.h"
+
+namespace dpu::apps {
+
+enum class FftBackend { kIntel, kBlues, kProposed };
+
+struct P3dfftConfig {
+  int nx = 256, ny = 256, nz = 512;  ///< global grid (complex points)
+  int prow = 0, pcol = 0;            ///< 2-D process grid; 0 = auto (near-square)
+  int iters = 2;                     ///< forward+backward pairs (no warm-up, like the app)
+  FftBackend backend = FftBackend::kIntel;
+  double fft_ns_per_point = 2.0;  ///< per point per 1-D pass (memory-bound FFT)
+};
+
+struct P3dfftStats {
+  double total_us = 0;         ///< whole run, max over ranks
+  double compute_us = 0;       ///< total modelled FFT compute per rank
+  double mpi_wait_us = 0;      ///< rank-0 time inside communication waits
+  std::size_t bytes_per_pair = 0;  ///< alltoall message size (row comm)
+};
+
+harness::RankProgram p3dfft_program(const P3dfftConfig& cfg, P3dfftStats* stats);
+
+}  // namespace dpu::apps

@@ -1,0 +1,130 @@
+#include "apps/stencil3d.h"
+
+#include <array>
+#include <vector>
+
+#include "common/check.h"
+
+namespace dpu::apps {
+
+using harness::Rank;
+
+namespace {
+
+struct Coord {
+  int x, y, z;
+};
+
+Coord coord_of(int rank, const StencilConfig& c) {
+  return Coord{rank % c.px, (rank / c.px) % c.py, rank / (c.px * c.py)};
+}
+
+int rank_of(Coord p, const StencilConfig& c) { return p.x + c.px * (p.y + c.py * p.z); }
+
+/// Six axis neighbours (or -1 at the domain boundary; no wraparound).
+std::array<int, 6> neighbors_of(int rank, const StencilConfig& c) {
+  const Coord p = coord_of(rank, c);
+  std::array<int, 6> out{};
+  int i = 0;
+  for (int axis = 0; axis < 3; ++axis) {
+    for (int dir : {-1, +1}) {
+      Coord q = p;
+      (axis == 0 ? q.x : axis == 1 ? q.y : q.z) += dir;
+      const bool in =
+          q.x >= 0 && q.x < c.px && q.y >= 0 && q.y < c.py && q.z >= 0 && q.z < c.pz;
+      out[static_cast<std::size_t>(i++)] = in ? rank_of(q, c) : -1;
+    }
+  }
+  return out;
+}
+
+std::size_t face_bytes(const StencilConfig& c, int axis) {
+  const int lx = c.nx / c.px;
+  const int ly = c.ny / c.py;
+  const int lz = c.nz / c.pz;
+  const long cells = axis == 0 ? static_cast<long>(ly) * lz
+                     : axis == 1 ? static_cast<long>(lx) * lz
+                                 : static_cast<long>(lx) * ly;
+  return static_cast<std::size_t>(cells) * sizeof(double);
+}
+
+sim::Task<void> stencil_rank(StencilConfig cfg, StencilStats* stats, Rank& r) {
+  const auto& spec = r.world->spec();
+  require(cfg.px * cfg.py * cfg.pz == spec.total_host_ranks(),
+          "process grid does not match the cluster");
+  const auto nbrs = neighbors_of(r.rank, cfg);
+
+  // One send and one receive buffer per face, reused across iterations so
+  // registration caches warm up exactly as on a real system.
+  std::array<machine::Addr, 6> sbuf{};
+  std::array<machine::Addr, 6> rbuf{};
+  std::array<std::size_t, 6> fsize{};
+  for (int f = 0; f < 6; ++f) {
+    if (nbrs[static_cast<std::size_t>(f)] < 0) continue;
+    fsize[static_cast<std::size_t>(f)] = face_bytes(cfg, f / 2);
+    sbuf[static_cast<std::size_t>(f)] =
+        r.mem().alloc(fsize[static_cast<std::size_t>(f)], cfg.backed);
+    rbuf[static_cast<std::size_t>(f)] =
+        r.mem().alloc(fsize[static_cast<std::size_t>(f)], cfg.backed);
+  }
+
+  const long local_cells = static_cast<long>(cfg.nx / cfg.px) * (cfg.ny / cfg.py) *
+                           (cfg.nz / cfg.pz);
+  const SimDuration compute =
+      cfg.skip_compute ? 0 : from_ns(static_cast<double>(local_cells) * cfg.ns_per_cell);
+
+  SimTime timed_start = 0;
+  for (int it = 0; it < cfg.warmup + cfg.iters; ++it) {
+    if (it == cfg.warmup) {
+      co_await r.mpi->barrier(*r.world->mpi().world());
+      timed_start = r.world->now();
+    }
+    std::vector<mpi::Request> mreqs;
+    std::vector<offload::OffloadReqPtr> oreqs;
+    // Opposite-face tag pairing: my face f matches the neighbour's f^1.
+    for (int f = 0; f < 6; ++f) {
+      const int nb = nbrs[static_cast<std::size_t>(f)];
+      if (nb < 0) continue;
+      const auto len = fsize[static_cast<std::size_t>(f)];
+      const bool offloadable = cfg.backend == StencilBackend::kOffload &&
+                               spec.node_of(nb) != spec.node_of(r.rank);
+      if (offloadable) {
+        oreqs.push_back(co_await r.off->recv_offload(rbuf[static_cast<std::size_t>(f)], len,
+                                                     nb, f ^ 1));
+        oreqs.push_back(
+            co_await r.off->send_offload(sbuf[static_cast<std::size_t>(f)], len, nb, f));
+      } else {
+        mreqs.push_back(
+            co_await r.mpi->irecv(rbuf[static_cast<std::size_t>(f)], len, nb, f ^ 1));
+        mreqs.push_back(
+            co_await r.mpi->isend(sbuf[static_cast<std::size_t>(f)], len, nb, f));
+      }
+    }
+    if (compute > 0) co_await r.compute(compute);
+    co_await r.mpi->waitall(mreqs);
+    for (auto& q : oreqs) co_await r.off->wait(q);
+    // A lightweight neighbour sync per iteration keeps ranks in lockstep
+    // (as the implicit data dependency of a real stencil would).
+  }
+  co_await r.mpi->barrier(*r.world->mpi().world());
+
+  if (r.rank == 0 && stats != nullptr) {
+    stats->total_us = to_us(r.world->now() - timed_start) / cfg.iters;
+    stats->compute_us = to_us(compute);
+    for (int f = 0; f < 6; ++f) {
+      if (nbrs[static_cast<std::size_t>(f)] >= 0) ++stats->neighbors;
+    }
+  }
+}
+
+}  // namespace
+
+std::size_t stencil_face_bytes(const StencilConfig& cfg) { return face_bytes(cfg, 0); }
+
+harness::RankProgram stencil_program(const StencilConfig& cfg, StencilStats* stats) {
+  return [cfg, stats](Rank& r) -> sim::Task<void> {
+    co_await stencil_rank(cfg, stats, r);
+  };
+}
+
+}  // namespace dpu::apps

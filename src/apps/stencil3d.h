@@ -1,0 +1,47 @@
+// 3-D stencil halo-exchange benchmark (paper §VIII-A).
+//
+// Near-neighbour pattern: each rank exchanges up to six faces per
+// iteration, overlapping a dummy compute with the halo exchange. Two
+// communication backends:
+//   kMpi      — minimpi isend/irecv (IntelMPI-like; rendezvous progress
+//               needs the host CPU, capping overlap),
+//   kOffload  — inter-node neighbours through the framework's Basic
+//               Primitives (proxy-progressed); intra-node neighbours stay
+//               on shared-memory MPI, which is why the paper's overlap
+//               plateaus near ~78% instead of 100%.
+#pragma once
+
+#include <cstddef>
+
+#include "harness/world.h"
+#include "sim/task.h"
+
+namespace dpu::apps {
+
+enum class StencilBackend { kMpi, kOffload };
+
+struct StencilConfig {
+  int nx = 512, ny = 512, nz = 512;  ///< global grid (cells)
+  int px = 2, py = 2, pz = 2;        ///< process grid; px*py*pz == total ranks
+  int iters = 4;
+  int warmup = 1;
+  StencilBackend backend = StencilBackend::kMpi;
+  double ns_per_cell = 0.4;  ///< dummy compute cost per local cell
+  bool backed = false;       ///< carry real bytes (tests) or timing only
+  bool skip_compute = false; ///< measure the pure exchange time
+};
+
+struct StencilStats {
+  double total_us = 0;      ///< timed iterations, max over ranks
+  double compute_us = 0;    ///< per-iteration modelled compute
+  int neighbors = 0;        ///< of rank 0 (sanity)
+};
+
+/// Returns the rank program for one stencil rank; `stats` must outlive the
+/// run and is filled by rank 0.
+harness::RankProgram stencil_program(const StencilConfig& cfg, StencilStats* stats);
+
+/// Local face size (bytes) for the given config.
+std::size_t stencil_face_bytes(const StencilConfig& cfg);
+
+}  // namespace dpu::apps

@@ -1,0 +1,37 @@
+#include "common/bytes.h"
+
+#include <sstream>
+
+#include "common/rng.h"
+
+namespace dpu {
+
+std::string format_size(std::size_t bytes) {
+  std::ostringstream os;
+  if (bytes >= (1ull << 30) && bytes % (1ull << 30) == 0) {
+    os << (bytes >> 30) << "G";
+  } else if (bytes >= (1ull << 20) && bytes % (1ull << 20) == 0) {
+    os << (bytes >> 20) << "M";
+  } else if (bytes >= (1ull << 10) && bytes % (1ull << 10) == 0) {
+    os << (bytes >> 10) << "K";
+  } else {
+    os << bytes;
+  }
+  return os.str();
+}
+
+std::vector<std::byte> pattern_bytes(std::uint64_t seed, std::size_t n) {
+  std::vector<std::byte> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t s = seed + i / 8;
+    const std::uint64_t word = splitmix64(s);
+    out[i] = static_cast<std::byte>((word >> ((i % 8) * 8)) & 0xFF);
+  }
+  return out;
+}
+
+bool check_pattern(const std::vector<std::byte>& data, std::uint64_t seed) {
+  return data == pattern_bytes(seed, data.size());
+}
+
+}  // namespace dpu

@@ -1,0 +1,22 @@
+// Helpers for byte-size formatting and payload pattern generation used by
+// data-integrity tests.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dpu {
+
+/// Formats a byte count as a short human-readable string (e.g. "64K", "1M").
+std::string format_size(std::size_t bytes);
+
+/// Deterministic payload pattern: byte i of stream (seed) is a mix of the
+/// seed and the offset, so corruption/misrouting is detectable.
+std::vector<std::byte> pattern_bytes(std::uint64_t seed, std::size_t n);
+
+/// True when `data` equals pattern_bytes(seed, data.size()).
+bool check_pattern(const std::vector<std::byte>& data, std::uint64_t seed);
+
+}  // namespace dpu

@@ -1,0 +1,38 @@
+// Error handling for the simulator.
+//
+// Two classes of failure exist:
+//  * SimError       — a correctness violation detected by a substrate (e.g.
+//                     an RDMA write with a stale rkey). These model errors a
+//                     real fabric would report and are testable behaviour.
+//  * internal check — a bug in the simulator itself; `require` throws
+//                     std::logic_error with source location.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace dpu {
+
+/// Error reported by a simulated subsystem (fabric, verbs, MPI, offload).
+class SimError : public std::runtime_error {
+ public:
+  explicit SimError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Throws SimError with `msg` when `cond` is false.
+inline void sim_expect(bool cond, const std::string& msg) {
+  if (!cond) throw SimError(msg);
+}
+
+/// Internal invariant; failure indicates a simulator bug, not modelled
+/// behaviour.
+inline void require(bool cond, const char* msg,
+                    std::source_location loc = std::source_location::current()) {
+  if (!cond) {
+    throw std::logic_error(std::string("invariant failed at ") + loc.file_name() + ":" +
+                           std::to_string(loc.line()) + ": " + msg);
+  }
+}
+
+}  // namespace dpu

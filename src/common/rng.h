@@ -1,0 +1,57 @@
+// Deterministic random number generation.
+//
+// The simulator never consults wall-clock entropy; every stream is seeded
+// explicitly so that runs are reproducible. SplitMix64 seeds Xoshiro256**.
+#pragma once
+
+#include <cstdint>
+
+namespace dpu {
+
+/// SplitMix64: used for seeding and for cheap stateless hashing.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97f4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// Xoshiro256** PRNG with an explicit seed; satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5EEDull) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound); bound must be nonzero.
+  std::uint64_t below(std::uint64_t bound) { return (*this)() % bound; }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>((*this)() >> 11) * 0x1.0p-53; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4];
+};
+
+}  // namespace dpu

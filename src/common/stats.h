@@ -1,0 +1,66 @@
+// Small statistics helpers for the benchmark harness and tests.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "common/check.h"
+
+namespace dpu {
+
+/// Accumulates samples and reports mean / min / max / percentiles.
+class Samples {
+ public:
+  void add(double v) { values_.push_back(v); }
+  void clear() { values_.clear(); }
+
+  std::size_t count() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  double sum() const {
+    double s = 0;
+    for (double v : values_) s += v;
+    return s;
+  }
+
+  double mean() const {
+    require(!values_.empty(), "mean of empty sample set");
+    return sum() / static_cast<double>(values_.size());
+  }
+
+  double min() const {
+    require(!values_.empty(), "min of empty sample set");
+    return *std::min_element(values_.begin(), values_.end());
+  }
+
+  double max() const {
+    require(!values_.empty(), "max of empty sample set");
+    return *std::max_element(values_.begin(), values_.end());
+  }
+
+  /// Percentile via nearest-rank on a sorted copy; p in [0, 100].
+  double percentile(double p) const {
+    require(!values_.empty(), "percentile of empty sample set");
+    require(p >= 0.0 && p <= 100.0, "percentile out of range");
+    std::vector<double> sorted = values_;
+    std::sort(sorted.begin(), sorted.end());
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
+    return sorted[rank == 0 ? 0 : rank - 1];
+  }
+
+  double stddev() const {
+    require(values_.size() >= 2, "stddev needs >= 2 samples");
+    const double m = mean();
+    double acc = 0;
+    for (double v : values_) acc += (v - m) * (v - m);
+    return std::sqrt(acc / static_cast<double>(values_.size() - 1));
+  }
+
+ private:
+  std::vector<double> values_;
+};
+
+}  // namespace dpu

@@ -1,0 +1,37 @@
+// Fixed-width table printer used by the figure benches to emit rows that
+// mirror the paper's tables/series.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dpu {
+
+/// Column-aligned text table. Add a header once, then rows; `print` pads each
+/// column to its widest cell.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `precision` digits after the point.
+  static std::string num(double v, int precision = 2);
+
+  /// Renders with two-space gutters, a rule under the header.
+  void print(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Emits comma-separated values (header + rows) for downstream plotting.
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dpu

@@ -1,0 +1,52 @@
+// Time and size units used throughout the simulator.
+//
+// Simulated time is kept as an integer count of picoseconds so that event
+// ordering is exact and runs are bit-reproducible; all cost models compute
+// in double precision and round once when converting to SimTime.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace dpu {
+
+/// Simulated time, in picoseconds since simulation start.
+using SimTime = std::uint64_t;
+
+/// A span of simulated time, in picoseconds.
+using SimDuration = std::uint64_t;
+
+inline constexpr SimTime kTimeInfinity = std::numeric_limits<SimTime>::max();
+
+inline constexpr SimDuration operator""_ps(unsigned long long v) { return v; }
+inline constexpr SimDuration operator""_ns(unsigned long long v) { return v * 1000ull; }
+inline constexpr SimDuration operator""_us(unsigned long long v) { return v * 1000'000ull; }
+inline constexpr SimDuration operator""_ms(unsigned long long v) { return v * 1000'000'000ull; }
+inline constexpr SimDuration operator""_s(unsigned long long v) { return v * 1000'000'000'000ull; }
+
+/// Converts a duration expressed in double-precision nanoseconds to ps,
+/// rounding to nearest. Negative inputs clamp to zero.
+inline constexpr SimDuration from_ns(double ns) {
+  if (ns <= 0.0) return 0;
+  return static_cast<SimDuration>(ns * 1e3 + 0.5);
+}
+
+/// Converts a duration expressed in double-precision microseconds to ps.
+inline constexpr SimDuration from_us(double us) { return from_ns(us * 1e3); }
+
+/// Converts a duration expressed in double-precision seconds to ps.
+inline constexpr SimDuration from_sec(double s) { return from_ns(s * 1e9); }
+
+inline constexpr double to_ns(SimDuration d) { return static_cast<double>(d) * 1e-3; }
+inline constexpr double to_us(SimDuration d) { return static_cast<double>(d) * 1e-6; }
+inline constexpr double to_ms(SimDuration d) { return static_cast<double>(d) * 1e-9; }
+inline constexpr double to_sec(SimDuration d) { return static_cast<double>(d) * 1e-12; }
+
+inline constexpr std::size_t operator""_B(unsigned long long v) { return v; }
+inline constexpr std::size_t operator""_KiB(unsigned long long v) { return v * 1024ull; }
+inline constexpr std::size_t operator""_MiB(unsigned long long v) { return v * 1024ull * 1024ull; }
+inline constexpr std::size_t operator""_GiB(unsigned long long v) {
+  return v * 1024ull * 1024ull * 1024ull;
+}
+
+}  // namespace dpu

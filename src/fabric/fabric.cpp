@@ -1,0 +1,104 @@
+#include "fabric/fabric.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "sim/trace.h"
+
+namespace dpu::fabric {
+
+Fabric::Fabric(sim::Engine& eng, const machine::ClusterSpec& spec)
+    : eng_(eng),
+      cost_(spec.cost),
+      tx_(static_cast<std::size_t>(spec.nodes)),
+      rx_(static_cast<std::size_t>(spec.nodes)),
+      pcie_down_(static_cast<std::size_t>(spec.nodes)),
+      pcie_up_(static_cast<std::size_t>(spec.nodes)),
+      core_up_(static_cast<std::size_t>(spec.nodes / std::max(spec.cost.radix, 1) + 1)),
+      core_down_(static_cast<std::size_t>(spec.nodes / std::max(spec.cost.radix, 1) + 1)),
+      stats_(static_cast<std::size_t>(spec.nodes)) {}
+
+SimTime Fabric::transfer(int src_node, int dst_node, std::size_t bytes,
+                         std::function<void()> on_delivered, bool to_host) {
+  const SimTime now = eng_.now();
+
+  if (src_node == dst_node) {
+    // Host <-> local-DPU traffic: a full-duplex PCIe DMA lane pair per
+    // node, independent of the NIC ports.
+    auto& lane = (to_host ? pcie_up_ : pcie_down_)[static_cast<std::size_t>(src_node)];
+    const SimDuration ser = cost_.pcie_time(bytes);
+    const SimTime start = std::max(now, lane.free_at);
+    const SimTime end = start + ser + from_us(cost_.loopback_latency_us);
+    lane.free_at = start + ser;
+    auto& st = stats_[static_cast<std::size_t>(src_node)];
+    ++st.messages_tx;
+    st.bytes_tx += bytes;
+    if (auto* tr = eng_.trace()) {
+      tr->add("pcie:" + std::to_string(src_node), "xfer",
+              std::to_string(bytes) + "B " + (to_host ? "up" : "down"), start, end);
+    }
+    eng_.schedule_at(end, std::move(on_delivered));
+    return end;
+  }
+
+  auto& tx = tx_[static_cast<std::size_t>(src_node)];
+  auto& rx = rx_[static_cast<std::size_t>(dst_node)];
+  const SimDuration ser = cost_.wire_time(bytes);
+  const SimDuration lat = from_us(cost_.wire_latency_us);
+
+  SimTime tx_start = std::max(now, tx.free_at);
+  // Fat-tree core: traffic leaving a leaf switch shares the (possibly
+  // oversubscribed) uplinks; same-leaf traffic stays at the edge.
+  const int radix = std::max(cost_.radix, 1);
+  const int src_leaf = src_node / radix;
+  const int dst_leaf = dst_node / radix;
+  if (src_leaf != dst_leaf && cost_.oversubscription > 1.0) {
+    // Aggregate uplink rate per leaf = radix links / oversubscription; we
+    // approximate the shared pool with one serializing port at that rate.
+    const SimDuration core_ser = from_ns(static_cast<double>(bytes) /
+                                         (cost_.nic_bandwidth_GBps *
+                                          static_cast<double>(radix) /
+                                          cost_.oversubscription));
+    auto& up = core_up_[static_cast<std::size_t>(src_leaf)];
+    auto& down = core_down_[static_cast<std::size_t>(dst_leaf)];
+    const SimTime up_start = std::max(tx_start, up.free_at);
+    up.free_at = up_start + core_ser;
+    const SimTime down_start = std::max(up.free_at, down.free_at);
+    down.free_at = down_start + core_ser;
+    tx_start = std::max(tx_start, down.free_at - ser);
+  }
+  const SimTime tx_end = tx_start + ser;
+  tx.free_at = tx_end;
+
+  const SimTime arrive_first = tx_start + lat;
+  const SimTime rx_start = std::max(arrive_first, rx.free_at);
+  const SimTime rx_end = std::max(rx_start + ser, tx_end + lat);
+  rx.free_at = rx_end;
+
+  auto& s_tx = stats_[static_cast<std::size_t>(src_node)];
+  auto& s_rx = stats_[static_cast<std::size_t>(dst_node)];
+  ++s_tx.messages_tx;
+  s_tx.bytes_tx += bytes;
+  ++s_rx.messages_rx;
+  s_rx.bytes_rx += bytes;
+
+  if (auto* tr = eng_.trace()) {
+    tr->add("wire:" + std::to_string(src_node) + "->" + std::to_string(dst_node), "xfer",
+            std::to_string(bytes) + "B", tx_start, rx_end);
+  }
+  eng_.schedule_at(rx_end, std::move(on_delivered));
+  return rx_end;
+}
+
+sim::Task<void> Fabric::transfer_await(int src_node, int dst_node, std::size_t bytes) {
+  auto done = std::make_shared<sim::Event>(eng_);
+  transfer(src_node, dst_node, bytes, [done] { done->set(); });
+  co_await done->wait();
+}
+
+SimDuration Fabric::uncontended_time(int src_node, int dst_node, std::size_t bytes) const {
+  if (src_node == dst_node) return from_us(cost_.loopback_latency_us) + cost_.pcie_time(bytes);
+  return from_us(cost_.wire_latency_us) + cost_.wire_time(bytes);
+}
+
+}  // namespace dpu::fabric

@@ -1,0 +1,69 @@
+// Network fabric timing model.
+//
+// One NIC per node, shared by the host and the DPU (as on BlueField
+// systems). Each NIC has a TX and an RX port that serialize traffic at the
+// link rate; transfers are pipelined (cut-through), so an uncontended
+// message is delivered at  start + latency + bytes/bandwidth,  while
+// incast/outcast contention queues at the ports. Same-node transfers
+// (host <-> local DPU) ride a per-node PCIe DMA lane instead of the NIC
+// ports, as on real BlueField loopback. Per-message *initiation* cost is
+// charged by the caller on whichever core posts the operation (see
+// CostModel::post_overhead) — the fabric models only the wire.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "machine/spec.h"
+#include "sim/engine.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+
+namespace dpu::fabric {
+
+/// Aggregate transfer statistics (per node, for utilization reporting).
+struct NicStats {
+  std::uint64_t messages_tx = 0;
+  std::uint64_t bytes_tx = 0;
+  std::uint64_t messages_rx = 0;
+  std::uint64_t bytes_rx = 0;
+};
+
+class Fabric {
+ public:
+  Fabric(sim::Engine& eng, const machine::ClusterSpec& spec);
+
+  /// Schedules a wire transfer of `bytes` from `src_node`'s NIC to
+  /// `dst_node`'s NIC; `on_delivered` runs when the last byte lands.
+  /// For same-node (PCIe) transfers, `to_host` selects the DMA direction
+  /// (the lane pair is full duplex). Returns the delivery time.
+  SimTime transfer(int src_node, int dst_node, std::size_t bytes,
+                   std::function<void()> on_delivered, bool to_host = false);
+
+  /// Coroutine flavour: completes at delivery time.
+  sim::Task<void> transfer_await(int src_node, int dst_node, std::size_t bytes);
+
+  /// Latency-only estimate of an uncontended transfer (used by tests and
+  /// calibration, never by protocol logic).
+  SimDuration uncontended_time(int src_node, int dst_node, std::size_t bytes) const;
+
+  const NicStats& stats(int node) const { return stats_.at(static_cast<std::size_t>(node)); }
+
+ private:
+  struct Port {
+    SimTime free_at = 0;
+  };
+
+  sim::Engine& eng_;
+  machine::CostModel cost_;
+  std::vector<Port> tx_;
+  std::vector<Port> rx_;
+  std::vector<Port> core_up_;    // leaf -> core uplink (oversubscribable)
+  std::vector<Port> core_down_;  // core -> leaf downlink
+  std::vector<Port> pcie_down_;  // toward the DPU
+  std::vector<Port> pcie_up_;    // toward host memory
+  std::vector<NicStats> stats_;
+};
+
+}  // namespace dpu::fabric

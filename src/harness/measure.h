@@ -1,0 +1,51 @@
+// OMB-style measurement helpers for the figure benches.
+//
+// Overlap is computed the way OSU Micro-Benchmarks does for nonblocking
+// collectives: measure the pure communication time t_pure (post + wait,
+// no compute), then run post + compute(t_pure) + wait as t_overall;
+//   overlap% = max(0, 100 * (1 - (t_overall - t_compute) / t_pure)).
+#pragma once
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "common/check.h"
+#include "common/stats.h"
+#include "common/units.h"
+
+namespace dpu::harness {
+
+/// Collects one value per rank (e.g. per-rank iteration time) and reduces.
+class RankSeries {
+ public:
+  void record(int rank, double v) { values_[rank] = v; }
+
+  double max() const {
+    require(!values_.empty(), "no samples recorded");
+    double m = values_.begin()->second;
+    for (const auto& [_, v] : values_) m = std::max(m, v);
+    return m;
+  }
+
+  double mean() const {
+    require(!values_.empty(), "no samples recorded");
+    double s = 0;
+    for (const auto& [_, v] : values_) s += v;
+    return s / static_cast<double>(values_.size());
+  }
+
+  std::size_t count() const { return values_.size(); }
+
+ private:
+  std::map<int, double> values_;
+};
+
+/// OMB nonblocking-collective overlap formula.
+inline double overlap_pct(double overall_us, double compute_us, double pure_comm_us) {
+  require(pure_comm_us > 0, "pure communication time must be positive");
+  const double pct = 100.0 * (1.0 - (overall_us - compute_us) / pure_comm_us);
+  return std::clamp(pct, 0.0, 100.0);
+}
+
+}  // namespace dpu::harness

@@ -1,0 +1,80 @@
+#include "harness/world.h"
+
+#include <sstream>
+#include <utility>
+
+#include "common/check.h"
+
+namespace dpu::harness {
+
+World::World(machine::ClusterSpec spec, bool with_offload) : spec_(spec) {
+  fab_ = std::make_unique<fabric::Fabric>(eng_, spec_);
+  vrt_ = std::make_unique<verbs::Runtime>(eng_, spec_, *fab_);
+  mpi_ = std::make_unique<mpi::MpiWorld>(*vrt_);
+  if (with_offload) {
+    off_ = std::make_unique<offload::OffloadRuntime>(*vrt_);
+    off_->start();
+    blues_ = std::make_unique<baselines::BluesMpi>(*vrt_);
+    blues_->start();
+  }
+}
+
+sim::Task<void> World::invoke(RankProgram prog, Rank rank_ctx) {
+  co_await prog(rank_ctx);
+}
+
+void World::launch(int rank, RankProgram prog) {
+  require(spec_.is_host(rank), "launch target must be a host rank");
+  Rank ctx;
+  ctx.world = this;
+  ctx.rank = rank;
+  ctx.mpi = &mpi_->ctx(rank);
+  ctx.off = off_ ? &off_->endpoint(rank) : nullptr;
+  ctx.blues = blues_ ? &blues_->endpoint(rank) : nullptr;
+  ctx.vctx = &vrt_->ctx(rank);
+  launched_.push_back(eng_.spawn(invoke(std::move(prog), ctx), "rank" + std::to_string(rank)));
+}
+
+void World::launch_all(RankProgram prog) {
+  for (int r = 0; r < spec_.total_host_ranks(); ++r) launch(r, prog);
+}
+
+std::string World::stats_summary() const {
+  std::uint64_t wire_bytes = 0;
+  std::uint64_t wire_msgs = 0;
+  for (int n = 0; n < spec_.nodes; ++n) {
+    wire_bytes += fab_->stats(n).bytes_tx;
+    wire_msgs += fab_->stats(n).messages_tx;
+  }
+  std::uint64_t gvmi_hits = 0;
+  std::uint64_t gvmi_misses = 0;
+  std::uint64_t group_hits = 0;
+  std::uint64_t group_misses = 0;
+  if (off_) {
+    for (int r = 0; r < spec_.total_host_ranks(); ++r) {
+      auto& ep = const_cast<offload::OffloadRuntime&>(*off_).endpoint(r);
+      gvmi_hits += ep.gvmi_cache().stats().hits;
+      gvmi_misses += ep.gvmi_cache().stats().misses;
+      group_hits += ep.group_cache_hits();
+      group_misses += ep.group_cache_misses();
+    }
+  }
+  std::ostringstream os;
+  os << "fabric: " << wire_msgs << " messages, " << wire_bytes << " bytes; host GVMI cache "
+     << gvmi_hits << " hits / " << gvmi_misses << " misses; group cache " << group_hits
+     << " hits / " << group_misses << " misses; simulated time " << to_us(eng_.now())
+     << " us; events " << eng_.events_executed();
+  return os.str();
+}
+
+void World::run() {
+  (void)eng_.run();
+  std::string stuck;
+  for (const auto& h : launched_) {
+    h.rethrow();
+    if (!h.done()) stuck += (stuck.empty() ? "" : ", ") + h.name();
+  }
+  sim_expect(stuck.empty(), "rank programs deadlocked: " + stuck);
+}
+
+}  // namespace dpu::harness

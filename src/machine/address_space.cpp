@@ -1,0 +1,82 @@
+#include "machine/address_space.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace dpu::machine {
+
+Addr AddressSpace::alloc(std::size_t len, bool backed) {
+  require(len > 0, "zero-length allocation");
+  const Addr base = next_;
+  // Keep allocations page-aligned with a guard gap so adjacent buffers can
+  // never satisfy a contains() check that spans two buffers.
+  next_ += ((len + 4095) / 4096 + 1) * 4096;
+  Region r;
+  r.len = len;
+  r.backed = backed;
+  if (backed) r.data.assign(len, std::byte{0});
+  regions_.emplace(base, std::move(r));
+  return base;
+}
+
+void AddressSpace::release(Addr base) {
+  auto it = regions_.find(base);
+  require(it != regions_.end(), "release of unknown buffer");
+  regions_.erase(it);
+}
+
+const AddressSpace::Region& AddressSpace::region_at(Addr addr, std::size_t len,
+                                                    Addr* base_out) const {
+  require(len > 0, "zero-length access");
+  auto it = regions_.upper_bound(addr);
+  require(it != regions_.begin(), "access outside any buffer");
+  --it;
+  require(addr >= it->first && addr + len <= it->first + it->second.len,
+          "access crosses buffer bounds");
+  if (base_out) *base_out = it->first;
+  return it->second;
+}
+
+bool AddressSpace::contains(Addr addr, std::size_t len) const {
+  if (len == 0) return false;
+  auto it = regions_.upper_bound(addr);
+  if (it == regions_.begin()) return false;
+  --it;
+  return addr >= it->first && addr + len <= it->first + it->second.len;
+}
+
+bool AddressSpace::backed(Addr addr) const {
+  Addr base = 0;
+  return region_at(addr, 1, &base).backed;
+}
+
+void AddressSpace::write(Addr addr, std::span<const std::byte> bytes) {
+  if (bytes.empty()) return;
+  Addr base = 0;
+  const Region& r = region_at(addr, bytes.size(), &base);
+  if (!r.backed) return;
+  auto& data = const_cast<Region&>(r).data;
+  std::memcpy(data.data() + (addr - base), bytes.data(), bytes.size());
+}
+
+std::vector<std::byte> AddressSpace::read(Addr addr, std::size_t len) const {
+  Addr base = 0;
+  const Region& r = region_at(addr, len, &base);
+  if (!r.backed) return {};
+  std::vector<std::byte> out(len);
+  std::memcpy(out.data(), r.data.data() + (addr - base), len);
+  return out;
+}
+
+void AddressSpace::copy(const AddressSpace& src_space, Addr src, AddressSpace& dst_space,
+                        Addr dst, std::size_t len) {
+  Addr src_base = 0;
+  Addr dst_base = 0;
+  const Region& sr = src_space.region_at(src, len, &src_base);
+  const Region& dr = dst_space.region_at(dst, len, &dst_base);
+  if (!sr.backed || !dr.backed) return;
+  auto& dst_data = const_cast<Region&>(dr).data;
+  std::memcpy(dst_data.data() + (dst - dst_base), sr.data.data() + (src - src_base), len);
+}
+
+}  // namespace dpu::machine

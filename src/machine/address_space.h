@@ -1,0 +1,63 @@
+// Per-process simulated address space.
+//
+// Buffers are allocated at monotonically increasing virtual addresses and
+// may optionally be byte-backed: backed buffers carry real data through the
+// simulated RDMA paths so tests can verify end-to-end integrity, while
+// size-only buffers let 512-rank benchmark runs avoid gigabytes of host RAM.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "common/check.h"
+
+namespace dpu::machine {
+
+using Addr = std::uint64_t;
+
+class AddressSpace {
+ public:
+  /// Allocates `len` bytes; `backed` buffers get zero-initialized storage.
+  Addr alloc(std::size_t len, bool backed = true);
+
+  /// Releases a previously allocated buffer (must be a base address).
+  void release(Addr base);
+
+  /// True when [addr, addr+len) lies inside one allocated buffer.
+  bool contains(Addr addr, std::size_t len) const;
+
+  /// True when the buffer containing `addr` is byte-backed.
+  bool backed(Addr addr) const;
+
+  /// Writes bytes into a backed buffer; logic error outside any buffer,
+  /// silent no-op (timing-only) for unbacked buffers.
+  void write(Addr addr, std::span<const std::byte> bytes);
+
+  /// Reads bytes from a backed buffer; returns empty for unbacked buffers.
+  std::vector<std::byte> read(Addr addr, std::size_t len) const;
+
+  /// RDMA-style copy between address spaces; moves real bytes only when both
+  /// regions are backed.
+  static void copy(const AddressSpace& src_space, Addr src, AddressSpace& dst_space, Addr dst,
+                   std::size_t len);
+
+  std::size_t allocated_buffers() const { return regions_.size(); }
+
+ private:
+  struct Region {
+    std::size_t len = 0;
+    bool backed = false;
+    std::vector<std::byte> data;
+  };
+
+  /// Returns the region containing [addr, addr+len) or throws.
+  const Region& region_at(Addr addr, std::size_t len, Addr* base_out) const;
+
+  std::map<Addr, Region> regions_;  // keyed by base address
+  Addr next_ = 0x1000;
+};
+
+}  // namespace dpu::machine

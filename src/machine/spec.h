@@ -1,0 +1,155 @@
+// Cluster description and cost model.
+//
+// The model follows the paper's testbed: N nodes, each with a multi-core
+// host CPU, a BlueField-style DPU with slower ARM cores, and one HCA shared
+// by host and DPU. All costs are LogGP-flavoured and calibrated so the
+// paper's motivation figures (2-5) come out with the right shape:
+//   * host->host and host->DPU small-message latency nearly equal,
+//   * DPU-initiated message rate roughly half of host-initiated (slower
+//     cores => larger per-message overhead),
+//   * memory registration cost = base + per-page, larger on the DPU.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/check.h"
+#include "common/units.h"
+
+namespace dpu::machine {
+
+/// Which kind of core initiates an action; scales per-message overheads.
+enum class CoreKind { kHost, kDpu };
+
+/// All tunable costs, in microseconds / GB/s. Defaults reproduce the
+/// paper's figure shapes (see bench/fig02..fig05).
+struct CostModel {
+  // -- fabric ---------------------------------------------------------------
+  double wire_latency_us = 0.90;      ///< one-way switch+wire latency (inter-node)
+  double loopback_latency_us = 0.50;  ///< host <-> local-DPU via NIC loopback
+  double nic_bandwidth_GBps = 24.0;   ///< per-port serialization rate (HDR-ish)
+  /// Fat-tree core oversubscription: 1.0 = full bisection; k > 1 divides
+  /// the aggregate core bandwidth by k (edge ports stay full rate).
+  double oversubscription = 1.0;
+  int radix = 16;  ///< nodes per leaf switch (traffic within a leaf skips the core)
+  double host_post_us = 0.25;         ///< per-message post/inject overhead, host core
+  double dpu_post_factor = 2.1;       ///< DPU ARM core slowdown for per-message work
+
+  // -- memory / PCIe ---------------------------------------------------------
+  double memcpy_GBps = 18.0;        ///< host-core memcpy bandwidth (shm/eager copies)
+  double pcie_GBps = 22.0;          ///< host<->DPU DMA lane (staging/loopback data)
+  double staging_copy_GBps = 10.0;  ///< DPU DRAM copy bandwidth (staging designs)
+
+  // -- registration (Challenge 3 / fig 5) -------------------------------------
+  std::size_t page_bytes = 4096;
+  double host_reg_base_us = 1.6;       ///< ibv_reg_mr fixed cost on host
+  double host_reg_per_page_us = 0.045; ///< pinning cost per page on host
+  double dpu_reg_factor = 2.4;         ///< cross-registration runs on ARM cores
+  double gvmi_reg_extra_us = 0.8;      ///< extra fixed cost of GVMI-flavoured reg
+
+  // -- MPI-level costs --------------------------------------------------------
+  double shm_latency_us = 0.3;  ///< intra-node shared-memory hop (no NIC)
+  std::size_t eager_threshold = 16_KiB;
+  double mpi_call_us = 0.12;   ///< entering an MPI call / one progress poll
+  double match_us = 0.06;      ///< matching one envelope against a queue
+  double ctrl_msg_bytes = 64;  ///< on-wire size of RTS/CTS/RTR/FIN envelopes
+
+  // -- offload framework ------------------------------------------------------
+  double proxy_entry_us = 0.30;       ///< proxy-side handling of one group entry
+  double proxy_poll_us = 0.15;        ///< one proxy progress-loop iteration
+  double group_entry_bytes = 48.0;    ///< serialized size of one Group_op entry
+  double staging_setup_us = 150.0;    ///< BluesMPI first-touch per (buffer,size) setup
+
+  /// Per-message post overhead for the given core kind, in simulated time.
+  SimDuration post_overhead(CoreKind k) const {
+    const double us = k == CoreKind::kHost ? host_post_us : host_post_us * dpu_post_factor;
+    return from_us(us);
+  }
+
+  /// Serialization time of `bytes` on the NIC port.
+  SimDuration wire_time(std::size_t bytes) const {
+    return from_ns(static_cast<double>(bytes) / nic_bandwidth_GBps);
+  }
+
+  /// Serialization time of `bytes` on the host<->DPU PCIe lane.
+  SimDuration pcie_time(std::size_t bytes) const {
+    return from_ns(static_cast<double>(bytes) / pcie_GBps);
+  }
+
+  /// Host-core memcpy time for `bytes`.
+  SimDuration memcpy_time(std::size_t bytes) const {
+    return from_ns(static_cast<double>(bytes) / memcpy_GBps);
+  }
+
+  /// DPU staging-copy time for `bytes`.
+  SimDuration staging_copy_time(std::size_t bytes) const {
+    return from_ns(static_cast<double>(bytes) / staging_copy_GBps);
+  }
+
+  /// Standard (IB) registration cost for `bytes` on the given core.
+  SimDuration reg_time(std::size_t bytes, CoreKind k) const {
+    const auto pages = static_cast<double>((bytes + page_bytes - 1) / page_bytes);
+    double us = host_reg_base_us + pages * host_reg_per_page_us;
+    if (k == CoreKind::kDpu) us *= dpu_reg_factor;
+    return from_us(us);
+  }
+
+  /// GVMI-flavoured registration (host-side first registration or DPU-side
+  /// cross-registration) for `bytes`.
+  SimDuration gvmi_reg_time(std::size_t bytes, CoreKind k) const {
+    return reg_time(bytes, k) + from_us(k == CoreKind::kDpu ? gvmi_reg_extra_us * dpu_reg_factor
+                                                            : gvmi_reg_extra_us);
+  }
+};
+
+/// Static shape of the simulated cluster plus its cost model.
+struct ClusterSpec {
+  int nodes = 2;
+  int host_procs_per_node = 1;  ///< "PPN"
+  int proxies_per_dpu = 1;      ///< worker processes launched on each DPU
+  CostModel cost;
+
+  int total_host_ranks() const { return nodes * host_procs_per_node; }
+  int total_proxies() const { return nodes * proxies_per_dpu; }
+  int total_procs() const { return total_host_ranks() + total_proxies(); }
+
+  // ---- flat process-id scheme ----------------------------------------------
+  // Host ranks occupy [0, H); proxy processes occupy [H, H + P). Host ranks
+  // are laid out node-major (node = rank / PPN), matching typical block
+  // mapping on real clusters.
+
+  bool is_host(int proc) const { return proc >= 0 && proc < total_host_ranks(); }
+  bool is_proxy(int proc) const {
+    return proc >= total_host_ranks() && proc < total_procs();
+  }
+
+  int node_of(int proc) const {
+    require(proc >= 0 && proc < total_procs(), "proc id out of range");
+    if (is_host(proc)) return proc / host_procs_per_node;
+    return (proc - total_host_ranks()) / proxies_per_dpu;
+  }
+
+  CoreKind core_kind(int proc) const {
+    return is_host(proc) ? CoreKind::kHost : CoreKind::kDpu;
+  }
+
+  /// Proxy process id serving `host_rank`, per the paper's mapping
+  /// (proxy_local_rank = host_source_rank % num_proxies_per_dpu, on the
+  /// host's own node).
+  int proxy_for_host(int host_rank) const {
+    require(is_host(host_rank), "proxy_for_host expects a host rank");
+    const int node = node_of(host_rank);
+    const int local = host_rank % proxies_per_dpu;
+    return total_host_ranks() + node * proxies_per_dpu + local;
+  }
+
+  /// First host rank on `node` (host ranks on a node are contiguous).
+  int first_host_on_node(int node) const { return node * host_procs_per_node; }
+
+  /// Proxy id for (node, local proxy index).
+  int proxy_id(int node, int local) const {
+    return total_host_ranks() + node * proxies_per_dpu + local;
+  }
+};
+
+}  // namespace dpu::machine

@@ -1,0 +1,444 @@
+// minimpi collectives: schedules of point-to-point stages.
+//
+// Nonblocking collectives post their first stage at call time; later stages
+// only advance inside progress calls (models IntelMPI-style host-driven
+// NBC, whose overlap the paper's figures 13/14/17 quantify).
+#include <bit>
+#include <cstring>
+
+#include "common/check.h"
+#include "mpi/mpi.h"
+
+namespace dpu::mpi {
+
+namespace {
+
+/// Largest power of two <= n (n >= 1).
+int pof2_below(int n) { return 1 << (std::bit_width(static_cast<unsigned>(n)) - 1); }
+
+}  // namespace
+
+int MpiCtx::next_coll_context(const Communicator& comm) {
+  // Every member calls collectives on a communicator in the same order, so
+  // a per-communicator sequence number yields matching context ids without
+  // negotiation.
+  const int seq = comm_seq_[comm.context_id()]++;
+  return ((comm.context_id() + 1) << 16) + (seq & 0xFFFF);
+}
+
+sim::Task<void> MpiCtx::post_coll_stage(const Request& coll_req) {
+  auto& cs = *coll_req->coll;
+  require(!cs.stage_posted, "stage already posted");
+  if (cs.next_stage >= cs.stages.size()) {
+    coll_req->done = true;
+    co_return;
+  }
+  // NB: deliberately an if/else — `cond ? co_await a : co_await b` is
+  // miscompiled by GCC 12 (clobbered temporaries in the ternary's branches).
+  for (const auto& op : cs.stages[cs.next_stage]) {
+    Request r;
+    if (op.is_send) {
+      r = co_await isend(op.addr, op.len, op.peer_world, op.tag, cs.context);
+    } else {
+      r = co_await irecv(op.addr, op.len, op.peer_world, op.tag, cs.context);
+    }
+    cs.inflight.push_back(std::move(r));
+  }
+  cs.stage_posted = true;
+}
+
+sim::Task<bool> MpiCtx::advance_colls() {
+  bool moved = false;
+  for (auto it = active_colls_.begin(); it != active_colls_.end();) {
+    Request req = *it;
+    auto& cs = *req->coll;
+    if (!cs.stage_posted) {
+      co_await post_coll_stage(req);
+      moved = true;
+      ++it;
+      continue;
+    }
+    // Rotating cursor: scans resume at the first unfinished op, so repeated
+    // progress polls on a large stage stay O(1) amortized.
+    while (cs.check_cursor < cs.inflight.size() && cs.inflight[cs.check_cursor]->done) {
+      ++cs.check_cursor;
+    }
+    if (cs.check_cursor < cs.inflight.size()) {
+      ++it;
+      continue;
+    }
+    moved = true;
+    cs.inflight.clear();
+    cs.check_cursor = 0;
+    cs.stage_posted = false;
+    ++cs.next_stage;
+    if (cs.next_stage >= cs.stages.size()) {
+      req->done = true;
+      it = active_colls_.erase(it);
+    } else {
+      co_await post_coll_stage(req);
+      ++it;
+    }
+  }
+  co_return moved;
+}
+
+namespace {
+
+Request make_coll_request(std::uint64_t id, int context) {
+  auto req = std::make_shared<RequestState>();
+  req->kind = RequestState::Kind::kColl;
+  req->id = id;
+  req->coll = std::make_unique<CollState>();
+  req->coll->context = context;
+  return req;
+}
+
+}  // namespace
+
+sim::Task<Request> MpiCtx::ialltoall(machine::Addr sbuf, machine::Addr rbuf,
+                                     std::size_t bpr, const Communicator& comm) {
+  const int me = comm.rank_of_world(rank_);
+  sim_expect(me >= 0, "caller not in communicator");
+  const int p = comm.size();
+  auto req = make_coll_request(next_req_++, next_coll_context(comm));
+  auto& cs = *req->coll;
+
+  // Local block: straight memcpy.
+  co_await world_.engine().sleep(world_.spec().cost.memcpy_time(bpr));
+  machine::AddressSpace::copy(vctx().mem(), sbuf + static_cast<machine::Addr>(me) * bpr,
+                              vctx().mem(), rbuf + static_cast<machine::Addr>(me) * bpr, bpr);
+
+  if (p > 1) {
+    // Scatter-destination: one stage, all pairs posted up front.
+    std::vector<CollOp> stage;
+    stage.reserve(static_cast<std::size_t>(2 * (p - 1)));
+    for (int i = 1; i < p; ++i) {
+      const int dst = (me + i) % p;
+      const int src = (me - i + p) % p;
+      stage.push_back(CollOp{true, comm.world_rank(dst),
+                             sbuf + static_cast<machine::Addr>(dst) * bpr, bpr, 0});
+      stage.push_back(CollOp{false, comm.world_rank(src),
+                             rbuf + static_cast<machine::Addr>(src) * bpr, bpr, 0});
+    }
+    cs.stages.push_back(std::move(stage));
+  }
+
+  if (cs.stages.empty()) {
+    req->done = true;
+  } else {
+    co_await post_coll_stage(req);
+    active_colls_.push_back(req);
+  }
+  co_return req;
+}
+
+sim::Task<void> MpiCtx::alltoall(machine::Addr sbuf, machine::Addr rbuf, std::size_t bpr,
+                                 const Communicator& comm) {
+  auto r = co_await ialltoall(sbuf, rbuf, bpr, comm);
+  co_await wait(r);
+}
+
+sim::Task<Request> MpiCtx::ibcast(machine::Addr buf, std::size_t len, int root,
+                                  const Communicator& comm) {
+  const int me = comm.rank_of_world(rank_);
+  sim_expect(me >= 0, "caller not in communicator");
+  const int p = comm.size();
+  const int vrank = (me - root + p) % p;
+  auto req = make_coll_request(next_req_++, next_coll_context(comm));
+  auto& cs = *req->coll;
+
+  // Binomial tree (MPICH-style): receive from the parent determined by the
+  // lowest set bit, then forward to children on descending masks.
+  int mask = 1;
+  int parent = -1;
+  while (mask < p) {
+    if (vrank & mask) {
+      parent = vrank - mask;
+      break;
+    }
+    mask <<= 1;
+  }
+  if (parent >= 0) {
+    cs.stages.push_back(
+        {CollOp{false, comm.world_rank((parent + root) % p), buf, len, 0}});
+  } else {
+    mask = pof2_below(p) << 1;  // root: start from the top mask
+  }
+  std::vector<CollOp> sends;
+  mask >>= 1;
+  while (mask > 0) {
+    if (vrank + mask < p) {
+      sends.push_back(CollOp{true, comm.world_rank((vrank + mask + root) % p), buf, len, 0});
+    }
+    mask >>= 1;
+  }
+  if (!sends.empty()) cs.stages.push_back(std::move(sends));
+
+  if (cs.stages.empty()) {
+    req->done = true;
+  } else {
+    co_await post_coll_stage(req);
+    active_colls_.push_back(req);
+  }
+  co_return req;
+}
+
+sim::Task<Request> MpiCtx::ibcast_ring(machine::Addr buf, std::size_t len, int root,
+                                       const Communicator& comm) {
+  const int me = comm.rank_of_world(rank_);
+  sim_expect(me >= 0, "caller not in communicator");
+  const int p = comm.size();
+  const int vrank = (me - root + p) % p;
+  auto req = make_coll_request(next_req_++, next_coll_context(comm));
+  auto& cs = *req->coll;
+
+  const int right = comm.world_rank((me + 1) % p);
+  const int left = comm.world_rank((me - 1 + p) % p);
+  if (vrank > 0) cs.stages.push_back({CollOp{false, left, buf, len, 0}});
+  if (p > 1 && vrank < p - 1) cs.stages.push_back({CollOp{true, right, buf, len, 0}});
+
+  if (cs.stages.empty()) {
+    req->done = true;
+  } else {
+    co_await post_coll_stage(req);
+    active_colls_.push_back(req);
+  }
+  co_return req;
+}
+
+sim::Task<void> MpiCtx::bcast(machine::Addr buf, std::size_t len, int root,
+                              const Communicator& comm) {
+  auto r = co_await ibcast(buf, len, root, comm);
+  co_await wait(r);
+}
+
+sim::Task<Request> MpiCtx::iallgather(machine::Addr sbuf, machine::Addr rbuf,
+                                      std::size_t bpb, const Communicator& comm) {
+  const int me = comm.rank_of_world(rank_);
+  sim_expect(me >= 0, "caller not in communicator");
+  const int p = comm.size();
+  auto req = make_coll_request(next_req_++, next_coll_context(comm));
+  auto& cs = *req->coll;
+
+  // Own block into place.
+  co_await world_.engine().sleep(world_.spec().cost.memcpy_time(bpb));
+  machine::AddressSpace::copy(vctx().mem(), sbuf, vctx().mem(),
+                              rbuf + static_cast<machine::Addr>(me) * bpb, bpb);
+
+  // Ring: stage s forwards the block received in stage s-1.
+  const int right = comm.world_rank((me + 1) % p);
+  const int left = comm.world_rank((me - 1 + p) % p);
+  for (int s = 0; s < p - 1; ++s) {
+    const int send_block = (me - s + p) % p;
+    const int recv_block = (me - s - 1 + p) % p;
+    cs.stages.push_back(
+        {CollOp{true, right, rbuf + static_cast<machine::Addr>(send_block) * bpb, bpb, s},
+         CollOp{false, left, rbuf + static_cast<machine::Addr>(recv_block) * bpb, bpb, s}});
+  }
+
+  if (cs.stages.empty()) {
+    req->done = true;
+  } else {
+    co_await post_coll_stage(req);
+    active_colls_.push_back(req);
+  }
+  co_return req;
+}
+
+sim::Task<void> MpiCtx::barrier(const Communicator& comm) {
+  const int me = comm.rank_of_world(rank_);
+  sim_expect(me >= 0, "caller not in communicator");
+  const int p = comm.size();
+  if (p == 1) co_return;
+  auto req = make_coll_request(next_req_++, next_coll_context(comm));
+  auto& cs = *req->coll;
+
+  // Dissemination barrier over 1-byte tokens. The token buffers live for
+  // the call's duration.
+  const auto token = vctx().mem().alloc(8, /*backed=*/false);
+  const auto sink = vctx().mem().alloc(8, /*backed=*/false);
+  for (int k = 1, s = 0; k < p; k <<= 1, ++s) {
+    const int to = comm.world_rank((me + k) % p);
+    const int from = comm.world_rank((me - k + p) % p);
+    cs.stages.push_back(
+        {CollOp{true, to, token, 8, s}, CollOp{false, from, sink, 8, s}});
+  }
+  co_await post_coll_stage(req);
+  active_colls_.push_back(req);
+  co_await wait(req);
+  vctx().mem().release(token);
+  vctx().mem().release(sink);
+}
+
+sim::Task<void> MpiCtx::allreduce_sum(machine::Addr sbuf, machine::Addr rbuf,
+                                      std::size_t count, const Communicator& comm) {
+  const int me = comm.rank_of_world(rank_);
+  sim_expect(me >= 0, "caller not in communicator");
+  const int p = comm.size();
+  const std::size_t bytes = count * sizeof(double);
+  const auto& cost = world_.spec().cost;
+  auto& eng = world_.engine();
+
+  auto local_sum = [&](machine::Addr acc, machine::Addr other) -> sim::Task<void> {
+    co_await eng.sleep(cost.memcpy_time(bytes));  // streaming add ~ copy cost
+    if (vctx().mem().backed(acc) && vctx().mem().backed(other)) {
+      auto a = vctx().mem().read(acc, bytes);
+      auto b = vctx().mem().read(other, bytes);
+      for (std::size_t i = 0; i < count; ++i) {
+        double x;
+        double y;
+        std::memcpy(&x, a.data() + i * sizeof(double), sizeof(double));
+        std::memcpy(&y, b.data() + i * sizeof(double), sizeof(double));
+        x += y;
+        std::memcpy(a.data() + i * sizeof(double), &x, sizeof(double));
+      }
+      vctx().mem().write(acc, a);
+    }
+  };
+
+  // rbuf <- sbuf
+  co_await eng.sleep(cost.memcpy_time(bytes));
+  machine::AddressSpace::copy(vctx().mem(), sbuf, vctx().mem(), rbuf, bytes);
+  if (p == 1) co_return;
+
+  const auto tmp = vctx().mem().alloc(bytes, vctx().mem().backed(rbuf));
+  const int ctx_id = next_coll_context(comm);
+  const int pof2 = pof2_below(p);
+  const int rem = p - pof2;
+  int newrank;
+
+  auto sendrecv = [&](int peer_world, int tag) -> sim::Task<void> {
+    Request rs = co_await isend(rbuf, bytes, peer_world, tag, ctx_id);
+    Request rr = co_await irecv(tmp, bytes, peer_world, tag, ctx_id);
+    co_await wait(rs);
+    co_await wait(rr);
+  };
+
+  // Fold the surplus ranks into a power-of-two set (MPICH recursive
+  // doubling pre-phase).
+  if (me < 2 * rem) {
+    if (me % 2 != 0) {
+      co_await send(rbuf, bytes, comm.world_rank(me - 1), 0x7A);
+      newrank = -1;
+    } else {
+      co_await recv(tmp, bytes, comm.world_rank(me + 1), 0x7A);
+      co_await local_sum(rbuf, tmp);
+      newrank = me / 2;
+    }
+  } else {
+    newrank = me - rem;
+  }
+
+  if (newrank >= 0) {
+    for (int mask = 1; mask < pof2; mask <<= 1) {
+      const int partner_new = newrank ^ mask;
+      const int partner = partner_new < rem ? partner_new * 2 : partner_new + rem;
+      co_await sendrecv(comm.world_rank(partner), 0x7B + mask);
+      co_await local_sum(rbuf, tmp);
+    }
+  }
+
+  // Post-phase: hand results back to the folded ranks.
+  if (me < 2 * rem) {
+    if (me % 2 != 0) {
+      co_await recv(rbuf, bytes, comm.world_rank(me - 1), 0x7C);
+    } else {
+      co_await send(rbuf, bytes, comm.world_rank(me + 1), 0x7C);
+    }
+  }
+  vctx().mem().release(tmp);
+}
+
+sim::Task<void> MpiCtx::gather(machine::Addr sbuf, machine::Addr rbuf, std::size_t block,
+                               int root, const Communicator& comm) {
+  const int me = comm.rank_of_world(rank_);
+  sim_expect(me >= 0, "caller not in communicator");
+  const int p = comm.size();
+  const int ctx = next_coll_context(comm);
+  if (me == root) {
+    std::vector<Request> reqs;
+    for (int s = 0; s < p; ++s) {
+      if (s == me) {
+        co_await world_.engine().sleep(world_.spec().cost.memcpy_time(block));
+        machine::AddressSpace::copy(vctx().mem(), sbuf, vctx().mem(),
+                                    rbuf + static_cast<machine::Addr>(s) * block, block);
+        continue;
+      }
+      reqs.push_back(co_await irecv(rbuf + static_cast<machine::Addr>(s) * block, block,
+                                    comm.world_rank(s), s, ctx));
+    }
+    co_await waitall(reqs);
+  } else {
+    auto r = co_await isend(sbuf, block, comm.world_rank(root), me, ctx);
+    co_await wait(r);
+  }
+}
+
+sim::Task<void> MpiCtx::scatter(machine::Addr sbuf, machine::Addr rbuf, std::size_t block,
+                                int root, const Communicator& comm) {
+  const int me = comm.rank_of_world(rank_);
+  sim_expect(me >= 0, "caller not in communicator");
+  const int p = comm.size();
+  const int ctx = next_coll_context(comm);
+  if (me == root) {
+    std::vector<Request> reqs;
+    for (int d = 0; d < p; ++d) {
+      if (d == me) {
+        co_await world_.engine().sleep(world_.spec().cost.memcpy_time(block));
+        machine::AddressSpace::copy(vctx().mem(),
+                                    sbuf + static_cast<machine::Addr>(d) * block,
+                                    vctx().mem(), rbuf, block);
+        continue;
+      }
+      reqs.push_back(co_await isend(sbuf + static_cast<machine::Addr>(d) * block, block,
+                                    comm.world_rank(d), d, ctx));
+    }
+    co_await waitall(reqs);
+  } else {
+    auto r = co_await irecv(rbuf, block, comm.world_rank(root), me, ctx);
+    co_await wait(r);
+  }
+}
+
+sim::Task<void> MpiCtx::reduce_sum(machine::Addr sbuf, machine::Addr rbuf, std::size_t count,
+                                   int root, const Communicator& comm) {
+  const int me = comm.rank_of_world(rank_);
+  sim_expect(me >= 0, "caller not in communicator");
+  const int p = comm.size();
+  const std::size_t bytes = count * sizeof(double);
+  if (me == root) {
+    const bool backed = vctx().mem().backed(rbuf);
+    const auto tmp = vctx().mem().alloc(bytes * static_cast<std::size_t>(p), backed);
+    co_await gather(sbuf, tmp, bytes, root, comm);
+    co_await world_.engine().sleep(
+        world_.spec().cost.memcpy_time(bytes * static_cast<std::size_t>(p)));
+    if (backed) {
+      std::vector<double> acc(count, 0.0);
+      for (int s = 0; s < p; ++s) {
+        auto raw = vctx().mem().read(tmp + static_cast<machine::Addr>(s) * bytes, bytes);
+        for (std::size_t i = 0; i < count; ++i) {
+          double v;
+          std::memcpy(&v, raw.data() + i * sizeof(double), sizeof(double));
+          acc[i] += v;
+        }
+      }
+      std::vector<std::byte> out(bytes);
+      std::memcpy(out.data(), acc.data(), bytes);
+      vctx().mem().write(rbuf, out);
+    }
+    vctx().mem().release(tmp);
+  } else {
+    co_await gather(sbuf, 0, bytes, root, comm);
+  }
+}
+
+sim::Task<void> MpiCtx::sendrecv(machine::Addr sbuf, std::size_t slen, int dst, int stag,
+                                 machine::Addr rbuf, std::size_t rlen, int src, int rtag) {
+  auto rs = co_await isend(sbuf, slen, dst, stag);
+  auto rr = co_await irecv(rbuf, rlen, src, rtag);
+  co_await wait(rr);
+  co_await wait(rs);
+}
+
+}  // namespace dpu::mpi

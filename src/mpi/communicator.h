@@ -1,0 +1,48 @@
+// Communicators for minimpi.
+//
+// A Communicator is an ordered group of world ranks plus a context id that
+// isolates its message matching (envelopes carry the context id). Split/dup
+// mirror MPI_Comm_split / MPI_Comm_dup.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/check.h"
+
+namespace dpu::mpi {
+
+class Communicator {
+ public:
+  Communicator(int context_id, std::vector<int> world_ranks)
+      : context_id_(context_id), ranks_(std::move(world_ranks)) {
+    require(!ranks_.empty(), "empty communicator");
+  }
+
+  int context_id() const { return context_id_; }
+  int size() const { return static_cast<int>(ranks_.size()); }
+
+  /// World rank of communicator-rank `r`.
+  int world_rank(int r) const {
+    require(r >= 0 && r < size(), "communicator rank out of range");
+    return ranks_[static_cast<std::size_t>(r)];
+  }
+
+  /// Communicator rank of a world rank, or -1 when not a member.
+  int rank_of_world(int world) const {
+    for (int i = 0; i < size(); ++i) {
+      if (ranks_[static_cast<std::size_t>(i)] == world) return i;
+    }
+    return -1;
+  }
+
+  const std::vector<int>& ranks() const { return ranks_; }
+
+ private:
+  int context_id_;
+  std::vector<int> ranks_;
+};
+
+using CommPtr = std::shared_ptr<const Communicator>;
+
+}  // namespace dpu::mpi

@@ -1,0 +1,52 @@
+// Standard (IB) registration cache.
+//
+// Production MPI libraries amortize ibv_reg_mr cost with a cache keyed by
+// (address, length); this is the cache the paper's §II-C contrasts with the
+// dual host/DPU GVMI cache (implemented in src/offload/gvmi_cache.h).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+
+#include "sim/task.h"
+#include "verbs/verbs.h"
+
+namespace dpu::mpi {
+
+class RegCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+  };
+
+  /// Returns the cached registration for (addr,len), registering on miss
+  /// (charges the owning core's registration cost only then).
+  sim::Task<verbs::MrInfo> get(verbs::ProcCtx& ctx, machine::Addr addr, std::size_t len) {
+    auto it = entries_.find({addr, len});
+    if (it != entries_.end()) {
+      ++stats_.hits;
+      co_return it->second;
+    }
+    ++stats_.misses;
+    auto mr = co_await ctx.reg_mr(addr, len);
+    entries_.emplace(std::make_pair(addr, len), mr);
+    co_return mr;
+  }
+
+  /// Drops an entry (e.g. buffer freed); deregistration cost is the
+  /// caller's to charge via dereg_mr if it wants fidelity.
+  bool evict(machine::Addr addr, std::size_t len) {
+    return entries_.erase({addr, len}) > 0;
+  }
+
+  const Stats& stats() const { return stats_; }
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::map<std::pair<machine::Addr, std::size_t>, verbs::MrInfo> entries_;
+  Stats stats_;
+};
+
+}  // namespace dpu::mpi

@@ -1,0 +1,191 @@
+#include "offload/coll.h"
+
+#include "common/check.h"
+#include "machine/address_space.h"
+
+namespace dpu::offload {
+
+sim::Task<GroupAlltoall::Handle> GroupAlltoall::icall(machine::Addr sbuf, machine::Addr rbuf,
+                                                      std::size_t bpr, mpi::CommPtr comm) {
+  const int me = comm->rank_of_world(ep_.rank());
+  sim_expect(me >= 0, "caller not in communicator");
+  const int n = comm->size();
+  const auto& spec = ep_.runtime().spec();
+  const int my_node = spec.node_of(ep_.rank());
+
+  // Local block: plain memcpy (as in minimpi's alltoall).
+  auto& mem = ep_.vctx().mem();
+  co_await ep_.runtime().engine().sleep(spec.cost.memcpy_time(bpr));
+  machine::AddressSpace::copy(mem, sbuf + static_cast<machine::Addr>(me) * bpr, mem,
+                              rbuf + static_cast<machine::Addr>(me) * bpr, bpr);
+
+  Handle h;
+  // Intra-node peers: shared-memory MPI (posted every call).
+  for (int i = 1; i < n; ++i) {
+    const int dst = (me + i) % n;
+    const int src = (me - i + n) % n;
+    const int dst_w = comm->world_rank(dst);
+    const int src_w = comm->world_rank(src);
+    if (spec.node_of(dst_w) == my_node) {
+      h.local.push_back(co_await mpi_.isend(sbuf + static_cast<machine::Addr>(dst) * bpr,
+                                            bpr, dst_w, comm->context_id()));
+    }
+    if (spec.node_of(src_w) == my_node) {
+      h.local.push_back(co_await mpi_.irecv(rbuf + static_cast<machine::Addr>(src) * bpr,
+                                            bpr, src_w, comm->context_id()));
+    }
+  }
+
+  // Inter-node peers: recorded once, replayed through the group caches.
+  const Key key{sbuf, rbuf, bpr, comm->context_id()};
+  auto it = recorded_.find(key);
+  if (it == recorded_.end()) {
+    auto req = ep_.group_start();
+    bool any = false;
+    for (int i = 1; i < n; ++i) {
+      const int dst = (me + i) % n;
+      const int src = (me - i + n) % n;
+      const int dst_w = comm->world_rank(dst);
+      const int src_w = comm->world_rank(src);
+      if (spec.node_of(dst_w) != my_node) {
+        ep_.group_send(req, sbuf + static_cast<machine::Addr>(dst) * bpr, bpr, dst_w,
+                       comm->context_id());
+        any = true;
+      }
+      if (spec.node_of(src_w) != my_node) {
+        ep_.group_recv(req, rbuf + static_cast<machine::Addr>(src) * bpr, bpr, src_w,
+                       comm->context_id());
+        any = true;
+      }
+    }
+    ep_.group_end(req);
+    if (!any) req = nullptr;
+    it = recorded_.emplace(key, std::move(req)).first;
+  }
+  if (it->second) {
+    co_await ep_.group_call(it->second);
+    h.greq = it->second;
+  }
+  co_return h;
+}
+
+sim::Task<void> GroupAlltoall::wait(Handle& h) {
+  if (h.greq) co_await ep_.group_wait(h.greq);
+  co_await mpi_.waitall(h.local);
+  h.local.clear();
+}
+
+sim::Task<GroupReqPtr> GroupRingBcast::icall(machine::Addr buf, std::size_t len, int root,
+                                             mpi::CommPtr comm) {
+  const int me = comm->rank_of_world(ep_.rank());
+  sim_expect(me >= 0, "caller not in communicator");
+  const int n = comm->size();
+  sim_expect(n > 1, "ring broadcast needs at least two ranks");
+  const int vrank = (me - root + n) % n;
+  const int left = comm->world_rank((me - 1 + n) % n);
+  const int right = comm->world_rank((me + 1) % n);
+
+  const Key key{buf, len, root, comm->context_id()};
+  auto it = recorded_.find(key);
+  if (it == recorded_.end()) {
+    auto req = ep_.group_start();
+    if (vrank == 0) {
+      ep_.group_send(req, buf, len, right, comm->context_id());
+    } else {
+      ep_.group_recv(req, buf, len, left, comm->context_id());
+      if (vrank != n - 1) {
+        ep_.group_barrier(req);
+        ep_.group_send(req, buf, len, right, comm->context_id());
+      }
+    }
+    ep_.group_end(req);
+    it = recorded_.emplace(key, std::move(req)).first;
+  }
+  co_await ep_.group_call(it->second);
+  co_return it->second;
+}
+
+sim::Task<GroupReqPtr> GroupAllgather::icall(machine::Addr sbuf, machine::Addr rbuf,
+                                             std::size_t block, mpi::CommPtr comm) {
+  const int me = comm->rank_of_world(ep_.rank());
+  sim_expect(me >= 0, "caller not in communicator");
+  const int n = comm->size();
+  sim_expect(n > 1, "allgather needs at least two ranks");
+
+  // Own block into place (local copy, as minimpi does).
+  auto& mem = ep_.vctx().mem();
+  co_await ep_.runtime().engine().sleep(ep_.runtime().spec().cost.memcpy_time(block));
+  machine::AddressSpace::copy(mem, sbuf, mem,
+                              rbuf + static_cast<machine::Addr>(me) * block, block);
+
+  const Key key{sbuf, rbuf, block, comm->context_id()};
+  auto it = recorded_.find(key);
+  if (it == recorded_.end()) {
+    const int right = comm->world_rank((me + 1) % n);
+    const int left = comm->world_rank((me - 1 + n) % n);
+    auto req = ep_.group_start();
+    // Stage s: send block (me-s) to the right, receive block (me-s-1) from
+    // the left; a local barrier orders stage s+1's send after stage s's
+    // receive (we forward what just arrived).
+    for (int s = 0; s < n - 1; ++s) {
+      const int send_block = (me - s + n) % n;
+      const int recv_block = (me - s - 1 + n) % n;
+      ep_.group_send(req, rbuf + static_cast<machine::Addr>(send_block) * block, block,
+                     right, s);
+      ep_.group_recv(req, rbuf + static_cast<machine::Addr>(recv_block) * block, block,
+                     left, s);
+      if (s != n - 2) ep_.group_barrier(req);
+    }
+    ep_.group_end(req);
+    it = recorded_.emplace(key, std::move(req)).first;
+  }
+  co_await ep_.group_call(it->second);
+  co_return it->second;
+}
+
+sim::Task<GroupReqPtr> GroupBcastBinomial::icall(machine::Addr buf, std::size_t len,
+                                                 int root, mpi::CommPtr comm) {
+  const int me = comm->rank_of_world(ep_.rank());
+  sim_expect(me >= 0, "caller not in communicator");
+  const int n = comm->size();
+  sim_expect(n > 1, "broadcast needs at least two ranks");
+  const int vrank = (me - root + n) % n;
+
+  const Key key{buf, len, root, comm->context_id()};
+  auto it = recorded_.find(key);
+  if (it == recorded_.end()) {
+    auto req = ep_.group_start();
+    // Parent: lowest set bit of vrank.
+    int mask = 1;
+    int parent = -1;
+    while (mask < n) {
+      if (vrank & mask) {
+        parent = vrank - mask;
+        break;
+      }
+      mask <<= 1;
+    }
+    if (parent >= 0) {
+      ep_.group_recv(req, buf, len, comm->world_rank((parent + root) % n),
+                     comm->context_id());
+    } else {
+      mask = 1;
+      while (mask < n) mask <<= 1;
+    }
+    bool sent_any = false;
+    for (mask >>= 1; mask > 0; mask >>= 1) {
+      if (vrank + mask < n && (parent < 0 || mask < (vrank & -vrank))) {
+        if (parent >= 0 && !sent_any) ep_.group_barrier(req);  // forward after arrival
+        ep_.group_send(req, buf, len, comm->world_rank((vrank + mask + root) % n),
+                       comm->context_id());
+        sent_any = true;
+      }
+    }
+    ep_.group_end(req);
+    it = recorded_.emplace(key, std::move(req)).first;
+  }
+  co_await ep_.group_call(it->second);
+  co_return it->second;
+}
+
+}  // namespace dpu::offload

@@ -1,0 +1,119 @@
+// Dual registration caches for cross-GVMI transfers (paper §VII-B).
+//
+// Standard registration caches only track local buffers, which is why they
+// cannot serve cross-GVMI (Challenge 3): registration happens on BOTH the
+// host (first registration -> mkey) and the DPU (cross-registration ->
+// mkey2), and the DPU-side entry depends on parameters produced by the
+// host-side one. The paper's fix, reproduced here, is an array of binary
+// search trees on each side:
+//   * first level: array indexed by the remote rank (finitely many ranks in
+//     a communicator),
+//   * second level: BST keyed by (address, length).
+// Correctness of the (addr,len,rank) key: the mkey is a function of
+// (addr, len, GVMI-ID) and GVMI-ID is a function of the remote rank, so a
+// given key can never alias two live registrations.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "sim/task.h"
+#include "verbs/verbs.h"
+
+namespace dpu::offload {
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+};
+
+/// Host-side GVMI cache: (remote proxy rank) -> BST over (addr,len) ->
+/// GvmiMrInfo (the mkey of the first registration).
+class HostGvmiCache {
+ public:
+  explicit HostGvmiCache(int total_procs)
+      : trees_(static_cast<std::size_t>(total_procs)) {}
+
+  /// Cached first-registration of [addr,len) against `gvmi` (owned by
+  /// `proxy_rank`); registers through `host` on miss.
+  sim::Task<verbs::GvmiMrInfo> get(verbs::ProcCtx& host, int proxy_rank, verbs::GvmiId gvmi,
+                                   machine::Addr addr, std::size_t len) {
+    auto& tree = trees_.at(static_cast<std::size_t>(proxy_rank));
+    auto it = tree.find({addr, len});
+    if (it != tree.end()) {
+      ++stats_.hits;
+      co_return it->second;
+    }
+    ++stats_.misses;
+    auto info = co_await host.reg_mr_gvmi(addr, len, gvmi);
+    tree.emplace(std::make_pair(addr, len), info);
+    co_return info;
+  }
+
+  bool evict(int proxy_rank, machine::Addr addr, std::size_t len) {
+    return trees_.at(static_cast<std::size_t>(proxy_rank)).erase({addr, len}) > 0;
+  }
+
+  const CacheStats& stats() const { return stats_; }
+  std::size_t entries() const {
+    std::size_t n = 0;
+    for (const auto& t : trees_) n += t.size();
+    return n;
+  }
+
+ private:
+  using Key = std::pair<machine::Addr, std::size_t>;
+  std::vector<std::map<Key, verbs::GvmiMrInfo>> trees_;
+  CacheStats stats_;
+};
+
+/// DPU-side GVMI cache: (host source rank) -> BST over (addr,len) -> mkey2.
+/// The extra inputs of the cross-registration (mkey, GVMI-ID) need not be
+/// part of the key — they are functions of (rank, addr, len); see header
+/// comment.
+class DpuGvmiCache {
+ public:
+  explicit DpuGvmiCache(int total_procs)
+      : trees_(static_cast<std::size_t>(total_procs)) {}
+
+  struct Entry {
+    verbs::MKey mkey2 = 0;
+    verbs::GvmiMrInfo host_info;
+  };
+
+  sim::Task<Entry> get(verbs::ProcCtx& dpu, int host_rank, const verbs::GvmiMrInfo& info) {
+    auto& tree = trees_.at(static_cast<std::size_t>(host_rank));
+    auto it = tree.find({info.addr, info.len});
+    if (it != tree.end()) {
+      ++stats_.hits;
+      co_return it->second;
+    }
+    ++stats_.misses;
+    Entry e;
+    e.mkey2 = co_await dpu.cross_register(info);
+    e.host_info = info;
+    tree.emplace(std::make_pair(info.addr, info.len), e);
+    co_return e;
+  }
+
+  bool evict(int host_rank, machine::Addr addr, std::size_t len) {
+    return trees_.at(static_cast<std::size_t>(host_rank)).erase({addr, len}) > 0;
+  }
+
+  const CacheStats& stats() const { return stats_; }
+  std::size_t entries() const {
+    std::size_t n = 0;
+    for (const auto& t : trees_) n += t.size();
+    return n;
+  }
+
+ private:
+  using Key = std::pair<machine::Addr, std::size_t>;
+  std::vector<std::map<Key, Entry>> trees_;
+  CacheStats stats_;
+};
+
+}  // namespace dpu::offload

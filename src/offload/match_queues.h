@@ -1,0 +1,66 @@
+// Proxy-side matching queues for basic primitives (paper fig. 8).
+//
+// A proxy keeps, per destination rank (the "request queue headers ordered
+// by the destination rank number"), a queue of unmatched RTS and a queue of
+// unmatched RTR envelopes. An arriving RTS searches the RTR queue for its
+// (src, dst, tag); on a miss it is appended to the send queue, on a hit the
+// pair moves to the combined queue (owned by the Proxy).
+#pragma once
+
+#include <deque>
+#include <map>
+#include <optional>
+
+#include "offload/protocol.h"
+
+namespace dpu::offload {
+
+class MatchQueues {
+ public:
+  /// Tries to pair an arriving RTS with a queued RTR; queues the RTS
+  /// otherwise.
+  std::optional<RtrProxyMsg> on_rts(const RtsProxyMsg& rts) {
+    auto& q = recvq_[rts.dst_rank];
+    for (auto it = q.begin(); it != q.end(); ++it) {
+      if (it->src_rank == rts.src_rank && it->tag == rts.tag) {
+        RtrProxyMsg m = std::move(*it);
+        q.erase(it);
+        return m;
+      }
+    }
+    sendq_[rts.dst_rank].push_back(rts);
+    return std::nullopt;
+  }
+
+  /// Tries to pair an arriving RTR with a queued RTS; queues the RTR
+  /// otherwise.
+  std::optional<RtsProxyMsg> on_rtr(const RtrProxyMsg& rtr) {
+    auto& q = sendq_[rtr.dst_rank];
+    for (auto it = q.begin(); it != q.end(); ++it) {
+      if (it->src_rank == rtr.src_rank && it->tag == rtr.tag) {
+        RtsProxyMsg m = std::move(*it);
+        q.erase(it);
+        return m;
+      }
+    }
+    recvq_[rtr.dst_rank].push_back(rtr);
+    return std::nullopt;
+  }
+
+  std::size_t pending_sends() const {
+    std::size_t n = 0;
+    for (const auto& [_, q] : sendq_) n += q.size();
+    return n;
+  }
+  std::size_t pending_recvs() const {
+    std::size_t n = 0;
+    for (const auto& [_, q] : recvq_) n += q.size();
+    return n;
+  }
+
+ private:
+  std::map<int, std::deque<RtsProxyMsg>> sendq_;
+  std::map<int, std::deque<RtrProxyMsg>> recvq_;
+};
+
+}  // namespace dpu::offload

@@ -1,0 +1,270 @@
+#include "offload/offload.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace dpu::offload {
+
+// ---------------------------------------------------------------------------
+// OffloadRuntime
+// ---------------------------------------------------------------------------
+
+OffloadRuntime::OffloadRuntime(verbs::Runtime& vrt) : vrt_(vrt) {
+  const auto& spec = vrt.spec();
+  // Proxies first (Init_Offload generates GVMI-IDs on the DPU side and the
+  // ids are exchanged with every process in the global communicator).
+  for (int p = spec.total_host_ranks(); p < spec.total_procs(); ++p) {
+    proxies_.push_back(std::make_unique<Proxy>(*this, p));
+  }
+  for (int r = 0; r < spec.total_host_ranks(); ++r) {
+    endpoints_.push_back(std::make_unique<OffloadEndpoint>(*this, r));
+  }
+}
+
+Proxy& OffloadRuntime::proxy(int proxy_proc_id) {
+  const int idx = proxy_proc_id - spec().total_host_ranks();
+  return *proxies_.at(static_cast<std::size_t>(idx));
+}
+
+verbs::GvmiId OffloadRuntime::gvmi_of(int proxy_proc_id) const {
+  const int idx = proxy_proc_id - vrt_.spec().total_host_ranks();
+  return proxies_.at(static_cast<std::size_t>(idx))->gvmi();
+}
+
+void OffloadRuntime::start() {
+  require(!started_, "OffloadRuntime::start called twice");
+  started_ = true;
+  for (auto& p : proxies_) {
+    engine().spawn(p->run(), "proxy" + std::to_string(p->proc_id()));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// OffloadEndpoint — basic primitives
+// ---------------------------------------------------------------------------
+
+OffloadEndpoint::OffloadEndpoint(OffloadRuntime& rt, int rank)
+    : rt_(rt), rank_(rank), gvmi_cache_(rt.spec().total_procs()) {}
+
+verbs::ProcCtx& OffloadEndpoint::vctx() { return rt_.verbs().ctx(rank_); }
+
+sim::Task<OffloadReqPtr> OffloadEndpoint::send_offload(machine::Addr addr, std::size_t len,
+                                                       int dst, int tag) {
+  sim_expect(dst != rank_, "offloaded self-send is not supported");
+  auto& vctx = rt_.verbs().ctx(rank_);
+  const int proxy = rt_.spec().proxy_for_host(rank_);
+  auto req = std::make_shared<OffloadRequest>();
+  req->flag = std::make_shared<sim::Event>(rt_.engine());
+  // First (host-side) GVMI registration against the proxy's GVMI-ID,
+  // amortized by the array-of-BST cache.
+  auto info = co_await gvmi_cache_.get(vctx, proxy, rt_.gvmi_of(proxy), addr, len);
+  // NB: named locals, not temporaries — see the GCC 12 note in sim/task.h.
+  std::any rts = RtsProxyMsg{rank_, dst, tag, len, info, req->flag};
+  co_await vctx.post_ctrl(proxy, kProxyChannel, std::move(rts), 0);
+  ++ctrl_sent_;
+  co_return req;
+}
+
+sim::Task<OffloadReqPtr> OffloadEndpoint::recv_offload(machine::Addr addr, std::size_t len,
+                                                       int src, int tag) {
+  sim_expect(src != rank_, "offloaded self-receive is not supported");
+  auto& vctx = rt_.verbs().ctx(rank_);
+  // The data mover is the proxy mapped to the *source* host process.
+  const int proxy = rt_.spec().proxy_for_host(src);
+  auto req = std::make_shared<OffloadRequest>();
+  req->flag = std::make_shared<sim::Event>(rt_.engine());
+  auto mr = co_await ib_cache_.get(vctx, addr, len);
+  std::any rtr = RtrProxyMsg{src, rank_, tag, len, addr, mr.rkey, req->flag};
+  co_await vctx.post_ctrl(proxy, kProxyChannel, std::move(rtr), 0);
+  ++ctrl_sent_;
+  co_return req;
+}
+
+sim::Task<void> OffloadEndpoint::wait(const OffloadReqPtr& req) {
+  co_await rt_.engine().sleep(from_us(rt_.spec().cost.mpi_call_us));
+  co_await req->flag->wait();
+}
+
+sim::Task<void> OffloadEndpoint::waitall(std::span<const OffloadReqPtr> reqs) {
+  co_await rt_.engine().sleep(from_us(rt_.spec().cost.mpi_call_us));
+  for (const auto& r : reqs) co_await r->flag->wait();
+}
+
+sim::Task<void> OffloadEndpoint::finalize() {
+  auto& vctx = rt_.verbs().ctx(rank_);
+  std::any stop = StopMsg{rank_};
+  co_await vctx.post_ctrl(rt_.spec().proxy_for_host(rank_), kProxyChannel, std::move(stop),
+                          0);
+  ++ctrl_sent_;
+}
+
+sim::Task<void> OffloadEndpoint::invalidate(machine::Addr addr, std::size_t len) {
+  auto& vctx = rt_.verbs().ctx(rank_);
+  const int my_proxy = rt_.spec().proxy_for_host(rank_);
+  // Host-side entries (both cache layers).
+  (void)gvmi_cache_.evict(my_proxy, addr, len);
+  (void)ib_cache_.evict(addr, len);
+  // DPU-side cross-registrations of this buffer at my proxy.
+  std::any inv = InvalidateMsg{rank_, addr, len};
+  co_await vctx.post_ctrl(my_proxy, kProxyChannel, std::move(inv), 0);
+  ++ctrl_sent_;
+}
+
+sim::Task<bool> OffloadEndpoint::test(const OffloadReqPtr& req) {
+  co_await rt_.engine().sleep(from_us(rt_.spec().cost.mpi_call_us));
+  co_return req->flag->is_set();
+}
+
+// ---------------------------------------------------------------------------
+// OffloadEndpoint — group primitives
+// ---------------------------------------------------------------------------
+
+GroupReqPtr OffloadEndpoint::group_start() {
+  auto req = std::make_shared<GroupRequest>();
+  req->id = next_req_++;
+  req->owner = rank_;
+  return req;
+}
+
+void OffloadEndpoint::group_send(const GroupReqPtr& req, machine::Addr addr, std::size_t len,
+                                 int dst, int tag) {
+  require(!req->ended, "group_send after group_end");
+  GroupEntryWire e;
+  e.type = GopType::kSend;
+  e.peer = dst;
+  e.tag = tag;
+  e.len = len;
+  e.src_addr = addr;
+  req->ops.push_back(e);
+}
+
+void OffloadEndpoint::group_recv(const GroupReqPtr& req, machine::Addr addr, std::size_t len,
+                                 int src, int tag) {
+  require(!req->ended, "group_recv after group_end");
+  GroupEntryWire e;
+  e.type = GopType::kRecv;
+  e.peer = src;
+  e.tag = tag;
+  e.len = len;
+  e.dst_addr = addr;  // recv side: local destination buffer
+  req->ops.push_back(e);
+}
+
+void OffloadEndpoint::group_barrier(const GroupReqPtr& req) {
+  require(!req->ended, "group_barrier after group_end");
+  GroupEntryWire e;
+  e.type = GopType::kBarrier;
+  req->ops.push_back(e);
+}
+
+void OffloadEndpoint::group_end(const GroupReqPtr& req) { req->ended = true; }
+
+sim::Task<GroupMetaMsg> OffloadEndpoint::await_meta_from(int peer) {
+  auto& buf = meta_buf_[peer];
+  auto& vctx = rt_.verbs().ctx(rank_);
+  auto& box = vctx.inbox(kGroupMetaChannel);
+  for (;;) {
+    if (!buf.empty()) {
+      GroupMetaMsg m = std::move(buf.front());
+      buf.pop_front();
+      co_return m;
+    }
+    while (auto msg = box.try_recv()) {
+      auto meta = std::any_cast<GroupMetaMsg>(std::move(msg->body));
+      meta_buf_[meta.from_rank].push_back(std::move(meta));
+    }
+    if (!buf.empty()) continue;
+    co_await vctx.activity().wait();
+  }
+}
+
+sim::Task<void> OffloadEndpoint::group_call(const GroupReqPtr& req) {
+  sim_expect(req->ended, "group_call before group_end");
+  sim_expect(req->owner == rank_, "group_call on a foreign request");
+  auto& vctx = rt_.verbs().ctx(rank_);
+  const auto& cost = rt_.spec().cost;
+  const int my_proxy = rt_.spec().proxy_for_host(rank_);
+  co_await rt_.engine().sleep(from_us(cost.mpi_call_us));
+
+  req->current_flag = std::make_shared<sim::Event>(rt_.engine());
+
+  if (group_cache_enabled_ && req->sent_to_proxy) {
+    // §VII-D cache hit: all metadata already lives on the proxy; send only
+    // the request id.
+    ++group_hits_;
+    std::any cc = GroupCachedCallMsg{rank_, req->id, req->current_flag};
+    co_await vctx.post_ctrl(my_proxy, kProxyChannel, std::move(cc), 0);
+    ++ctrl_sent_;
+    co_return;
+  }
+  ++group_misses_;
+
+  // 1. Register receive buffers (IB cache) and build per-source metadata.
+  std::map<int, std::vector<GroupRecvMeta>> meta_out;
+  for (auto& op : req->ops) {
+    if (op.type != GopType::kRecv) continue;
+    auto mr = co_await ib_cache_.get(vctx, op.dst_addr, op.len);
+    op.dst_rkey = mr.rkey;
+    meta_out[op.peer].push_back(GroupRecvMeta{op.tag, op.len, op.dst_addr, mr.rkey});
+  }
+
+  // 2. Ship metadata to each sender (host-to-host: host RDMA is fast, and
+  // gathering all entries into one message per peer is the §VIII-C win).
+  for (auto& [peer, entries] : meta_out) {
+    const auto bytes =
+        static_cast<std::size_t>(cost.group_entry_bytes * static_cast<double>(entries.size()));
+    std::any meta = GroupMetaMsg{rank_, std::move(entries)};
+    co_await vctx.post_ctrl(peer, kGroupMetaChannel, std::move(meta), bytes);
+    ++ctrl_sent_;
+  }
+
+  // 3. Register send buffers (host GVMI cache, against my proxy's GVMI-ID).
+  for (auto& op : req->ops) {
+    if (op.type != GopType::kSend) continue;
+    op.src_info =
+        co_await gvmi_cache_.get(vctx, my_proxy, rt_.gvmi_of(my_proxy), op.src_addr, op.len);
+  }
+
+  // 4. Gather metadata from every destination I send to and match my send
+  // entries against it (dst rank + tag, FIFO within a tag).
+  std::vector<int> dsts;
+  for (const auto& op : req->ops) {
+    if (op.type == GopType::kSend &&
+        std::find(dsts.begin(), dsts.end(), op.peer) == dsts.end()) {
+      dsts.push_back(op.peer);
+    }
+  }
+  std::map<int, std::map<int, std::deque<GroupRecvMeta>>> by_dst_tag;
+  for (int dst : dsts) {
+    GroupMetaMsg meta = co_await await_meta_from(dst);
+    for (auto& e : meta.entries) by_dst_tag[dst][e.tag].push_back(e);
+  }
+  for (auto& op : req->ops) {
+    if (op.type != GopType::kSend) continue;
+    auto& q = by_dst_tag[op.peer][op.tag];
+    sim_expect(!q.empty(), "no matching group receive at destination");
+    const GroupRecvMeta m = q.front();
+    q.pop_front();
+    sim_expect(op.len <= m.len, "group send longer than matched receive buffer");
+    op.dst_addr = m.addr;
+    op.dst_rkey = m.rkey;
+  }
+
+  // 5. One contiguous Group_Offload_packet to my proxy.
+  const auto pkt_bytes =
+      static_cast<std::size_t>(cost.group_entry_bytes * static_cast<double>(req->ops.size()));
+  std::any pkt = GroupPacketMsg{rank_, req->id, req->ops, req->current_flag};
+  co_await vctx.post_ctrl(my_proxy, kProxyChannel, std::move(pkt), pkt_bytes);
+  ++ctrl_sent_;
+  if (group_cache_enabled_) req->sent_to_proxy = true;
+}
+
+sim::Task<void> OffloadEndpoint::group_wait(const GroupReqPtr& req) {
+  sim_expect(req->current_flag != nullptr, "group_wait before group_call");
+  co_await rt_.engine().sleep(from_us(rt_.spec().cost.mpi_call_us));
+  co_await req->current_flag->wait();
+}
+
+}  // namespace dpu::offload

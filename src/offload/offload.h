@@ -1,0 +1,150 @@
+// Host-side API of the offload framework (the paper's §VI primitives).
+//
+// Basic primitives (Listing 2):
+//   send_offload / recv_offload / wait / test — nonblocking point-to-point
+//   whose entire protocol runs on the DPU proxy; the host only registers
+//   buffers, sends one control message, and later observes a completion
+//   flag written into its memory.
+//
+// Group primitives (Listing 4):
+//   group_start .. group_send/group_recv/group_barrier .. group_end record
+//   an arbitrary communication DAG; group_call offloads the whole pattern
+//   in one shot (with registration-, metadata- and request-caching on both
+//   sides); group_wait observes the completion counter. Local barriers give
+//   ordered patterns (ring pipelines) with zero host intervention — the
+//   capability MPI's nonblocking primitives cannot express (§II-A).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "mpi/reg_cache.h"
+#include "offload/gvmi_cache.h"
+#include "offload/protocol.h"
+#include "offload/proxy.h"
+#include "sim/engine.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+#include "verbs/verbs.h"
+
+namespace dpu::offload {
+
+/// Completion handle for basic-primitive operations.
+struct OffloadRequest {
+  verbs::Completion flag;
+  bool done() const { return flag->is_set(); }
+};
+using OffloadReqPtr = std::shared_ptr<OffloadRequest>;
+
+/// A recorded group communication pattern (paper's OffloadGroupRequest).
+struct GroupRequest {
+  std::uint64_t id = 0;
+  int owner = -1;
+  std::vector<GroupEntryWire> ops;  ///< recorded in program order
+  bool ended = false;
+  bool sent_to_proxy = false;       ///< host-cache state (§VII-D)
+  verbs::Completion current_flag;   ///< completion counter of the live call
+};
+using GroupReqPtr = std::shared_ptr<GroupRequest>;
+
+class OffloadRuntime;
+
+/// Per-host-rank endpoint. All Task members must run on the owning rank's
+/// coroutine.
+class OffloadEndpoint {
+ public:
+  OffloadEndpoint(OffloadRuntime& rt, int rank);
+
+  int rank() const { return rank_; }
+  OffloadRuntime& runtime() { return rt_; }
+  verbs::ProcCtx& vctx();
+
+  // ---- basic primitives ------------------------------------------------------
+  sim::Task<OffloadReqPtr> send_offload(machine::Addr addr, std::size_t len, int dst,
+                                        int tag);
+  sim::Task<OffloadReqPtr> recv_offload(machine::Addr addr, std::size_t len, int src,
+                                        int tag);
+  sim::Task<void> wait(const OffloadReqPtr& req);
+  sim::Task<void> waitall(std::span<const OffloadReqPtr> reqs);
+  sim::Task<bool> test(const OffloadReqPtr& req);
+
+  /// Finalize_Offload (Listing 2): tells this rank's proxy it is done; the
+  /// proxy exits once every mapped host finalized and its queues drained.
+  /// Call after the last wait; no offload call may follow.
+  sim::Task<void> finalize();
+
+  /// Invalidates every cached registration of [addr, addr+len) — host GVMI
+  /// cache, IB cache, and the DPU-side cross-registrations on this rank's
+  /// proxy — e.g. before freeing or re-purposing a buffer. Mirrors the
+  /// registration-cache coherence problem of §II-C: without the DPU-side
+  /// eviction the proxy would keep using a stale mkey2.
+  sim::Task<void> invalidate(machine::Addr addr, std::size_t len);
+
+  // ---- group primitives ------------------------------------------------------
+  GroupReqPtr group_start();
+  void group_send(const GroupReqPtr& req, machine::Addr addr, std::size_t len, int dst,
+                  int tag);
+  void group_recv(const GroupReqPtr& req, machine::Addr addr, std::size_t len, int src,
+                  int tag);
+  void group_barrier(const GroupReqPtr& req);
+  void group_end(const GroupReqPtr& req);
+  sim::Task<void> group_call(const GroupReqPtr& req);
+  sim::Task<void> group_wait(const GroupReqPtr& req);
+
+  // ---- introspection ----------------------------------------------------------
+  HostGvmiCache& gvmi_cache() { return gvmi_cache_; }
+  mpi::RegCache& ib_cache() { return ib_cache_; }
+  std::uint64_t group_cache_hits() const { return group_hits_; }
+  std::uint64_t group_cache_misses() const { return group_misses_; }
+  std::uint64_t ctrl_msgs_sent() const { return ctrl_sent_; }
+
+  /// Disables the host-side group request cache (ablation benches).
+  void set_group_cache_enabled(bool on) { group_cache_enabled_ = on; }
+
+ private:
+  sim::Task<GroupMetaMsg> await_meta_from(int peer);
+
+  OffloadRuntime& rt_;
+  int rank_;
+  HostGvmiCache gvmi_cache_;
+  mpi::RegCache ib_cache_;
+  std::uint64_t next_req_ = 1;
+  std::map<int, std::deque<GroupMetaMsg>> meta_buf_;  // per-peer FIFO
+  std::uint64_t group_hits_ = 0;
+  std::uint64_t group_misses_ = 0;
+  std::uint64_t ctrl_sent_ = 0;
+  bool group_cache_enabled_ = true;
+};
+
+/// Owns the endpoints and the proxy processes (Init_Offload): allocates
+/// GVMI-IDs on every proxy, distributes them, and spawns the proxy progress
+/// loops.
+class OffloadRuntime {
+ public:
+  explicit OffloadRuntime(verbs::Runtime& vrt);
+
+  /// Spawns all proxy processes; call once before any host uses the API.
+  void start();
+
+  OffloadEndpoint& endpoint(int host_rank) {
+    return *endpoints_.at(static_cast<std::size_t>(host_rank));
+  }
+  Proxy& proxy(int proxy_proc_id);
+  verbs::GvmiId gvmi_of(int proxy_proc_id) const;
+
+  verbs::Runtime& verbs() { return vrt_; }
+  const machine::ClusterSpec& spec() const { return vrt_.spec(); }
+  sim::Engine& engine() { return vrt_.engine(); }
+
+ private:
+  verbs::Runtime& vrt_;
+  std::vector<std::unique_ptr<OffloadEndpoint>> endpoints_;
+  std::vector<std::unique_ptr<Proxy>> proxies_;
+  bool started_ = false;
+};
+
+}  // namespace dpu::offload

@@ -1,0 +1,143 @@
+// Wire protocol between host processes and DPU proxy (worker) processes.
+//
+// Channels:
+//   kProxyChannel     — RTS/RTR control messages, group packets, cached
+//                       calls, inter-proxy notifications (arrival imms,
+//                       barrier counters).
+//   kGroupMetaChannel — host<->host receive-buffer metadata exchange used
+//                       by Group_Offload_call's matching step (fig. 9).
+//
+// Completion flags: in the real system the proxy RDMA-writes a completion
+// counter into pre-registered host memory and Wait polls it. Here the
+// "address of the counter" is a shared Event carried in the request
+// messages; post_flag_write models the RDMA update.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "machine/address_space.h"
+#include "verbs/verbs.h"
+
+namespace dpu::offload {
+
+inline constexpr int kProxyChannel = 2;
+inline constexpr int kGroupMetaChannel = 4;
+
+/// Ready-To-Send: host -> (its own) proxy. Carries the GVMI first
+/// registration so the proxy can cross-register.
+struct RtsProxyMsg {
+  int src_rank = -1;
+  int dst_rank = -1;
+  int tag = 0;
+  std::size_t len = 0;
+  verbs::GvmiMrInfo src_info;
+  verbs::Completion src_flag;  ///< host-side completion counter (FIN target)
+};
+
+/// Ready-To-Receive: destination host -> the *source-side* proxy.
+struct RtrProxyMsg {
+  int src_rank = -1;
+  int dst_rank = -1;
+  int tag = 0;
+  std::size_t len = 0;
+  machine::Addr dst_addr = 0;
+  verbs::RKey dst_rkey = 0;
+  verbs::Completion dst_flag;
+};
+
+enum class GopType { kSend, kRecv, kBarrier };
+
+/// One matched Group_op entry as shipped to the proxy (fig. 9's
+/// Group_Offload_packet element).
+struct GroupEntryWire {
+  GopType type = GopType::kSend;
+  int peer = -1;  ///< dst rank for sends, src rank for recvs
+  int tag = 0;
+  std::size_t len = 0;
+  // Send-only fields.
+  machine::Addr src_addr = 0;
+  verbs::GvmiMrInfo src_info;   ///< host GVMI registration of the source
+  machine::Addr dst_addr = 0;   ///< matched destination buffer
+  verbs::RKey dst_rkey = 0;
+};
+
+/// Full group offload packet: host -> proxy (first call for a request).
+struct GroupPacketMsg {
+  int host_rank = -1;
+  std::uint64_t req_id = 0;
+  std::vector<GroupEntryWire> entries;
+  verbs::Completion flag;
+};
+
+/// Cached re-invocation: host -> proxy (§VII-D; the host cache hit sends
+/// only the request id).
+struct GroupCachedCallMsg {
+  int host_rank = -1;
+  std::uint64_t req_id = 0;
+  verbs::Completion flag;
+};
+
+/// Immediate consumed by the destination-side proxy when a group send's
+/// RDMA write lands (drives receive-completion tracking and barriers).
+struct RecvArrivedMsg {
+  int src_rank = -1;
+  int dst_rank = -1;
+  int tag = 0;
+};
+
+/// Receive-readiness credit between proxies: the destination-side proxy
+/// grants one credit per instantiated receive entry, and the source-side
+/// proxy consumes one per posted send. This is the fig. 10 bookkeeping that
+/// lets "each worker know the receive completion progress of its locally
+/// mapped host process" — without it a cached re-call could overwrite a
+/// buffer the destination proxy is still forwarding from.
+struct CreditMsg {
+  int src_rank = -1;  ///< sending host the credit is granted to
+  int dst_rank = -1;  ///< receiving host that owns the buffer
+  int tag = 0;
+};
+
+/// One message per destination proxy carrying all credits of one call
+/// (keeps the per-call proxy-to-proxy message count at O(proxies), not
+/// O(entries)).
+struct CreditBatchMsg {
+  std::vector<CreditMsg> credits;
+};
+
+/// Barrier counter update between proxies (fig. 10 / Algorithm 1).
+struct BarrierCntrMsg {
+  int src_rank = -1;  ///< host rank whose barrier progressed
+  int dst_rank = -1;  ///< host rank whose proxy should observe it
+  int count = 0;
+};
+
+/// Host -> proxy: Finalize_Offload. Once every host mapped to a proxy has
+/// sent one and all queues drained, the proxy's progress loop exits.
+struct StopMsg {
+  int host_rank = -1;
+};
+
+/// Host -> proxy: drop cached cross-registrations of a buffer (cache
+/// coherence when the host re-purposes memory).
+struct InvalidateMsg {
+  int host_rank = -1;
+  machine::Addr addr = 0;
+  std::size_t len = 0;
+};
+
+/// Host<->host metadata for group matching: the receiving side's buffer
+/// descriptions for one (receiver, sender) pair, in program order.
+struct GroupRecvMeta {
+  int tag = 0;
+  std::size_t len = 0;
+  machine::Addr addr = 0;
+  verbs::RKey rkey = 0;
+};
+
+struct GroupMetaMsg {
+  int from_rank = -1;  ///< the receiving host that owns these buffers
+  std::vector<GroupRecvMeta> entries;
+};
+
+}  // namespace dpu::offload

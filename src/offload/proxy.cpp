@@ -1,0 +1,320 @@
+#include "offload/proxy.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+#include "offload/offload.h"
+
+namespace dpu::offload {
+
+Proxy::Proxy(OffloadRuntime& rt, int proc_id)
+    : rt_(rt), proc_(proc_id), gvmi_cache_(rt.spec().total_procs()) {
+  gvmi_ = rt_.verbs().ctx(proc_).alloc_gvmi_id();
+}
+
+verbs::ProcCtx& Proxy::vctx() { return rt_.verbs().ctx(proc_); }
+
+sim::Task<void> Proxy::charge_entry() {
+  co_await rt_.engine().sleep(from_us(rt_.spec().cost.proxy_entry_us));
+}
+
+int Proxy::mapped_hosts() const {
+  int n = 0;
+  for (int r = 0; r < rt_.spec().total_host_ranks(); ++r) {
+    if (rt_.spec().proxy_for_host(r) == proc_) ++n;
+  }
+  return n;
+}
+
+sim::Task<void> Proxy::run() {
+  auto& box = vctx().inbox(kProxyChannel);
+  const int expected_stops = mapped_hosts();
+  for (;;) {
+    bool moved = false;
+    while (auto m = box.try_recv()) {
+      co_await handle(std::move(*m));
+      moved = true;
+    }
+    if (co_await process_combined()) moved = true;
+    if (co_await harvest_fins()) moved = true;
+    if (co_await advance_jobs()) moved = true;
+    if (stops_received_ >= expected_stops && jobs_.empty() && combined_.empty() &&
+        fins_.empty() && box.empty()) {
+      co_return;  // Finalize_Offload: all mapped hosts done, queues drained
+    }
+    if (!moved) {
+      co_await vctx().activity().wait();
+    } else {
+      co_await rt_.engine().sleep(from_us(rt_.spec().cost.proxy_poll_us));
+    }
+  }
+}
+
+sim::Task<void> Proxy::handle(verbs::CtrlMsg msg) {
+  co_await charge_entry();
+  if (auto* rts = std::any_cast<RtsProxyMsg>(&msg.body)) {
+    if (auto rtr = queues_.on_rts(*rts)) {
+      combined_.push_back(BasicPair{*rts, std::move(*rtr)});
+    }
+  } else if (auto* rtr = std::any_cast<RtrProxyMsg>(&msg.body)) {
+    if (auto rts = queues_.on_rtr(*rtr)) {
+      combined_.push_back(BasicPair{std::move(*rts), *rtr});
+    }
+  } else if (auto* pkt = std::any_cast<GroupPacketMsg>(&msg.body)) {
+    // First call for this request: build (or replace) the template, then
+    // start an instance.
+    ++tmpl_misses_;
+    auto tmpl = std::make_shared<JobTemplate>();
+    tmpl->entries = std::move(pkt->entries);
+    tmpl->mkey2.assign(tmpl->entries.size(), 0);
+    templates_[{pkt->host_rank, pkt->req_id}] = tmpl;
+    start_instance(pkt->host_rank, pkt->req_id, pkt->flag);
+  } else if (auto* cc = std::any_cast<GroupCachedCallMsg>(&msg.body)) {
+    ++tmpl_hits_;
+    start_instance(cc->host_rank, cc->req_id, cc->flag);
+  } else if (auto* arr = std::any_cast<RecvArrivedMsg>(&msg.body)) {
+    if (!match_arrival(*arr)) pending_arrivals_.push_back(*arr);
+  } else if (auto* cb = std::any_cast<CreditBatchMsg>(&msg.body)) {
+    for (const auto& cr : cb->credits) ++credits_[{cr.src_rank, cr.dst_rank, cr.tag}];
+  } else if (auto* bc = std::any_cast<BarrierCntrMsg>(&msg.body)) {
+    barrier_counters_[bc->src_rank] = std::max(barrier_counters_[bc->src_rank], bc->count);
+  } else if (std::any_cast<StopMsg>(&msg.body) != nullptr) {
+    ++stops_received_;
+  } else if (auto* inv = std::any_cast<InvalidateMsg>(&msg.body)) {
+    // Cache coherence: drop the cross-registration and un-memoize it from
+    // every cached template of that host.
+    (void)gvmi_cache_.evict(inv->host_rank, inv->addr, inv->len);
+    for (auto& [key, tmpl] : templates_) {
+      if (key.first != inv->host_rank) continue;
+      for (std::size_t i = 0; i < tmpl->entries.size(); ++i) {
+        const auto& e = tmpl->entries[i];
+        if (e.type == GopType::kSend && e.src_addr == inv->addr && e.len == inv->len) {
+          tmpl->mkey2[i] = 0;
+        }
+      }
+    }
+  } else {
+    require(false, "unknown proxy control message");
+  }
+}
+
+void Proxy::start_instance(int host_rank, std::uint64_t req_id, verbs::Completion flag) {
+  auto it = templates_.find({host_rank, req_id});
+  sim_expect(it != templates_.end(), "cached group call for unknown request");
+  auto job = std::make_unique<JobInstance>();
+  job->host_rank = host_rank;
+  job->req_id = req_id;
+  job->tmpl = it->second;
+  job->state.assign(job->tmpl->entries.size(), JobEntryState{});
+  job->sends_done = std::make_shared<std::size_t>(0);
+  for (std::size_t i = 0; i < job->tmpl->entries.size(); ++i) {
+    const auto& e = job->tmpl->entries[i];
+    if (e.type == GopType::kRecv) {
+      job->recv_index[{e.peer, e.tag}].push_back(i);
+      ++job->recvs_total;
+    } else if (e.type == GopType::kSend) {
+      ++job->sends_total;
+    }
+  }
+  job->flag = std::move(flag);
+  const int run_index = it->second->runs++;
+  job->needs_credits = run_index > 0;
+  jobs_.push_back(std::move(job));
+  // Arrivals that raced ahead of this call may already be buffered.
+  for (auto a = pending_arrivals_.begin(); a != pending_arrivals_.end();) {
+    if (match_arrival(*a)) {
+      a = pending_arrivals_.erase(a);
+    } else {
+      ++a;
+    }
+  }
+}
+
+bool Proxy::match_arrival(const RecvArrivedMsg& a) {
+  // FIFO over job instances, then program order within a job: take the
+  // first unarrived recv entry matching (dst host, src, tag).
+  for (auto& job : jobs_) {
+    if (job->host_rank != a.dst_rank) continue;
+    auto it = job->recv_index.find({a.src_rank, a.tag});
+    if (it == job->recv_index.end() || it->second.empty()) continue;
+    const std::size_t idx = it->second.front();
+    it->second.pop_front();
+    job->state[idx].arrived = true;
+    ++job->arrivals;
+    return true;
+  }
+  return false;
+}
+
+sim::Task<bool> Proxy::process_combined() {
+  bool moved = false;
+  while (!combined_.empty()) {
+    BasicPair pair = std::move(combined_.front());
+    combined_.pop_front();
+    moved = true;
+    co_await charge_entry();
+    sim_expect(pair.rts.len <= pair.rtr.len, "offloaded send longer than receive buffer");
+    // Cross-register the host source buffer (cache-amortized), then move
+    // the data straight from host memory to the destination host buffer.
+    auto entry = co_await gvmi_cache_.get(vctx(), pair.rts.src_rank, pair.rts.src_info);
+    auto c = co_await vctx().post_rdma_write_on_behalf(
+        entry.mkey2, pair.rts.src_info.addr, pair.rtr.dst_rank, pair.rtr.dst_rkey,
+        pair.rtr.dst_addr, pair.rts.len);
+    fins_.push_back(FinPending{std::move(c), pair.rts.src_flag, pair.rts.src_rank,
+                               pair.rtr.dst_flag, pair.rtr.dst_rank});
+  }
+  co_return moved;
+}
+
+sim::Task<bool> Proxy::harvest_fins() {
+  bool moved = false;
+  for (auto it = fins_.begin(); it != fins_.end();) {
+    if (!it->completion->is_set()) {
+      ++it;
+      continue;
+    }
+    FinPending fin = std::move(*it);
+    it = fins_.erase(it);
+    moved = true;
+    // FIN packets: completion-counter updates RDMA-written into both hosts'
+    // memory (fig. 8, final step).
+    co_await vctx().post_flag_write(fin.src_rank, fin.src_flag, fin.src_rank);
+    co_await vctx().post_flag_write(fin.dst_rank, fin.dst_flag, fin.dst_rank);
+    ++basic_done_;
+  }
+  co_return moved;
+}
+
+sim::Task<void> Proxy::post_group_send(JobInstance& job, std::size_t idx) {
+  auto& tmpl = *job.tmpl;
+  const auto& e = tmpl.entries[idx];
+  if (tmpl.mkey2[idx] == 0) {
+    // Resolve via the DPU GVMI cache and memoize in the template so cached
+    // re-runs skip even the cache search (§VII-D).
+    auto entry = co_await gvmi_cache_.get(vctx(), job.host_rank, e.src_info);
+    tmpl.mkey2[idx] = entry.mkey2;
+  }
+  const int dst_proxy = rt_.spec().proxy_for_host(e.peer);
+  // The write's immediate is consumed by the destination-side proxy and
+  // drives its receive tracking. Hook bound to a named local first (GCC 12
+  // temporary-argument bug, see sim/task.h).
+  std::function<void()> imm_hook = rt_.verbs().ctx(proc_).make_imm_hook(
+      dst_proxy, kProxyChannel, RecvArrivedMsg{job.host_rank, e.peer, e.tag});
+  auto c = co_await vctx().post_rdma_write_on_behalf_hooked(
+      tmpl.mkey2[idx], e.src_addr, e.peer, e.dst_rkey, e.dst_addr, e.len,
+      std::move(imm_hook));
+  job.state[idx].posted = true;
+  c->subscribe([counter = job.sends_done] { ++*counter; });
+  job.state[idx].completion = std::move(c);
+}
+
+sim::Task<bool> Proxy::advance_one(JobInstance& job) {
+  const auto& entries = job.tmpl->entries;
+  bool moved = false;
+  while (job.next < entries.size()) {
+    const auto& e = entries[job.next];
+    if (e.type == GopType::kSend) {
+      // Receive-readiness flow control (re-calls only): block until the
+      // destination proxy granted a credit for this (src, dst, tag).
+      if (job.needs_credits) {
+        auto cit = credits_.find({job.host_rank, e.peer, e.tag});
+        if (cit == credits_.end() || cit->second == 0) break;
+        --cit->second;
+      }
+      co_await charge_entry();
+      co_await post_group_send(job, job.next);
+      job.send_rank_set.insert(e.peer);
+      ++job.next;
+      moved = true;
+    } else if (e.type == GopType::kRecv) {
+      co_await charge_entry();
+      job.recv_rank_set.insert(e.peer);
+      ++job.next;
+      moved = true;
+    } else {  // kBarrier (Algorithm 1)
+      // All preceding sends must have completed...
+      bool sends_done = true;
+      for (std::size_t i = 0; i < job.next; ++i) {
+        if (entries[i].type == GopType::kSend && !job.state[i].completion->is_set()) {
+          sends_done = false;
+          break;
+        }
+      }
+      if (!sends_done) break;  // back to the progress engine
+      // ...then the barrier count is written to the proxies of sendRankSet
+      // (cost-model faithful to fig. 10)...
+      if (!job.send_rank_set.empty()) {
+        ++job.num_barriers;
+        for (int dst : job.send_rank_set) {
+          std::any bc = BarrierCntrMsg{job.host_rank, dst, job.num_barriers};
+          co_await vctx().post_ctrl(rt_.spec().proxy_for_host(dst), kProxyChannel,
+                                    std::move(bc), 0);
+          ++barrier_msgs_;
+        }
+        job.send_rank_set.clear();
+      }
+      // ...and all preceding receives must have arrived.
+      bool recvs_done = true;
+      for (std::size_t i = 0; i < job.next; ++i) {
+        if (entries[i].type == GopType::kRecv && !job.state[i].arrived) {
+          recvs_done = false;
+          break;
+        }
+      }
+      if (!recvs_done) break;  // blocked: revisit on next loop iteration
+      job.recv_rank_set.clear();
+      co_await charge_entry();
+      ++job.next;
+      moved = true;
+    }
+  }
+
+  if (job.next >= entries.size() && !job.fin_sent) {
+    // Completion condition: every send's write finished and every receive
+    // arrived; then update the completion counter in host memory.
+    if (*job.sends_done < job.sends_total || job.arrivals < job.recvs_total)
+      co_return moved;
+    co_await vctx().post_flag_write(job.host_rank, job.flag, job.host_rank);
+    job.fin_sent = true;
+    ++jobs_done_;
+    moved = true;
+  }
+  co_return moved;
+}
+
+sim::Task<void> Proxy::grant_credits(const JobInstance& job) {
+  // Receive-readiness credits for the NEXT run of this request, batched per
+  // source-side proxy (the fig. 10 counter exchange). Granted when this
+  // instance finished using the buffers — recorded group buffers behave
+  // like MPI persistent requests: they stay "posted" across calls, so the
+  // sender's next run may target them as soon as this run is done with
+  // them, without waiting for the destination host's next group_call.
+  std::map<int, CreditBatchMsg> batches;
+  for (const auto& e : job.tmpl->entries) {
+    if (e.type != GopType::kRecv) continue;
+    batches[rt_.spec().proxy_for_host(e.peer)].credits.push_back(
+        CreditMsg{e.peer, job.host_rank, e.tag});
+  }
+  for (auto& [proxy, batch] : batches) {
+    const auto bytes = batch.credits.size() * 12;
+    std::any body = std::move(batch);
+    co_await vctx().post_ctrl(proxy, kProxyChannel, std::move(body), bytes);
+  }
+}
+
+sim::Task<bool> Proxy::advance_jobs() {
+  bool moved = false;
+  for (auto it = jobs_.begin(); it != jobs_.end();) {
+    if (co_await advance_one(**it)) moved = true;
+    if ((*it)->fin_sent) {
+      co_await grant_credits(**it);
+      it = jobs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  co_return moved;
+}
+
+}  // namespace dpu::offload

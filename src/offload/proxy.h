@@ -1,0 +1,137 @@
+// DPU proxy (worker) process.
+//
+// One always-on coroutine per proxy process. Each iteration of its
+// progress loop drains control messages, advances the combined queue of
+// matched basic-primitive transfers, harvests RDMA completions (sending FIN
+// flag-writes), and advances group jobs per Algorithm 1 — crucially, a job
+// blocked on a barrier returns control to the loop so other hosts' requests
+// keep progressing (the paper's deadlock-avoidance rule).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "offload/gvmi_cache.h"
+#include "offload/match_queues.h"
+#include "offload/protocol.h"
+#include "sim/task.h"
+#include "verbs/verbs.h"
+
+namespace dpu::offload {
+
+class OffloadRuntime;
+
+class Proxy {
+ public:
+  Proxy(OffloadRuntime& rt, int proc_id);
+
+  int proc_id() const { return proc_; }
+  verbs::GvmiId gvmi() const { return gvmi_; }
+  DpuGvmiCache& gvmi_cache() { return gvmi_cache_; }
+
+  /// The proxy's main progress loop (spawned by OffloadRuntime::start).
+  /// Exits once every mapped host sent Finalize_Offload and all work
+  /// drained.
+  sim::Task<void> run();
+
+  /// Host ranks served by this proxy (the §VII-A modulo mapping).
+  int mapped_hosts() const;
+
+  // ---- stats exposed for tests / ablation benches ---------------------------
+  std::uint64_t basic_pairs_completed() const { return basic_done_; }
+  std::uint64_t group_jobs_completed() const { return jobs_done_; }
+  std::uint64_t group_cache_hits() const { return tmpl_hits_; }
+  std::uint64_t group_cache_misses() const { return tmpl_misses_; }
+  std::uint64_t barrier_cntr_msgs() const { return barrier_msgs_; }
+  const MatchQueues& queues() const { return queues_; }
+
+ private:
+  /// Per-entry run state of a group job instance.
+  struct JobEntryState {
+    bool posted = false;    // sends: RDMA issued
+    bool arrived = false;   // recvs: arrival immediate seen
+    verbs::Completion completion;  // sends: write completion
+  };
+
+  /// Cached template for a (host, req_id): the packet entries plus resolved
+  /// mkey2 values (so cached re-runs skip even the cache search, §VII-D).
+  struct JobTemplate {
+    std::vector<GroupEntryWire> entries;
+    std::vector<verbs::MKey> mkey2;  // 0 until first resolution
+    int runs = 0;                    // instances started from this template
+  };
+
+  /// One live execution of a group request.
+  struct JobInstance {
+    int host_rank = -1;
+    std::uint64_t req_id = 0;
+    bool needs_credits = false;  // re-calls gate sends on receive readiness
+    std::shared_ptr<JobTemplate> tmpl;
+    std::vector<JobEntryState> state;
+    /// (src,tag) -> entry indices of not-yet-arrived receives, FIFO.
+    std::map<std::pair<int, int>, std::deque<std::size_t>> recv_index;
+    std::size_t sends_total = 0;    // send entries in the template
+    std::size_t recvs_total = 0;    // recv entries in the template
+    std::shared_ptr<std::size_t> sends_done;  // completions observed (subscription)
+    std::size_t arrivals = 0;       // receive arrivals matched so far
+    std::size_t next = 0;           // Algorithm-1 cursor
+    std::set<int> send_rank_set;    // dst ranks since the last barrier
+    std::set<int> recv_rank_set;    // src ranks since the last barrier
+    int num_barriers = 0;
+    verbs::Completion flag;         // host completion counter
+    bool fin_sent = false;
+  };
+
+  struct BasicPair {
+    RtsProxyMsg rts;
+    RtrProxyMsg rtr;
+  };
+
+  struct FinPending {
+    verbs::Completion completion;
+    verbs::Completion src_flag;
+    int src_rank = -1;
+    verbs::Completion dst_flag;
+    int dst_rank = -1;
+  };
+
+  sim::Task<void> handle(verbs::CtrlMsg msg);
+  sim::Task<bool> process_combined();
+  sim::Task<bool> harvest_fins();
+  sim::Task<bool> advance_jobs();
+  sim::Task<bool> advance_one(JobInstance& job);
+  sim::Task<void> post_group_send(JobInstance& job, std::size_t idx);
+  void start_instance(int host_rank, std::uint64_t req_id, verbs::Completion flag);
+  sim::Task<void> grant_credits(const JobInstance& job);
+  bool match_arrival(const RecvArrivedMsg& a);
+
+  verbs::ProcCtx& vctx();
+  sim::Task<void> charge_entry();
+
+  OffloadRuntime& rt_;
+  int proc_;
+  verbs::GvmiId gvmi_ = 0;
+  DpuGvmiCache gvmi_cache_;
+  MatchQueues queues_;
+  std::deque<BasicPair> combined_;
+  std::vector<FinPending> fins_;
+  std::map<std::pair<int, std::uint64_t>, std::shared_ptr<JobTemplate>> templates_;
+  std::vector<std::unique_ptr<JobInstance>> jobs_;
+  std::deque<RecvArrivedMsg> pending_arrivals_;
+  std::map<int, int> barrier_counters_;  // host rank -> observed count
+  /// (src host, dst host, tag) -> receive-readiness credits from dst proxies.
+  std::map<std::tuple<int, int, int>, int> credits_;
+
+  int stops_received_ = 0;
+  std::uint64_t basic_done_ = 0;
+  std::uint64_t jobs_done_ = 0;
+  std::uint64_t tmpl_hits_ = 0;
+  std::uint64_t tmpl_misses_ = 0;
+  std::uint64_t barrier_msgs_ = 0;
+};
+
+}  // namespace dpu::offload

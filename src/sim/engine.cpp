@@ -1,0 +1,101 @@
+#include "sim/engine.h"
+
+#include <utility>
+
+#include "sim/task.h"
+
+namespace dpu::sim {
+
+namespace {
+
+/// Root driver coroutine: owns the spawned Task, records completion state.
+/// Frames are kept (suspended at final_suspend) until the Engine destroys
+/// them, so the Engine can always tear down in-flight processes.
+struct Driver {
+  struct promise_type {
+    Driver get_return_object() {
+      return Driver{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    std::suspend_always final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    void unhandled_exception() noexcept { std::terminate(); }  // drive() catches everything
+  };
+  std::coroutine_handle<promise_type> handle;
+};
+
+}  // namespace
+
+struct SpawnAccess {
+  static Driver drive(Task<void> task, std::shared_ptr<ProcState> state, Engine* eng) {
+    try {
+      co_await std::move(task);
+    } catch (...) {
+      state->error = std::current_exception();
+      if (!eng->pending_error_) eng->pending_error_ = state->error;
+    }
+    state->done = true;
+  }
+};
+
+Engine::~Engine() {
+  // Drain scheduled work without executing it, then destroy every root
+  // frame; nested frames are destroyed recursively through Task ownership.
+  queue_ = {};
+  for (auto& st : procs_) {
+    if (st->root) {
+      auto h = st->root;
+      st->root = nullptr;
+      h.destroy();
+    }
+  }
+}
+
+void Engine::schedule_at(SimTime t, std::function<void()> fn) {
+  require(t >= now_, "scheduling into the past");
+  queue_.push(Ev{t, next_seq_++, std::move(fn)});
+}
+
+void Engine::resume_at(SimTime t, std::coroutine_handle<> h) {
+  schedule_at(t, [h] { h.resume(); });
+}
+
+ProcHandle Engine::spawn(Task<void> task, std::string name) {
+  auto state = std::make_shared<ProcState>();
+  state->name = std::move(name);
+  Driver d = SpawnAccess::drive(std::move(task), state, this);
+  state->root = d.handle;
+  procs_.push_back(state);
+  resume_at(now_, d.handle);
+  return ProcHandle(state);
+}
+
+RunResult Engine::run(SimTime until) {
+  while (!queue_.empty()) {
+    if (queue_.top().time > until) {
+      now_ = until;
+      return RunResult::kTimeLimit;
+    }
+    // Move the event out before popping: priority_queue::top is const.
+    Ev ev = std::move(const_cast<Ev&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.time;
+    ++events_executed_;
+    ev.fn();
+    if (pending_error_) {
+      auto err = std::exchange(pending_error_, nullptr);
+      std::rethrow_exception(err);
+    }
+  }
+  return live_process_names().empty() ? RunResult::kCompleted : RunResult::kDeadlock;
+}
+
+std::vector<std::string> Engine::live_process_names() const {
+  std::vector<std::string> names;
+  for (const auto& st : procs_) {
+    if (!st->done) names.push_back(st->name);
+  }
+  return names;
+}
+
+}  // namespace dpu::sim

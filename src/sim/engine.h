@@ -1,0 +1,142 @@
+// Discrete-event simulation engine.
+//
+// The engine owns a virtual clock (picosecond resolution) and a stable
+// priority queue of events. Simulated processes are C++20 coroutines spawned
+// with `Engine::spawn`; they advance virtual time only by awaiting engine
+// awaitables (sleep, Event, Channel, ...). The engine is strictly
+// single-threaded and deterministic: ties in time are broken by insertion
+// order.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/units.h"
+
+namespace dpu::sim {
+
+class Trace;
+
+template <typename T>
+class Task;
+
+class Engine;
+
+/// Observable state of a spawned root process.
+struct ProcState {
+  std::string name;
+  bool done = false;
+  std::exception_ptr error;
+  std::coroutine_handle<> root;  // owned by the Engine
+};
+
+/// Handle returned by Engine::spawn; queryable after Engine::run.
+class ProcHandle {
+ public:
+  ProcHandle() = default;
+  explicit ProcHandle(std::shared_ptr<ProcState> state) : state_(std::move(state)) {}
+
+  bool valid() const { return state_ != nullptr; }
+  bool done() const { return state_ && state_->done; }
+  const std::string& name() const { return state_->name; }
+
+  /// Rethrows the process's terminal exception, if any.
+  void rethrow() const {
+    if (state_ && state_->error) std::rethrow_exception(state_->error);
+  }
+
+ private:
+  std::shared_ptr<ProcState> state_;
+};
+
+/// Outcome of Engine::run.
+enum class RunResult {
+  kCompleted,  ///< event queue drained and all processes finished
+  kDeadlock,   ///< event queue drained with live processes still blocked
+  kTimeLimit,  ///< stopped at the requested horizon
+};
+
+class Engine {
+ public:
+  Engine() = default;
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current simulated time.
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute time `t` (must be >= now()).
+  void schedule_at(SimTime t, std::function<void()> fn);
+
+  /// Schedules `fn` to run `d` after now.
+  void schedule_in(SimDuration d, std::function<void()> fn) {
+    schedule_at(now_ + d, std::move(fn));
+  }
+
+  /// Schedules a coroutine resumption.
+  void resume_at(SimTime t, std::coroutine_handle<> h);
+  void resume_in(SimDuration d, std::coroutine_handle<> h) { resume_at(now_ + d, h); }
+
+  /// Spawns a root process. The coroutine begins executing at the current
+  /// simulated time once `run` is called (or immediately if already inside
+  /// `run`).
+  ProcHandle spawn(Task<void> task, std::string name = "proc");
+
+  /// Runs until the queue drains or `until` is reached. Throws the first
+  /// process exception encountered (fail fast); otherwise reports whether
+  /// processes remain blocked (deadlock).
+  RunResult run(SimTime until = kTimeInfinity);
+
+  /// Names of spawned processes that have not finished (useful in deadlock
+  /// diagnostics).
+  std::vector<std::string> live_process_names() const;
+
+  /// Number of events executed so far (proxy for simulation work).
+  std::uint64_t events_executed() const { return events_executed_; }
+
+  /// Optional span recorder; null disables tracing (the default).
+  void set_trace(Trace* t) { trace_ = t; }
+  Trace* trace() const { return trace_; }
+
+  /// Awaitable: suspends the calling coroutine for `d` simulated time.
+  auto sleep(SimDuration d) {
+    struct Awaiter {
+      Engine& eng;
+      SimDuration d;
+      bool await_ready() const noexcept { return d == 0; }
+      void await_suspend(std::coroutine_handle<> h) { eng.resume_in(d, h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this, d};
+  }
+
+ private:
+  struct Ev {
+    SimTime time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    bool operator>(const Ev& o) const {
+      return time != o.time ? time > o.time : seq > o.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  Trace* trace_ = nullptr;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_executed_ = 0;
+  std::priority_queue<Ev, std::vector<Ev>, std::greater<>> queue_;
+  std::vector<std::shared_ptr<ProcState>> procs_;
+  std::exception_ptr pending_error_;
+
+  friend struct SpawnAccess;
+};
+
+}  // namespace dpu::sim

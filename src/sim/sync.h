@@ -1,0 +1,186 @@
+// Synchronization primitives for simulated processes.
+//
+// All primitives wake waiters by scheduling resumptions at the current
+// simulated time (never by resuming inline), so a `set()` made from one
+// process cannot reentrantly run another in the middle of the caller's
+// statement. None of these objects may outlive the Engine they reference.
+#pragma once
+
+#include <coroutine>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/check.h"
+#include "sim/engine.h"
+#include "sim/task.h"
+
+namespace dpu::sim {
+
+/// One-shot event: once `set`, all current and future waiters proceed.
+/// Besides coroutine waiters, lightweight callbacks can subscribe; they run
+/// synchronously inside set() (keep them to flag/counter updates).
+class Event {
+ public:
+  explicit Event(Engine& eng) : eng_(&eng) {}
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
+
+  bool is_set() const { return set_; }
+
+  void set() {
+    if (set_) return;
+    set_ = true;
+    for (auto h : waiters_) eng_->resume_at(eng_->now(), h);
+    waiters_.clear();
+    auto subs = std::move(subscribers_);
+    subscribers_.clear();
+    for (auto& fn : subs) fn();
+  }
+
+  /// Runs `fn` when the event fires (immediately if already set).
+  void subscribe(std::function<void()> fn) {
+    if (set_) {
+      fn();
+    } else {
+      subscribers_.push_back(std::move(fn));
+    }
+  }
+
+  auto wait() {
+    struct Awaiter {
+      Event& ev;
+      bool await_ready() const noexcept { return ev.set_; }
+      void await_suspend(std::coroutine_handle<> h) { ev.waiters_.push_back(h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+ private:
+  Engine* eng_;
+  bool set_ = false;
+  std::vector<std::coroutine_handle<>> waiters_;
+  std::vector<std::function<void()>> subscribers_;
+};
+
+/// Reusable notification: `notify_all` wakes the waiters registered at that
+/// moment; later waiters block until the next notification. The progress
+/// engines use this as "state may have changed, re-poll".
+class Notifier {
+ public:
+  explicit Notifier(Engine& eng) : eng_(&eng) {}
+  Notifier(const Notifier&) = delete;
+  Notifier& operator=(const Notifier&) = delete;
+
+  void notify_all() {
+    for (auto h : waiters_) eng_->resume_at(eng_->now(), h);
+    waiters_.clear();
+  }
+
+  std::size_t waiter_count() const { return waiters_.size(); }
+
+  auto wait() {
+    struct Awaiter {
+      Notifier& n;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) { n.waiters_.push_back(h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+ private:
+  Engine* eng_;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/// Unbounded FIFO channel. `recv` suspends while empty; `send` never blocks.
+/// Values are delivered in send order; competing receivers are served in
+/// arrival order.
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(Engine& eng) : eng_(&eng) {}
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  void send(T value) {
+    items_.push_back(std::move(value));
+    if (!receivers_.empty()) {
+      auto h = receivers_.front();
+      receivers_.pop_front();
+      eng_->resume_at(eng_->now(), h);
+    }
+  }
+
+  bool empty() const { return items_.empty(); }
+  std::size_t size() const { return items_.size(); }
+
+  /// Non-suspending receive; empty optional when no item is queued.
+  std::optional<T> try_recv() {
+    if (items_.empty()) return std::nullopt;
+    T v = std::move(items_.front());
+    items_.pop_front();
+    return v;
+  }
+
+  Task<T> recv() {
+    while (items_.empty()) co_await Suspend{*this};
+    T v = std::move(items_.front());
+    items_.pop_front();
+    co_return v;
+  }
+
+ private:
+  struct Suspend {
+    Channel& ch;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) { ch.receivers_.push_back(h); }
+    void await_resume() const noexcept {}
+  };
+
+  Engine* eng_;
+  std::deque<T> items_;
+  std::deque<std::coroutine_handle<>> receivers_;
+};
+
+/// Counting semaphore; `acquire` suspends while no permit is available.
+class Semaphore {
+ public:
+  Semaphore(Engine& eng, std::size_t permits) : eng_(&eng), permits_(permits) {}
+  Semaphore(const Semaphore&) = delete;
+  Semaphore& operator=(const Semaphore&) = delete;
+
+  std::size_t available() const { return permits_; }
+
+  void release() {
+    ++permits_;
+    if (!waiters_.empty()) {
+      auto h = waiters_.front();
+      waiters_.pop_front();
+      eng_->resume_at(eng_->now(), h);
+    }
+  }
+
+  Task<void> acquire() {
+    while (permits_ == 0) co_await Suspend{*this};
+    --permits_;
+  }
+
+ private:
+  struct Suspend {
+    Semaphore& s;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) { s.waiters_.push_back(h); }
+    void await_resume() const noexcept {}
+  };
+
+  Engine* eng_;
+  std::size_t permits_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+}  // namespace dpu::sim

@@ -1,0 +1,52 @@
+#include "sim/trace.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <map>
+#include <ostream>
+
+namespace dpu::sim {
+
+void Trace::print_timeline(std::ostream& os, int columns) const {
+  if (spans_.empty()) {
+    os << "(empty trace)\n";
+    return;
+  }
+  SimTime t0 = kTimeInfinity;
+  SimTime t1 = 0;
+  for (const auto& s : spans_) {
+    t0 = std::min(t0, s.begin);
+    t1 = std::max(t1, s.end);
+  }
+  if (t1 == t0) t1 = t0 + 1;
+  const double scale = static_cast<double>(columns) / static_cast<double>(t1 - t0);
+
+  // Group by actor, preserving first-seen order.
+  std::vector<std::string> actors;
+  std::map<std::string, std::vector<const TraceSpan*>> by_actor;
+  for (const auto& s : spans_) {
+    if (by_actor.find(s.actor) == by_actor.end()) actors.push_back(s.actor);
+    by_actor[s.actor].push_back(&s);
+  }
+
+  std::size_t name_w = 0;
+  for (const auto& a : actors) name_w = std::max(name_w, a.size());
+
+  os << "timeline: " << to_us(t1 - t0) << " us total, 1 col = "
+     << to_us(static_cast<SimDuration>((t1 - t0) / static_cast<SimTime>(columns))) << " us\n";
+  for (const auto& actor : actors) {
+    std::string lane(static_cast<std::size_t>(columns), '.');
+    for (const TraceSpan* s : by_actor[actor]) {
+      auto b = static_cast<int>(static_cast<double>(s->begin - t0) * scale);
+      auto e = static_cast<int>(static_cast<double>(s->end - t0) * scale);
+      b = std::clamp(b, 0, columns - 1);
+      e = std::clamp(e, b, columns - 1);
+      const char mark = s->category.empty() ? '#' : s->category.front();
+      for (int i = b; i <= e; ++i) lane[static_cast<std::size_t>(i)] = mark;
+    }
+    os << std::left << std::setw(static_cast<int>(name_w)) << actor << " |" << lane << "|\n";
+  }
+  os << "legend: first letter of category (c=compute/ctrl, x=xfer, r=reg, w=wait)\n";
+}
+
+}  // namespace dpu::sim

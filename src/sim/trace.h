@@ -1,0 +1,41 @@
+// Span-based tracing for timeline reproduction (Figure 1).
+//
+// Subsystems optionally record (actor, category, label, begin, end) spans;
+// the fig01 bench renders them as a per-actor timeline.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace dpu::sim {
+
+struct TraceSpan {
+  std::string actor;     ///< e.g. "host:2:cpu", "dpu:0:proxy0", "nic:1"
+  std::string category;  ///< e.g. "compute", "xfer", "ctrl", "reg"
+  std::string label;     ///< free-form description
+  SimTime begin = 0;
+  SimTime end = 0;
+};
+
+/// Collects spans; cheap no-op when no Trace is attached anywhere.
+class Trace {
+ public:
+  void add(std::string actor, std::string category, std::string label, SimTime begin,
+           SimTime end) {
+    spans_.push_back({std::move(actor), std::move(category), std::move(label), begin, end});
+  }
+
+  const std::vector<TraceSpan>& spans() const { return spans_; }
+  void clear() { spans_.clear(); }
+
+  /// Renders an ASCII per-actor timeline scaled to `columns` characters.
+  void print_timeline(std::ostream& os, int columns = 100) const;
+
+ private:
+  std::vector<TraceSpan> spans_;
+};
+
+}  // namespace dpu::sim

@@ -1,0 +1,141 @@
+// Second wave of application tests: HPL look-ahead semantics, stencil
+// configuration validation, P3DFFT grid handling.
+#include <gtest/gtest.h>
+
+#include "apps/hpl.h"
+#include "apps/p3dfft.h"
+#include "apps/stencil3d.h"
+#include "common/check.h"
+#include "common/units.h"
+#include "harness/world.h"
+
+namespace dpu::apps {
+namespace {
+
+using harness::World;
+
+machine::ClusterSpec spec_of(int nodes, int ppn) {
+  machine::ClusterSpec s;
+  s.nodes = nodes;
+  s.host_procs_per_node = ppn;
+  s.proxies_per_dpu = 2;
+  return s;
+}
+
+double run_hpl_cfg(const HplConfig& cfg) {
+  World w(spec_of(4, 2));
+  HplStats stats;
+  w.launch_all(hpl_program(cfg, &stats));
+  w.run();
+  return stats.total_us;
+}
+
+TEST(HplModel, MoreLookaheadNeverHurts1Ring) {
+  HplConfig lo;
+  lo.n = 4096;
+  lo.nb = 512;
+  lo.bcast = HplBcast::k1Ring;
+  lo.lookahead_frac = 0.1;
+  HplConfig hi = lo;
+  hi.lookahead_frac = 0.9;
+  EXPECT_GE(run_hpl_cfg(lo), run_hpl_cfg(hi) * 0.999);
+}
+
+TEST(HplModel, ProposedLessLookaheadSensitiveThan1Ring) {
+  // The proxy-driven broadcast needs no polling windows; only the wire time
+  // of the ring must fit in the overlap window. The CPU-gated 1ring also
+  // pays per-hop polling delays, so shrinking the look-ahead window hurts
+  // it at least as much.
+  auto delta = [&](HplBcast b) {
+    HplConfig lo;
+    lo.n = 4096;
+    lo.nb = 512;
+    lo.bcast = b;
+    lo.lookahead_frac = 0.1;
+    HplConfig hi = lo;
+    hi.lookahead_frac = 0.9;
+    return run_hpl_cfg(lo) - run_hpl_cfg(hi);
+  };
+  const double d_prop = delta(HplBcast::kProposed);
+  const double d_ring = delta(HplBcast::k1Ring);
+  // Both benefit from a larger overlap window (never negative), and the two
+  // sensitivities are of the same order (the ring wire time dominates both
+  // at this scale).
+  EXPECT_GE(d_prop, 0.0);
+  EXPECT_GE(d_ring, 0.0);
+  EXPECT_LT(d_prop, d_ring * 2.0);
+  EXPECT_LT(d_ring, d_prop * 2.0);
+}
+
+TEST(HplModel, ExplicitGridValidated) {
+  World w(spec_of(4, 2));
+  HplConfig cfg;
+  cfg.n = 2048;
+  cfg.nb = 512;
+  cfg.p = 3;
+  cfg.q = 3;  // 9 != 8 ranks
+  HplStats stats;
+  w.launch_all(hpl_program(cfg, &stats));
+  EXPECT_THROW(w.run(), std::logic_error);
+}
+
+TEST(StencilModel, GridMismatchRejected) {
+  World w(spec_of(4, 2));
+  StencilConfig cfg;
+  cfg.px = cfg.py = cfg.pz = 3;  // 27 != 8 ranks
+  StencilStats stats;
+  w.launch_all(stencil_program(cfg, &stats));
+  EXPECT_THROW(w.run(), std::logic_error);
+}
+
+TEST(StencilModel, MoreComputeRaisesTotalNotCommShare) {
+  auto run = [&](double ns_per_cell) {
+    World w(spec_of(4, 2));
+    StencilConfig cfg;
+    cfg.nx = cfg.ny = cfg.nz = 128;
+    cfg.px = cfg.py = cfg.pz = 2;
+    cfg.iters = 2;
+    cfg.ns_per_cell = ns_per_cell;
+    StencilStats stats;
+    w.launch_all(stencil_program(cfg, &stats));
+    w.run();
+    return stats.total_us;
+  };
+  EXPECT_GT(run(2.0), run(0.5));
+}
+
+TEST(P3dfftModel, ExplicitGridHonored) {
+  World w(spec_of(4, 2));
+  P3dfftConfig cfg;
+  cfg.nx = cfg.ny = 32;
+  cfg.nz = 64;
+  cfg.prow = 2;
+  cfg.pcol = 4;
+  cfg.iters = 1;
+  P3dfftStats stats;
+  w.launch_all(p3dfft_program(cfg, &stats));
+  w.run();
+  EXPECT_GT(stats.total_us, 0.0);
+  // Row message size: local bytes / pcol.
+  const std::size_t local_bytes = (32u * 32 * 64 / 8) * 16;
+  EXPECT_EQ(stats.bytes_per_pair, local_bytes / 4);
+}
+
+TEST(P3dfftModel, LargerGridCostsMore) {
+  auto run = [&](int nz) {
+    World w(spec_of(4, 2));
+    P3dfftConfig cfg;
+    cfg.nx = cfg.ny = 32;
+    cfg.nz = nz;
+    cfg.iters = 1;
+    cfg.backend = FftBackend::kProposed;
+    P3dfftStats stats;
+    w.launch_all(p3dfft_program(cfg, &stats));
+    w.run();
+    return stats.total_us;
+  };
+  EXPECT_GT(run(128), run(64));
+}
+
+}  // namespace
+}  // namespace dpu::apps

@@ -1,0 +1,172 @@
+// Unit tests for common utilities: units, stats, table, bytes, rng.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/bytes.h"
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "common/units.h"
+
+namespace dpu {
+namespace {
+
+TEST(Units, LiteralsCompose) {
+  EXPECT_EQ(1_us, 1000_ns);
+  EXPECT_EQ(1_ms, 1000_us);
+  EXPECT_EQ(1_s, 1000_ms);
+  EXPECT_EQ(3_ns, 3000_ps);
+}
+
+TEST(Units, FromDoubleRoundsToNearest) {
+  EXPECT_EQ(from_ns(1.0), 1_ns);
+  EXPECT_EQ(from_ns(0.0004), 0u);
+  EXPECT_EQ(from_ns(0.5), 500_ps);
+  EXPECT_EQ(from_ns(-3.0), 0u);
+  EXPECT_EQ(from_us(2.5), 2500_ns);
+  EXPECT_EQ(from_sec(1e-6), 1_us);
+}
+
+TEST(Units, RoundTripConversions) {
+  EXPECT_DOUBLE_EQ(to_us(1500_ns), 1.5);
+  EXPECT_DOUBLE_EQ(to_ns(1_us), 1000.0);
+  EXPECT_DOUBLE_EQ(to_sec(1_s), 1.0);
+}
+
+TEST(Units, SizeLiterals) {
+  EXPECT_EQ(1_KiB, 1024u);
+  EXPECT_EQ(1_MiB, 1024u * 1024u);
+  EXPECT_EQ(2_GiB, 2ull * 1024 * 1024 * 1024);
+}
+
+TEST(Check, SimExpectThrowsSimError) {
+  EXPECT_NO_THROW(sim_expect(true, "ok"));
+  EXPECT_THROW(sim_expect(false, "bad"), SimError);
+}
+
+TEST(Check, RequireThrowsLogicError) {
+  EXPECT_NO_THROW(require(true, "ok"));
+  EXPECT_THROW(require(false, "bug"), std::logic_error);
+}
+
+TEST(Stats, MeanMinMax) {
+  Samples s;
+  s.add(1);
+  s.add(2);
+  s.add(6);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 6.0);
+  EXPECT_EQ(s.count(), 3u);
+}
+
+TEST(Stats, PercentileNearestRank) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 50.0);
+  EXPECT_DOUBLE_EQ(s.percentile(99), 99.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+}
+
+TEST(Stats, EmptySampleSetRejectsQueries) {
+  Samples s;
+  EXPECT_THROW(s.mean(), std::logic_error);
+  EXPECT_THROW(s.percentile(50), std::logic_error);
+}
+
+TEST(Stats, Stddev) {
+  Samples s;
+  s.add(2);
+  s.add(4);
+  s.add(4);
+  s.add(4);
+  s.add(5);
+  s.add(5);
+  s.add(7);
+  s.add(9);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);
+}
+
+TEST(Table, AlignsColumnsAndCountsRows) {
+  Table t({"size", "latency"});
+  t.add_row({"8", "1.25"});
+  t.add_row({"1024", "3.50"});
+  EXPECT_EQ(t.rows(), 2u);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("size"), std::string::npos);
+  EXPECT_NE(out.find("1024"), std::string::npos);
+}
+
+TEST(Table, RejectsArityMismatch) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::logic_error);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, NumFormatsPrecision) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+TEST(Bytes, FormatSize) {
+  EXPECT_EQ(format_size(512), "512");
+  EXPECT_EQ(format_size(1024), "1K");
+  EXPECT_EQ(format_size(64 * 1024), "64K");
+  EXPECT_EQ(format_size(1024 * 1024), "1M");
+  EXPECT_EQ(format_size(3 * 1024 * 1024), "3M");
+  EXPECT_EQ(format_size(1ull << 30), "1G");
+  EXPECT_EQ(format_size(1500), "1500");
+}
+
+TEST(Bytes, PatternRoundTrip) {
+  auto p = pattern_bytes(7, 1000);
+  EXPECT_TRUE(check_pattern(p, 7));
+  EXPECT_FALSE(check_pattern(p, 8));
+  p[500] ^= std::byte{0xFF};
+  EXPECT_FALSE(check_pattern(p, 7));
+}
+
+TEST(Bytes, PatternDiffersAcrossSeeds) {
+  EXPECT_NE(pattern_bytes(1, 64), pattern_bytes(2, 64));
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DiffersAcrossSeeds) {
+  Rng a(1);
+  Rng b(2);
+  EXPECT_NE(a(), b());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(42);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Rng r(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.below(17), 17u);
+}
+
+}  // namespace
+}  // namespace dpu

@@ -1,0 +1,107 @@
+// Tests for Finalize_Offload (clean proxy shutdown, Listing 2) and the
+// trace integration (fig. 1 timelines).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/bytes.h"
+#include "common/units.h"
+#include "harness/world.h"
+
+namespace dpu {
+namespace {
+
+using harness::Rank;
+using harness::World;
+
+machine::ClusterSpec spec_of(int nodes, int ppn, int proxies = 1) {
+  machine::ClusterSpec s;
+  s.nodes = nodes;
+  s.host_procs_per_node = ppn;
+  s.proxies_per_dpu = proxies;
+  return s;
+}
+
+TEST(Finalize, ProxiesExitAfterAllHostsFinalize) {
+  World w(spec_of(2, 2, 1));
+  w.launch_all([&](Rank& r) -> sim::Task<void> {
+    const int peer = (r.rank + 2) % 4;
+    const std::size_t len = 8_KiB;
+    const auto s = r.mem().alloc(len);
+    const auto d = r.mem().alloc(len);
+    r.mem().write(s, pattern_bytes(static_cast<std::uint64_t>(r.rank), len));
+    auto qs = co_await r.off->send_offload(s, len, peer, 0);
+    auto qr = co_await r.off->recv_offload(d, len, peer, 0);
+    co_await r.off->wait(qs);
+    co_await r.off->wait(qr);
+    EXPECT_TRUE(check_pattern(r.mem().read(d, len), static_cast<std::uint64_t>(peer)));
+    co_await r.off->finalize();
+  });
+  w.run();
+  // Offload proxies ended; only the (never-finalized) BluesMPI workers may
+  // remain parked.
+  for (const auto& name : w.engine().live_process_names()) {
+    EXPECT_EQ(name.rfind("blues", 0), 0u) << name;
+  }
+}
+
+TEST(Finalize, ProxyWaitsForSlowestMappedHost) {
+  // Two hosts share one proxy; the proxy must not exit after the first
+  // host's finalize while the second still has traffic in flight.
+  World w(spec_of(2, 2, 1));
+  w.launch_all([&](Rank& r) -> sim::Task<void> {
+    const int peer = (r.rank + 2) % 4;
+    const std::size_t len = 16_KiB;
+    const auto s = r.mem().alloc(len, false);
+    const auto d = r.mem().alloc(len, false);
+    if (r.rank % 2 == 1) co_await r.compute(2_ms);  // odd ranks start late
+    auto qs = co_await r.off->send_offload(s, len, peer, 0);
+    auto qr = co_await r.off->recv_offload(d, len, peer, 0);
+    co_await r.off->wait(qs);
+    co_await r.off->wait(qr);
+    co_await r.off->finalize();
+  });
+  EXPECT_NO_THROW(w.run());
+}
+
+TEST(TraceIntegration, RecordsComputeAndWireSpans) {
+  World w(spec_of(2, 1, 1));
+  auto& trace = w.enable_trace();
+  w.launch_all([&](Rank& r) -> sim::Task<void> {
+    const std::size_t len = 64_KiB;
+    const int peer = 1 - r.rank;
+    const auto s = r.mem().alloc(len, false);
+    const auto d = r.mem().alloc(len, false);
+    auto qs = co_await r.mpi->isend(s, len, peer, 0);
+    auto qr = co_await r.mpi->irecv(d, len, peer, 0);
+    co_await r.compute(500_us);
+    co_await r.mpi->wait(qr);
+    co_await r.mpi->wait(qs);
+  });
+  w.run();
+  const auto& spans = trace.spans();
+  EXPECT_FALSE(spans.empty());
+  const bool has_compute = std::any_of(spans.begin(), spans.end(), [](const auto& s) {
+    return s.category == "compute" && s.actor.rfind("host:", 0) == 0;
+  });
+  const bool has_wire = std::any_of(spans.begin(), spans.end(), [](const auto& s) {
+    return s.category == "xfer" && s.actor.rfind("wire:", 0) == 0;
+  });
+  EXPECT_TRUE(has_compute);
+  EXPECT_TRUE(has_wire);
+  // And it renders.
+  std::ostringstream os;
+  trace.print_timeline(os, 60);
+  EXPECT_NE(os.str().find("host:0"), std::string::npos);
+}
+
+TEST(TraceIntegration, DisabledByDefaultCostsNothing) {
+  World w(spec_of(2, 1, 1));
+  EXPECT_EQ(w.engine().trace(), nullptr);
+  w.launch_all([&](Rank& r) -> sim::Task<void> { co_await r.compute(1_us); });
+  EXPECT_NO_THROW(w.run());
+}
+
+}  // namespace
+}  // namespace dpu

@@ -1,0 +1,161 @@
+// Tests for the harness: World wiring, launch semantics, failure
+// propagation, the OMB overlap formula, RankSeries, and the trace timeline.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/check.h"
+#include "common/units.h"
+#include "harness/measure.h"
+#include "harness/world.h"
+#include "sim/trace.h"
+
+namespace dpu::harness {
+namespace {
+
+machine::ClusterSpec small_spec() {
+  machine::ClusterSpec s;
+  s.nodes = 2;
+  s.host_procs_per_node = 2;
+  s.proxies_per_dpu = 1;
+  return s;
+}
+
+TEST(World, WiresAllSubsystems) {
+  World w(small_spec());
+  EXPECT_EQ(w.spec().total_host_ranks(), 4);
+  EXPECT_EQ(w.mpi().world()->size(), 4);
+  // Proxies were spawned and parked.
+  EXPECT_FALSE(w.engine().live_process_names().empty());
+}
+
+TEST(World, RankContextIsComplete) {
+  World w(small_spec());
+  w.launch(2, [](Rank& r) -> sim::Task<void> {
+    EXPECT_EQ(r.rank, 2);
+    EXPECT_NE(r.mpi, nullptr);
+    EXPECT_NE(r.off, nullptr);
+    EXPECT_NE(r.blues, nullptr);
+    EXPECT_NE(r.vctx, nullptr);
+    EXPECT_EQ(r.mpi->rank(), 2);
+    co_return;
+  });
+  w.run();
+}
+
+TEST(World, LaunchRejectsProxyIds) {
+  World w(small_spec());
+  EXPECT_THROW(w.launch(w.spec().proxy_id(0, 0), [](Rank&) -> sim::Task<void> { co_return; }),
+               std::logic_error);
+}
+
+TEST(World, RunPropagatesRankExceptions) {
+  World w(small_spec());
+  w.launch(0, [](Rank&) -> sim::Task<void> {
+    throw SimError("application failure");
+    co_return;
+  });
+  EXPECT_THROW(w.run(), SimError);
+}
+
+TEST(World, RunReportsDeadlockedRanksByName) {
+  World w(small_spec());
+  w.launch(0, [](Rank& r) -> sim::Task<void> {
+    const auto buf = r.mem().alloc(64, false);
+    co_await r.mpi->recv(buf, 64, 1, 0);  // nobody sends
+  });
+  try {
+    w.run();
+    FAIL() << "expected deadlock";
+  } catch (const SimError& e) {
+    EXPECT_NE(std::string(e.what()).find("rank0"), std::string::npos);
+  }
+}
+
+TEST(World, WithoutOffloadStillRunsMpi) {
+  World w(small_spec(), /*with_offload=*/false);
+  w.launch_all([](Rank& r) -> sim::Task<void> {
+    EXPECT_EQ(r.off, nullptr);
+    co_await r.mpi->barrier(*r.world->mpi().world());
+  });
+  w.run();
+}
+
+TEST(World, StatsSummaryReflectsActivity) {
+  World w(small_spec());
+  w.launch_all([](Rank& r) -> sim::Task<void> {
+    const int peer = (r.rank + 2) % 4;
+    const auto s = r.mem().alloc(4_KiB, false);
+    const auto d = r.mem().alloc(4_KiB, false);
+    auto qs = co_await r.off->send_offload(s, 4_KiB, peer, 0);
+    auto qr = co_await r.off->recv_offload(d, 4_KiB, peer, 0);
+    co_await r.off->wait(qs);
+    co_await r.off->wait(qr);
+  });
+  w.run();
+  const std::string s = w.stats_summary();
+  EXPECT_NE(s.find("fabric:"), std::string::npos);
+  EXPECT_NE(s.find("misses"), std::string::npos);
+  EXPECT_EQ(s.find("fabric: 0 messages"), std::string::npos);  // traffic happened
+}
+
+TEST(Measure, OverlapFormulaMatchesOmb) {
+  // Perfect overlap: overall == compute -> 100%.
+  EXPECT_DOUBLE_EQ(overlap_pct(100.0, 100.0, 50.0), 100.0);
+  // No overlap: overall == compute + pure -> 0%.
+  EXPECT_DOUBLE_EQ(overlap_pct(150.0, 100.0, 50.0), 0.0);
+  // Half overlap.
+  EXPECT_DOUBLE_EQ(overlap_pct(125.0, 100.0, 50.0), 50.0);
+  // Clamped below zero and above 100.
+  EXPECT_DOUBLE_EQ(overlap_pct(200.0, 100.0, 50.0), 0.0);
+  EXPECT_DOUBLE_EQ(overlap_pct(90.0, 100.0, 50.0), 100.0);
+}
+
+TEST(Measure, OverlapRejectsZeroPureTime) {
+  EXPECT_THROW(overlap_pct(1.0, 1.0, 0.0), std::logic_error);
+}
+
+TEST(Measure, RankSeriesReduces) {
+  RankSeries s;
+  s.record(0, 10.0);
+  s.record(1, 30.0);
+  s.record(2, 20.0);
+  EXPECT_DOUBLE_EQ(s.max(), 30.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 20.0);
+  EXPECT_EQ(s.count(), 3u);
+  s.record(1, 5.0);  // overwrite, not append
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.max(), 20.0);
+}
+
+TEST(Trace, TimelineRendersActorsAndSpans) {
+  sim::Trace tr;
+  tr.add("host:0", "compute", "gemm", 0, 50_us);
+  tr.add("host:0", "xfer", "send", 50_us, 60_us);
+  tr.add("dpu:0", "xfer", "proxy write", 10_us, 55_us);
+  std::ostringstream os;
+  tr.print_timeline(os, 40);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("host:0"), std::string::npos);
+  EXPECT_NE(out.find("dpu:0"), std::string::npos);
+  EXPECT_NE(out.find("c"), std::string::npos);  // compute marks
+  EXPECT_NE(out.find("x"), std::string::npos);  // xfer marks
+}
+
+TEST(Trace, EmptyTraceRendersPlaceholder) {
+  sim::Trace tr;
+  std::ostringstream os;
+  tr.print_timeline(os);
+  EXPECT_NE(os.str().find("empty"), std::string::npos);
+}
+
+TEST(Trace, ClearResets) {
+  sim::Trace tr;
+  tr.add("a", "c", "x", 0, 1);
+  EXPECT_EQ(tr.spans().size(), 1u);
+  tr.clear();
+  EXPECT_TRUE(tr.spans().empty());
+}
+
+}  // namespace
+}  // namespace dpu::harness

@@ -1,0 +1,180 @@
+// Unit tests for the cluster spec, cost model, and address spaces.
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "common/units.h"
+#include "machine/address_space.h"
+#include "machine/spec.h"
+
+namespace dpu::machine {
+namespace {
+
+ClusterSpec spec_16x32() {
+  ClusterSpec s;
+  s.nodes = 16;
+  s.host_procs_per_node = 32;
+  s.proxies_per_dpu = 4;
+  return s;
+}
+
+TEST(ClusterSpec, RankCounts) {
+  auto s = spec_16x32();
+  EXPECT_EQ(s.total_host_ranks(), 512);
+  EXPECT_EQ(s.total_proxies(), 64);
+  EXPECT_EQ(s.total_procs(), 576);
+}
+
+TEST(ClusterSpec, HostProxyPartition) {
+  auto s = spec_16x32();
+  EXPECT_TRUE(s.is_host(0));
+  EXPECT_TRUE(s.is_host(511));
+  EXPECT_FALSE(s.is_host(512));
+  EXPECT_TRUE(s.is_proxy(512));
+  EXPECT_TRUE(s.is_proxy(575));
+  EXPECT_FALSE(s.is_proxy(576));
+}
+
+TEST(ClusterSpec, NodeAssignment) {
+  auto s = spec_16x32();
+  EXPECT_EQ(s.node_of(0), 0);
+  EXPECT_EQ(s.node_of(31), 0);
+  EXPECT_EQ(s.node_of(32), 1);
+  EXPECT_EQ(s.node_of(511), 15);
+  EXPECT_EQ(s.node_of(512), 0);   // first proxy on node 0
+  EXPECT_EQ(s.node_of(516), 1);   // proxies_per_dpu = 4
+  EXPECT_EQ(s.node_of(575), 15);
+}
+
+TEST(ClusterSpec, CoreKinds) {
+  auto s = spec_16x32();
+  EXPECT_EQ(s.core_kind(5), CoreKind::kHost);
+  EXPECT_EQ(s.core_kind(520), CoreKind::kDpu);
+}
+
+TEST(ClusterSpec, ProxyMappingFollowsPaperFormula) {
+  auto s = spec_16x32();
+  // proxy_local_rank = host_source_rank % num_proxies_per_dpu, on the
+  // host's own node.
+  for (int rank : {0, 1, 4, 37, 511}) {
+    const int proxy = s.proxy_for_host(rank);
+    EXPECT_TRUE(s.is_proxy(proxy));
+    EXPECT_EQ(s.node_of(proxy), s.node_of(rank));
+    const int local = (proxy - s.total_host_ranks()) % s.proxies_per_dpu;
+    EXPECT_EQ(local, rank % s.proxies_per_dpu);
+  }
+}
+
+TEST(ClusterSpec, ProxyIdInverse) {
+  auto s = spec_16x32();
+  for (int node = 0; node < s.nodes; ++node) {
+    for (int local = 0; local < s.proxies_per_dpu; ++local) {
+      const int p = s.proxy_id(node, local);
+      EXPECT_TRUE(s.is_proxy(p));
+      EXPECT_EQ(s.node_of(p), node);
+    }
+  }
+}
+
+TEST(CostModel, DpuPostOverheadIsSlower) {
+  CostModel c;
+  EXPECT_GT(c.post_overhead(CoreKind::kDpu), c.post_overhead(CoreKind::kHost));
+}
+
+TEST(CostModel, WireTimeScalesLinearly) {
+  CostModel c;
+  EXPECT_EQ(c.wire_time(0), 0u);
+  EXPECT_NEAR(static_cast<double>(c.wire_time(2_MiB)),
+              2.0 * static_cast<double>(c.wire_time(1_MiB)), 2000.0);
+}
+
+TEST(CostModel, RegistrationGrowsWithPagesAndIsSlowOnDpu) {
+  CostModel c;
+  const auto small_host = c.reg_time(4_KiB, CoreKind::kHost);
+  const auto big_host = c.reg_time(1_MiB, CoreKind::kHost);
+  EXPECT_GT(big_host, small_host);
+  EXPECT_GT(c.reg_time(1_MiB, CoreKind::kDpu), big_host);
+  // GVMI registration strictly costlier than plain IB registration.
+  EXPECT_GT(c.gvmi_reg_time(64_KiB, CoreKind::kHost), c.reg_time(64_KiB, CoreKind::kHost));
+}
+
+TEST(AddressSpace, AllocAndBounds) {
+  AddressSpace as;
+  const Addr a = as.alloc(100);
+  EXPECT_TRUE(as.contains(a, 100));
+  EXPECT_TRUE(as.contains(a + 50, 50));
+  EXPECT_FALSE(as.contains(a + 50, 51));
+  EXPECT_FALSE(as.contains(a - 1, 1));
+  EXPECT_FALSE(as.contains(a, 0));
+}
+
+TEST(AddressSpace, DistinctBuffersDoNotOverlap) {
+  AddressSpace as;
+  const Addr a = as.alloc(4096);
+  const Addr b = as.alloc(4096);
+  EXPECT_NE(a, b);
+  EXPECT_FALSE(as.contains(a, static_cast<std::size_t>(b - a) + 1));
+}
+
+TEST(AddressSpace, BackedReadWriteRoundTrip) {
+  AddressSpace as;
+  const Addr a = as.alloc(256, /*backed=*/true);
+  auto payload = pattern_bytes(3, 256);
+  as.write(a, payload);
+  EXPECT_EQ(as.read(a, 256), payload);
+  // Partial read at an offset.
+  auto part = as.read(a + 10, 20);
+  EXPECT_TRUE(std::equal(part.begin(), part.end(), payload.begin() + 10));
+}
+
+TEST(AddressSpace, UnbackedBuffersAreTimingOnly) {
+  AddressSpace as;
+  const Addr a = as.alloc(64, /*backed=*/false);
+  EXPECT_FALSE(as.backed(a));
+  auto payload = pattern_bytes(1, 64);
+  EXPECT_NO_THROW(as.write(a, payload));
+  EXPECT_TRUE(as.read(a, 64).empty());
+}
+
+TEST(AddressSpace, OutOfBoundsAccessThrows) {
+  AddressSpace as;
+  const Addr a = as.alloc(64);
+  EXPECT_THROW(as.read(a, 65), std::logic_error);
+  EXPECT_THROW(as.read(a + 64, 1), std::logic_error);
+  EXPECT_THROW((void)as.read(Addr{1}, 1), std::logic_error);
+}
+
+TEST(AddressSpace, CopyBetweenSpaces) {
+  AddressSpace src;
+  AddressSpace dst;
+  const Addr a = src.alloc(128);
+  const Addr b = dst.alloc(128);
+  auto payload = pattern_bytes(9, 128);
+  src.write(a, payload);
+  AddressSpace::copy(src, a, dst, b, 128);
+  EXPECT_EQ(dst.read(b, 128), payload);
+}
+
+TEST(AddressSpace, CopyWithUnbackedSideIsNoop) {
+  AddressSpace src;
+  AddressSpace dst;
+  const Addr a = src.alloc(32, /*backed=*/false);
+  const Addr b = dst.alloc(32, /*backed=*/true);
+  EXPECT_NO_THROW(AddressSpace::copy(src, a, dst, b, 32));
+  EXPECT_EQ(dst.read(b, 32), std::vector<std::byte>(32, std::byte{0}));
+}
+
+TEST(AddressSpace, ReleaseInvalidatesBuffer) {
+  AddressSpace as;
+  const Addr a = as.alloc(64);
+  as.release(a);
+  EXPECT_FALSE(as.contains(a, 1));
+  EXPECT_THROW(as.release(a), std::logic_error);
+}
+
+TEST(AddressSpace, ZeroLengthAllocRejected) {
+  AddressSpace as;
+  EXPECT_THROW(as.alloc(0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace dpu::machine

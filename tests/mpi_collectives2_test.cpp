@@ -1,0 +1,155 @@
+// Tests for the second wave of minimpi collectives: gather, scatter,
+// reduce_sum, sendrecv.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <functional>
+#include <memory>
+
+#include "common/bytes.h"
+#include "common/units.h"
+#include "fabric/fabric.h"
+#include "machine/spec.h"
+#include "mpi/mpi.h"
+#include "sim/engine.h"
+#include "verbs/verbs.h"
+
+namespace dpu::mpi {
+namespace {
+
+struct MpiFixture {
+  machine::ClusterSpec spec;
+  sim::Engine eng;
+  std::unique_ptr<fabric::Fabric> fab;
+  std::unique_ptr<verbs::Runtime> vrt;
+  std::unique_ptr<MpiWorld> mw;
+
+  explicit MpiFixture(int nodes, int ppn) {
+    spec.nodes = nodes;
+    spec.host_procs_per_node = ppn;
+    spec.proxies_per_dpu = 1;
+    fab = std::make_unique<fabric::Fabric>(eng, spec);
+    vrt = std::make_unique<verbs::Runtime>(eng, spec, *fab);
+    mw = std::make_unique<MpiWorld>(*vrt);
+  }
+
+  static sim::Task<void> invoke(std::function<sim::Task<void>(MpiCtx&)> prog, MpiCtx& ctx) {
+    co_await prog(ctx);
+  }
+
+  void launch_all(std::function<sim::Task<void>(MpiCtx&)> prog) {
+    for (int r = 0; r < spec.total_host_ranks(); ++r) {
+      eng.spawn(invoke(prog, mw->ctx(r)), "rank" + std::to_string(r));
+    }
+  }
+
+  void run_ok() { ASSERT_EQ(eng.run(), sim::RunResult::kCompleted); }
+};
+
+TEST(Gather, RootCollectsEveryBlock) {
+  for (int root : {0, 3}) {
+    MpiFixture f(2, 2);
+    const int n = 4;
+    f.launch_all([&, root](MpiCtx& ctx) -> sim::Task<void> {
+      const std::size_t b = 2_KiB;
+      const auto sbuf = ctx.vctx().mem().alloc(b);
+      ctx.vctx().mem().write(sbuf, pattern_bytes(static_cast<std::uint64_t>(ctx.rank()), b));
+      machine::Addr rbuf = 0;
+      if (ctx.rank() == root) rbuf = ctx.vctx().mem().alloc(b * n);
+      co_await ctx.gather(sbuf, rbuf, b, root, *f.mw->world());
+      if (ctx.rank() == root) {
+        for (int s = 0; s < n; ++s) {
+          EXPECT_TRUE(
+              check_pattern(ctx.vctx().mem().read(rbuf + static_cast<machine::Addr>(s) * b, b),
+                            static_cast<std::uint64_t>(s)))
+              << "root " << root << " block " << s;
+        }
+      }
+    });
+    f.run_ok();
+  }
+}
+
+TEST(Scatter, EveryRankGetsItsBlock) {
+  MpiFixture f(3, 1);
+  const int n = 3;
+  f.launch_all([&, n](MpiCtx& ctx) -> sim::Task<void> {
+    const std::size_t b = 1_KiB;
+    machine::Addr sbuf = 0;
+    if (ctx.rank() == 0) {
+      sbuf = ctx.vctx().mem().alloc(b * n);
+      for (int d = 0; d < n; ++d) {
+        ctx.vctx().mem().write(sbuf + static_cast<machine::Addr>(d) * b,
+                               pattern_bytes(static_cast<std::uint64_t>(100 + d), b));
+      }
+    }
+    const auto rbuf = ctx.vctx().mem().alloc(b);
+    co_await ctx.scatter(sbuf, rbuf, b, 0, *f.mw->world());
+    EXPECT_TRUE(check_pattern(ctx.vctx().mem().read(rbuf, b),
+                              static_cast<std::uint64_t>(100 + ctx.rank())));
+  });
+  f.run_ok();
+}
+
+TEST(ReduceSum, RootGetsElementwiseSum) {
+  MpiFixture f(2, 2);
+  f.launch_all([&](MpiCtx& ctx) -> sim::Task<void> {
+    const std::size_t count = 8;
+    const std::size_t bytes = count * sizeof(double);
+    const auto sbuf = ctx.vctx().mem().alloc(bytes);
+    std::vector<std::byte> raw(bytes);
+    for (std::size_t i = 0; i < count; ++i) {
+      const double v = static_cast<double>(ctx.rank()) + static_cast<double>(i) * 0.5;
+      std::memcpy(raw.data() + i * sizeof(double), &v, sizeof(double));
+    }
+    ctx.vctx().mem().write(sbuf, raw);
+    machine::Addr rbuf = 0;
+    if (ctx.rank() == 0) rbuf = ctx.vctx().mem().alloc(bytes);
+    co_await ctx.reduce_sum(sbuf, rbuf, count, 0, *f.mw->world());
+    if (ctx.rank() == 0) {
+      auto out = ctx.vctx().mem().read(rbuf, bytes);
+      for (std::size_t i = 0; i < count; ++i) {
+        double got;
+        std::memcpy(&got, out.data() + i * sizeof(double), sizeof(double));
+        // sum over ranks r of (r + 0.5 i) = 6 + 4*0.5*i
+        EXPECT_NEAR(got, 6.0 + 2.0 * static_cast<double>(i), 1e-9) << i;
+      }
+    }
+  });
+  f.run_ok();
+}
+
+TEST(SendRecv, ExchangesWithoutDeadlockInBothDirections) {
+  MpiFixture f(2, 1);
+  f.launch_all([&](MpiCtx& ctx) -> sim::Task<void> {
+    const std::size_t len = 200_KiB;  // rendezvous: would deadlock if serial
+    const int peer = 1 - ctx.rank();
+    const auto s = ctx.vctx().mem().alloc(len);
+    const auto d = ctx.vctx().mem().alloc(len);
+    ctx.vctx().mem().write(s, pattern_bytes(static_cast<std::uint64_t>(ctx.rank()), len));
+    co_await ctx.sendrecv(s, len, peer, 1, d, len, peer, 1);
+    EXPECT_TRUE(check_pattern(ctx.vctx().mem().read(d, len),
+                              static_cast<std::uint64_t>(peer)));
+  });
+  f.run_ok();
+}
+
+TEST(SendRecv, RingRotation) {
+  MpiFixture f(3, 2);
+  const int n = 6;
+  f.launch_all([&, n](MpiCtx& ctx) -> sim::Task<void> {
+    const std::size_t len = 4_KiB;
+    const int right = (ctx.rank() + 1) % n;
+    const int left = (ctx.rank() - 1 + n) % n;
+    const auto s = ctx.vctx().mem().alloc(len);
+    const auto d = ctx.vctx().mem().alloc(len);
+    ctx.vctx().mem().write(s, pattern_bytes(static_cast<std::uint64_t>(ctx.rank()), len));
+    co_await ctx.sendrecv(s, len, right, 0, d, len, left, 0);
+    EXPECT_TRUE(
+        check_pattern(ctx.vctx().mem().read(d, len), static_cast<std::uint64_t>(left)));
+  });
+  f.run_ok();
+}
+
+}  // namespace
+}  // namespace dpu::mpi

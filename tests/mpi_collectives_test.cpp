@@ -1,0 +1,280 @@
+// Tests for minimpi collectives: correctness across sizes/rank counts and
+// progress-dependency behaviour of nonblocking schedules.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <functional>
+#include <memory>
+
+#include "common/bytes.h"
+#include "common/units.h"
+#include "fabric/fabric.h"
+#include "machine/spec.h"
+#include "mpi/mpi.h"
+#include "sim/engine.h"
+#include "verbs/verbs.h"
+
+namespace dpu::mpi {
+namespace {
+
+struct MpiFixture {
+  machine::ClusterSpec spec;
+  sim::Engine eng;
+  std::unique_ptr<fabric::Fabric> fab;
+  std::unique_ptr<verbs::Runtime> vrt;
+  std::unique_ptr<MpiWorld> mw;
+
+  explicit MpiFixture(int nodes, int ppn) {
+    spec.nodes = nodes;
+    spec.host_procs_per_node = ppn;
+    spec.proxies_per_dpu = 1;
+    fab = std::make_unique<fabric::Fabric>(eng, spec);
+    vrt = std::make_unique<verbs::Runtime>(eng, spec, *fab);
+    mw = std::make_unique<MpiWorld>(*vrt);
+  }
+
+  static sim::Task<void> invoke(std::function<sim::Task<void>(MpiCtx&)> prog, MpiCtx& ctx) {
+    co_await prog(ctx);
+  }
+
+  void launch_all(std::function<sim::Task<void>(MpiCtx&)> prog) {
+    for (int r = 0; r < spec.total_host_ranks(); ++r) {
+      eng.spawn(invoke(prog, mw->ctx(r)), "rank" + std::to_string(r));
+    }
+  }
+
+  void run_ok() { ASSERT_EQ(eng.run(), sim::RunResult::kCompleted); }
+};
+
+struct CollCase {
+  int nodes;
+  int ppn;
+  std::size_t bytes;
+};
+
+std::string coll_name(const ::testing::TestParamInfo<CollCase>& info) {
+  return "n" + std::to_string(info.param.nodes) + "x" + std::to_string(info.param.ppn) +
+         "_" + format_size(info.param.bytes);
+}
+
+class AlltoallSweep : public ::testing::TestWithParam<CollCase> {};
+
+TEST_P(AlltoallSweep, DeliversAllBlocks) {
+  const auto p = GetParam();
+  MpiFixture f(p.nodes, p.ppn);
+  const int n = f.spec.total_host_ranks();
+  int checked = 0;
+  f.launch_all([&, n](MpiCtx& ctx) -> sim::Task<void> {
+    const int me = ctx.rank();
+    const std::size_t bpr = GetParam().bytes;
+    const auto sbuf = ctx.vctx().mem().alloc(bpr * static_cast<std::size_t>(n));
+    const auto rbuf = ctx.vctx().mem().alloc(bpr * static_cast<std::size_t>(n));
+    // Block for destination d is pattern(me * n + d).
+    for (int d = 0; d < n; ++d) {
+      ctx.vctx().mem().write(sbuf + static_cast<machine::Addr>(d) * bpr,
+                             pattern_bytes(static_cast<std::uint64_t>(me * n + d), bpr));
+    }
+    co_await ctx.alltoall(sbuf, rbuf, bpr, *f.mw->world());
+    for (int s = 0; s < n; ++s) {
+      EXPECT_TRUE(check_pattern(ctx.vctx().mem().read(rbuf + static_cast<machine::Addr>(s) * bpr, bpr),
+                                static_cast<std::uint64_t>(s * n + me)))
+          << "rank " << me << " block from " << s;
+    }
+    ++checked;
+  });
+  f.run_ok();
+  EXPECT_EQ(checked, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, AlltoallSweep,
+                         ::testing::Values(CollCase{1, 2, 1_KiB}, CollCase{2, 1, 512},
+                                           CollCase{2, 2, 4_KiB}, CollCase{2, 2, 64_KiB},
+                                           CollCase{3, 3, 2_KiB}, CollCase{4, 4, 1_KiB},
+                                           CollCase{4, 2, 32_KiB}),
+                         coll_name);
+
+class BcastSweep : public ::testing::TestWithParam<CollCase> {};
+
+TEST_P(BcastSweep, BinomialDeliversFromEveryRoot) {
+  const auto p = GetParam();
+  MpiFixture f(p.nodes, p.ppn);
+  const int n = f.spec.total_host_ranks();
+  const int root = n - 1;
+  f.launch_all([&, root](MpiCtx& ctx) -> sim::Task<void> {
+    const std::size_t len = GetParam().bytes;
+    const auto buf = ctx.vctx().mem().alloc(len);
+    if (ctx.rank() == root) ctx.vctx().mem().write(buf, pattern_bytes(123, len));
+    co_await ctx.bcast(buf, len, root, *f.mw->world());
+    EXPECT_TRUE(check_pattern(ctx.vctx().mem().read(buf, len), 123)) << ctx.rank();
+  });
+  f.run_ok();
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, BcastSweep,
+                         ::testing::Values(CollCase{2, 2, 1_KiB}, CollCase{2, 2, 128_KiB},
+                                           CollCase{3, 2, 4_KiB}, CollCase{4, 4, 16_KiB},
+                                           CollCase{5, 1, 2_KiB}),
+                         coll_name);
+
+TEST(Collectives, RingBcastDeliversAndOrdersByHops) {
+  MpiFixture f(4, 1);
+  std::vector<SimTime> arrival(4, 0);
+  f.launch_all([&](MpiCtx& ctx) -> sim::Task<void> {
+    const auto buf = ctx.vctx().mem().alloc(64_KiB);
+    if (ctx.rank() == 0) ctx.vctx().mem().write(buf, pattern_bytes(5, 64_KiB));
+    auto req = co_await ctx.ibcast_ring(buf, 64_KiB, 0, *f.mw->world());
+    co_await ctx.wait(req);
+    arrival[static_cast<std::size_t>(ctx.rank())] = f.eng.now();
+    EXPECT_TRUE(check_pattern(ctx.vctx().mem().read(buf, 64_KiB), 5));
+  });
+  f.run_ok();
+  // Hop dependency: the tail rank can only finish after earlier hops began
+  // forwarding (middle ranks' wait() also covers their forward-send, so
+  // only first-vs-last ordering is guaranteed).
+  EXPECT_LT(arrival[1], arrival[3]);
+  EXPECT_LT(arrival[2], arrival[3] + 2_ms);
+}
+
+TEST(Collectives, AllgatherRing) {
+  MpiFixture f(3, 2);
+  const int n = f.spec.total_host_ranks();
+  f.launch_all([&, n](MpiCtx& ctx) -> sim::Task<void> {
+    const std::size_t b = 2_KiB;
+    const auto sbuf = ctx.vctx().mem().alloc(b);
+    const auto rbuf = ctx.vctx().mem().alloc(b * static_cast<std::size_t>(n));
+    ctx.vctx().mem().write(sbuf, pattern_bytes(static_cast<std::uint64_t>(ctx.rank()), b));
+    auto req = co_await ctx.iallgather(sbuf, rbuf, b, *f.mw->world());
+    co_await ctx.wait(req);
+    for (int s = 0; s < n; ++s) {
+      EXPECT_TRUE(check_pattern(ctx.vctx().mem().read(rbuf + static_cast<machine::Addr>(s) * b, b),
+                                static_cast<std::uint64_t>(s)));
+    }
+  });
+  f.run_ok();
+}
+
+TEST(Collectives, BarrierSynchronizes) {
+  MpiFixture f(2, 2);
+  SimTime slow_release = 0;
+  std::vector<SimTime> release(4, 0);
+  f.launch_all([&](MpiCtx& ctx) -> sim::Task<void> {
+    if (ctx.rank() == 3) {
+      co_await ctx.compute(1_ms);
+      slow_release = f.eng.now();
+    }
+    co_await ctx.barrier(*f.mw->world());
+    release[static_cast<std::size_t>(ctx.rank())] = f.eng.now();
+  });
+  f.run_ok();
+  for (auto t : release) EXPECT_GE(t, slow_release);
+}
+
+TEST(Collectives, AllreduceSumsDoubles) {
+  for (int n_ranks : {2, 3, 4, 6, 8}) {
+    MpiFixture f(n_ranks, 1);
+    const std::size_t count = 16;
+    f.launch_all([&, count](MpiCtx& ctx) -> sim::Task<void> {
+      const std::size_t bytes = count * sizeof(double);
+      const auto sbuf = ctx.vctx().mem().alloc(bytes);
+      const auto rbuf = ctx.vctx().mem().alloc(bytes);
+      std::vector<std::byte> raw(bytes);
+      for (std::size_t i = 0; i < count; ++i) {
+        const double v = static_cast<double>(ctx.rank() + 1) * static_cast<double>(i + 1);
+        std::memcpy(raw.data() + i * sizeof(double), &v, sizeof(double));
+      }
+      ctx.vctx().mem().write(sbuf, raw);
+      co_await ctx.allreduce_sum(sbuf, rbuf, count, *f.mw->world());
+      auto out = ctx.vctx().mem().read(rbuf, bytes);
+      const int n = ctx.size();
+      const double rank_sum = static_cast<double>(n) * static_cast<double>(n + 1) / 2.0;
+      for (std::size_t i = 0; i < count; ++i) {
+        double got;
+        std::memcpy(&got, out.data() + i * sizeof(double), sizeof(double));
+        EXPECT_NEAR(got, rank_sum * static_cast<double>(i + 1), 1e-9)
+            << "rank " << ctx.rank() << " elem " << i;
+      }
+    });
+    f.run_ok();
+  }
+}
+
+TEST(Collectives, SubCommunicatorsIsolateTraffic) {
+  MpiFixture f(2, 2);
+  // Rows {0,1} and {2,3} run independent alltoalls with different data.
+  f.launch_all([&](MpiCtx& ctx) -> sim::Task<void> {
+    const int me = ctx.rank();
+    const std::vector<int> group = me < 2 ? std::vector<int>{0, 1} : std::vector<int>{2, 3};
+    auto comm = f.mw->create_comm(group);
+    const std::size_t b = 1_KiB;
+    const auto sbuf = ctx.vctx().mem().alloc(2 * b);
+    const auto rbuf = ctx.vctx().mem().alloc(2 * b);
+    for (int d = 0; d < 2; ++d) {
+      ctx.vctx().mem().write(sbuf + static_cast<machine::Addr>(d) * b,
+                             pattern_bytes(static_cast<std::uint64_t>(100 * me + d), b));
+    }
+    co_await ctx.alltoall(sbuf, rbuf, b, *comm);
+    const int my_local = comm->rank_of_world(me);
+    for (int s = 0; s < 2; ++s) {
+      const int world_src = comm->world_rank(s);
+      EXPECT_TRUE(
+          check_pattern(ctx.vctx().mem().read(rbuf + static_cast<machine::Addr>(s) * b, b),
+                        static_cast<std::uint64_t>(100 * world_src + my_local)));
+    }
+  });
+  f.run_ok();
+}
+
+TEST(Collectives, IbcastNeedsDownstreamProgress) {
+  // A middle rank that computes without testing stalls the pipeline below
+  // it — the §II-A semantic limitation for tree/ring collectives.
+  MpiFixture f(4, 1);
+  SimTime leaf_done = 0;
+  f.launch_all([&](MpiCtx& ctx) -> sim::Task<void> {
+    const auto buf = ctx.vctx().mem().alloc(256_KiB);
+    if (ctx.rank() == 0) ctx.vctx().mem().write(buf, pattern_bytes(1, 256_KiB));
+    auto req = co_await ctx.ibcast_ring(buf, 256_KiB, 0, *f.mw->world());
+    if (ctx.rank() == 1) co_await ctx.compute(10_ms);  // stalls the ring
+    co_await ctx.wait(req);
+    if (ctx.rank() == 3) leaf_done = f.eng.now();
+  });
+  f.run_ok();
+  EXPECT_GT(leaf_done, 10_ms);
+}
+
+TEST(Collectives, BackToBackIalltoallsWithDistinctBuffers) {
+  // The P3DFFT pattern: two nonblocking alltoalls in flight on different
+  // buffers, waited in order.
+  MpiFixture f(2, 2);
+  const int n = f.spec.total_host_ranks();
+  f.launch_all([&, n](MpiCtx& ctx) -> sim::Task<void> {
+    const std::size_t b = 8_KiB;
+    const auto nn = static_cast<std::size_t>(n);
+    const auto s1 = ctx.vctx().mem().alloc(b * nn);
+    const auto r1 = ctx.vctx().mem().alloc(b * nn);
+    const auto s2 = ctx.vctx().mem().alloc(b * nn);
+    const auto r2 = ctx.vctx().mem().alloc(b * nn);
+    for (int d = 0; d < n; ++d) {
+      ctx.vctx().mem().write(s1 + static_cast<machine::Addr>(d) * b,
+                             pattern_bytes(static_cast<std::uint64_t>(1000 + ctx.rank() * n + d), b));
+      ctx.vctx().mem().write(s2 + static_cast<machine::Addr>(d) * b,
+                             pattern_bytes(static_cast<std::uint64_t>(2000 + ctx.rank() * n + d), b));
+    }
+    auto q1 = co_await ctx.ialltoall(s1, r1, b, *f.mw->world());
+    auto q2 = co_await ctx.ialltoall(s2, r2, b, *f.mw->world());
+    co_await ctx.compute(20_us);
+    co_await ctx.wait(q1);
+    co_await ctx.wait(q2);
+    for (int s = 0; s < n; ++s) {
+      EXPECT_TRUE(check_pattern(
+          ctx.vctx().mem().read(r1 + static_cast<machine::Addr>(s) * b, b),
+          static_cast<std::uint64_t>(1000 + s * n + ctx.rank())));
+      EXPECT_TRUE(check_pattern(
+          ctx.vctx().mem().read(r2 + static_cast<machine::Addr>(s) * b, b),
+          static_cast<std::uint64_t>(2000 + s * n + ctx.rank())));
+    }
+  });
+  f.run_ok();
+}
+
+}  // namespace
+}  // namespace dpu::mpi

@@ -1,0 +1,307 @@
+// Tests for minimpi point-to-point: eager/rendezvous, inter/intra-node,
+// matching, ordering, progress semantics.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+
+#include "common/bytes.h"
+#include "common/units.h"
+#include "fabric/fabric.h"
+#include "machine/spec.h"
+#include "mpi/mpi.h"
+#include "sim/engine.h"
+#include "verbs/verbs.h"
+
+namespace dpu::mpi {
+namespace {
+
+struct MpiFixture {
+  machine::ClusterSpec spec;
+  sim::Engine eng;
+  std::unique_ptr<fabric::Fabric> fab;
+  std::unique_ptr<verbs::Runtime> vrt;
+  std::unique_ptr<MpiWorld> mw;
+
+  explicit MpiFixture(int nodes = 2, int ppn = 2) {
+    spec.nodes = nodes;
+    spec.host_procs_per_node = ppn;
+    spec.proxies_per_dpu = 1;
+    fab = std::make_unique<fabric::Fabric>(eng, spec);
+    vrt = std::make_unique<verbs::Runtime>(eng, spec, *fab);
+    mw = std::make_unique<MpiWorld>(*vrt);
+  }
+
+  // NB: `prog` must be a coroutine *parameter* (copied into the frame), not
+  // a lambda capture — a capturing lambda coroutine dangles once the lambda
+  // temporary dies.
+  static sim::Task<void> invoke(std::function<sim::Task<void>(MpiCtx&)> prog, MpiCtx& ctx) {
+    co_await prog(ctx);
+  }
+
+  void launch(int rank, std::function<sim::Task<void>(MpiCtx&)> prog) {
+    eng.spawn(invoke(std::move(prog), mw->ctx(rank)), "rank" + std::to_string(rank));
+  }
+
+  void run_ok() { ASSERT_EQ(eng.run(), sim::RunResult::kCompleted); }
+};
+
+// Sweep eager and rendezvous sizes for inter-node and intra-node pairs.
+struct P2PCase {
+  std::size_t len;
+  bool intra_node;
+};
+
+class P2PDataIntegrity : public ::testing::TestWithParam<P2PCase> {};
+
+TEST_P(P2PDataIntegrity, SendRecvDeliversExactBytes) {
+  const auto param = GetParam();
+  MpiFixture f;
+  const int receiver = param.intra_node ? 1 : 2;  // rank 1 shares node 0
+  bool checked = false;
+
+  f.launch(0, [&](MpiCtx& ctx) -> sim::Task<void> {
+    const auto buf = ctx.vctx().mem().alloc(param.len);
+    ctx.vctx().mem().write(buf, pattern_bytes(99, param.len));
+    co_await ctx.send(buf, param.len, receiver, 5);
+  });
+  f.launch(receiver, [&](MpiCtx& ctx) -> sim::Task<void> {
+    const auto buf = ctx.vctx().mem().alloc(param.len);
+    co_await ctx.recv(buf, param.len, 0, 5);
+    EXPECT_TRUE(check_pattern(ctx.vctx().mem().read(buf, param.len), 99));
+    checked = true;
+  });
+  f.run_ok();
+  EXPECT_TRUE(checked);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, P2PDataIntegrity,
+    ::testing::Values(P2PCase{1, false}, P2PCase{256, false}, P2PCase{16_KiB, false},
+                      P2PCase{16_KiB + 1, false}, P2PCase{128_KiB, false},
+                      P2PCase{1_MiB, false}, P2PCase{1, true}, P2PCase{256, true},
+                      P2PCase{16_KiB, true}, P2PCase{64_KiB, true}, P2PCase{1_MiB, true}),
+    [](const ::testing::TestParamInfo<P2PCase>& info) {
+      return (info.param.intra_node ? std::string("intra_") : std::string("inter_")) +
+             format_size(info.param.len);
+    });
+
+TEST(MpiP2P, UnexpectedEagerMessageIsBuffered) {
+  MpiFixture f;
+  bool got = false;
+  f.launch(0, [&](MpiCtx& ctx) -> sim::Task<void> {
+    const auto buf = ctx.vctx().mem().alloc(512);
+    ctx.vctx().mem().write(buf, pattern_bytes(7, 512));
+    co_await ctx.send(buf, 512, 2, 9);
+  });
+  f.launch(2, [&](MpiCtx& ctx) -> sim::Task<void> {
+    // Let the message arrive before the receive is posted.
+    co_await ctx.compute(50_us);
+    const auto buf = ctx.vctx().mem().alloc(512);
+    co_await ctx.recv(buf, 512, 0, 9);
+    EXPECT_TRUE(check_pattern(ctx.vctx().mem().read(buf, 512), 7));
+    got = true;
+  });
+  f.run_ok();
+  EXPECT_TRUE(got);
+}
+
+TEST(MpiP2P, UnexpectedRendezvousIsBuffered) {
+  MpiFixture f;
+  bool got = false;
+  f.launch(0, [&](MpiCtx& ctx) -> sim::Task<void> {
+    const auto buf = ctx.vctx().mem().alloc(256_KiB);
+    ctx.vctx().mem().write(buf, pattern_bytes(8, 256_KiB));
+    co_await ctx.send(buf, 256_KiB, 2, 9);
+  });
+  f.launch(2, [&](MpiCtx& ctx) -> sim::Task<void> {
+    co_await ctx.compute(100_us);
+    const auto buf = ctx.vctx().mem().alloc(256_KiB);
+    co_await ctx.recv(buf, 256_KiB, 0, 9);
+    EXPECT_TRUE(check_pattern(ctx.vctx().mem().read(buf, 256_KiB), 8));
+    got = true;
+  });
+  f.run_ok();
+  EXPECT_TRUE(got);
+}
+
+TEST(MpiP2P, TagsSeparateMessages) {
+  MpiFixture f;
+  f.launch(0, [&](MpiCtx& ctx) -> sim::Task<void> {
+    const auto a = ctx.vctx().mem().alloc(64);
+    const auto b = ctx.vctx().mem().alloc(64);
+    ctx.vctx().mem().write(a, pattern_bytes(1, 64));
+    ctx.vctx().mem().write(b, pattern_bytes(2, 64));
+    co_await ctx.send(a, 64, 2, 1);
+    co_await ctx.send(b, 64, 2, 2);
+  });
+  f.launch(2, [&](MpiCtx& ctx) -> sim::Task<void> {
+    const auto b = ctx.vctx().mem().alloc(64);
+    const auto a = ctx.vctx().mem().alloc(64);
+    // Receive in reverse tag order.
+    co_await ctx.recv(b, 64, 0, 2);
+    co_await ctx.recv(a, 64, 0, 1);
+    EXPECT_TRUE(check_pattern(ctx.vctx().mem().read(a, 64), 1));
+    EXPECT_TRUE(check_pattern(ctx.vctx().mem().read(b, 64), 2));
+  });
+  f.run_ok();
+}
+
+TEST(MpiP2P, SameTagMessagesMatchInOrder) {
+  MpiFixture f;
+  f.launch(0, [&](MpiCtx& ctx) -> sim::Task<void> {
+    const auto a = ctx.vctx().mem().alloc(64);
+    const auto b = ctx.vctx().mem().alloc(64);
+    ctx.vctx().mem().write(a, pattern_bytes(1, 64));
+    ctx.vctx().mem().write(b, pattern_bytes(2, 64));
+    co_await ctx.send(a, 64, 2, 7);
+    co_await ctx.send(b, 64, 2, 7);
+  });
+  f.launch(2, [&](MpiCtx& ctx) -> sim::Task<void> {
+    const auto first = ctx.vctx().mem().alloc(64);
+    const auto second = ctx.vctx().mem().alloc(64);
+    co_await ctx.recv(first, 64, 0, 7);
+    co_await ctx.recv(second, 64, 0, 7);
+    EXPECT_TRUE(check_pattern(ctx.vctx().mem().read(first, 64), 1));
+    EXPECT_TRUE(check_pattern(ctx.vctx().mem().read(second, 64), 2));
+  });
+  f.run_ok();
+}
+
+TEST(MpiP2P, PingPongBothDirections) {
+  MpiFixture f;
+  f.launch(0, [&](MpiCtx& ctx) -> sim::Task<void> {
+    const auto s = ctx.vctx().mem().alloc(1_KiB);
+    const auto r = ctx.vctx().mem().alloc(1_KiB);
+    ctx.vctx().mem().write(s, pattern_bytes(10, 1_KiB));
+    co_await ctx.send(s, 1_KiB, 2, 0);
+    co_await ctx.recv(r, 1_KiB, 2, 1);
+    EXPECT_TRUE(check_pattern(ctx.vctx().mem().read(r, 1_KiB), 11));
+  });
+  f.launch(2, [&](MpiCtx& ctx) -> sim::Task<void> {
+    const auto s = ctx.vctx().mem().alloc(1_KiB);
+    const auto r = ctx.vctx().mem().alloc(1_KiB);
+    ctx.vctx().mem().write(s, pattern_bytes(11, 1_KiB));
+    co_await ctx.recv(r, 1_KiB, 0, 0);
+    co_await ctx.send(s, 1_KiB, 0, 1);
+    EXPECT_TRUE(check_pattern(ctx.vctx().mem().read(r, 1_KiB), 10));
+  });
+  f.run_ok();
+}
+
+TEST(MpiP2P, IsendIrecvWithTestPolling) {
+  MpiFixture f;
+  f.launch(0, [&](MpiCtx& ctx) -> sim::Task<void> {
+    const auto buf = ctx.vctx().mem().alloc(128_KiB);
+    auto req = co_await ctx.isend(buf, 128_KiB, 2, 3);
+    int polls = 0;
+    while (!co_await ctx.test(req)) {
+      co_await ctx.compute(1_us);
+      ++polls;
+    }
+    EXPECT_GT(polls, 0);  // rendezvous cannot finish instantly
+  });
+  f.launch(2, [&](MpiCtx& ctx) -> sim::Task<void> {
+    const auto buf = ctx.vctx().mem().alloc(128_KiB);
+    auto req = co_await ctx.irecv(buf, 128_KiB, 0, 3);
+    co_await ctx.wait(req);
+  });
+  f.run_ok();
+}
+
+TEST(MpiP2P, RendezvousBlockedByBusyReceiverCpu) {
+  // The paper's §II-A effect: a rendezvous transfer cannot complete while
+  // the receiver is computing, because the CTS reply needs a progress call.
+  MpiFixture f;
+  SimTime send_done_busy = 0;
+  f.launch(0, [&](MpiCtx& ctx) -> sim::Task<void> {
+    const auto buf = ctx.vctx().mem().alloc(128_KiB);
+    auto req = co_await ctx.isend(buf, 128_KiB, 2, 1);
+    co_await ctx.wait(req);
+    send_done_busy = f.eng.now();
+  });
+  f.launch(2, [&](MpiCtx& ctx) -> sim::Task<void> {
+    const auto buf = ctx.vctx().mem().alloc(128_KiB);
+    auto req = co_await ctx.irecv(buf, 128_KiB, 0, 1);
+    co_await ctx.compute(5_ms);  // long compute, no progress
+    co_await ctx.wait(req);
+  });
+  f.run_ok();
+  // Sender can only finish after the receiver's compute phase ends.
+  EXPECT_GT(send_done_busy, 5_ms);
+}
+
+TEST(MpiP2P, EagerSendCompletesLocallyDespiteBusyReceiver) {
+  MpiFixture f;
+  SimTime send_done = 0;
+  f.launch(0, [&](MpiCtx& ctx) -> sim::Task<void> {
+    const auto buf = ctx.vctx().mem().alloc(1_KiB);
+    auto req = co_await ctx.isend(buf, 1_KiB, 2, 1);
+    co_await ctx.wait(req);
+    send_done = f.eng.now();
+  });
+  f.launch(2, [&](MpiCtx& ctx) -> sim::Task<void> {
+    const auto buf = ctx.vctx().mem().alloc(1_KiB);
+    auto req = co_await ctx.irecv(buf, 1_KiB, 0, 1);
+    co_await ctx.compute(5_ms);
+    co_await ctx.wait(req);
+  });
+  f.run_ok();
+  EXPECT_LT(send_done, 1_ms);  // buffered send completes immediately
+}
+
+TEST(MpiP2P, RegistrationCacheAmortizesRepeatedRendezvous) {
+  MpiFixture f;
+  f.launch(0, [&](MpiCtx& ctx) -> sim::Task<void> {
+    const auto buf = ctx.vctx().mem().alloc(256_KiB);
+    for (int i = 0; i < 5; ++i) co_await ctx.send(buf, 256_KiB, 2, i);
+    EXPECT_EQ(ctx.reg_cache().stats().misses, 1u);
+    EXPECT_EQ(ctx.reg_cache().stats().hits, 4u);
+  });
+  f.launch(2, [&](MpiCtx& ctx) -> sim::Task<void> {
+    const auto buf = ctx.vctx().mem().alloc(256_KiB);
+    for (int i = 0; i < 5; ++i) co_await ctx.recv(buf, 256_KiB, 0, i);
+    EXPECT_EQ(ctx.reg_cache().stats().misses, 1u);
+  });
+  f.run_ok();
+}
+
+TEST(MpiP2P, ManyConcurrentPairsComplete) {
+  MpiFixture f(/*nodes=*/4, /*ppn=*/4);
+  const int n = f.spec.total_host_ranks();
+  int done = 0;
+  for (int r = 0; r < n; ++r) {
+    f.launch(r, [&, n](MpiCtx& ctx) -> sim::Task<void> {
+      const int me = ctx.rank();
+      const int peer = (me + n / 2) % n;
+      const auto s = ctx.vctx().mem().alloc(32_KiB);
+      const auto rv = ctx.vctx().mem().alloc(32_KiB);
+      ctx.vctx().mem().write(s, pattern_bytes(static_cast<std::uint64_t>(me), 32_KiB));
+      auto sr = co_await ctx.isend(s, 32_KiB, peer, 0);
+      auto rr = co_await ctx.irecv(rv, 32_KiB, peer, 0);
+      std::vector<Request> reqs{sr, rr};
+      co_await ctx.waitall(reqs);
+      EXPECT_TRUE(check_pattern(ctx.vctx().mem().read(rv, 32_KiB),
+                                static_cast<std::uint64_t>(peer)));
+      ++done;
+    });
+  }
+  f.run_ok();
+  EXPECT_EQ(done, n);
+}
+
+TEST(MpiP2P, MessageLongerThanBufferFaults) {
+  MpiFixture f;
+  f.launch(0, [&](MpiCtx& ctx) -> sim::Task<void> {
+    const auto buf = ctx.vctx().mem().alloc(1_KiB);
+    co_await ctx.send(buf, 1_KiB, 2, 0);
+  });
+  f.launch(2, [&](MpiCtx& ctx) -> sim::Task<void> {
+    const auto buf = ctx.vctx().mem().alloc(512);
+    co_await ctx.recv(buf, 512, 0, 0);
+  });
+  EXPECT_THROW(f.eng.run(), SimError);
+}
+
+}  // namespace
+}  // namespace dpu::mpi

@@ -1,0 +1,182 @@
+// Tests for the extended offload API: waitall, buffer invalidation
+// (cache-coherence protocol), GroupAllgather and GroupBcastBinomial.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/units.h"
+#include "harness/world.h"
+#include "offload/coll.h"
+
+namespace dpu::offload {
+namespace {
+
+using harness::Rank;
+using harness::World;
+
+machine::ClusterSpec spec_of(int nodes, int ppn, int proxies = 2) {
+  machine::ClusterSpec s;
+  s.nodes = nodes;
+  s.host_procs_per_node = ppn;
+  s.proxies_per_dpu = proxies;
+  return s;
+}
+
+TEST(OffloadWaitall, CompletesManyRequestsAtOnce) {
+  World w(spec_of(2, 2));
+  w.launch_all([&](Rank& r) -> sim::Task<void> {
+    const int n = r.world->spec().total_host_ranks();
+    const std::size_t len = 4_KiB;
+    std::vector<OffloadReqPtr> reqs;
+    std::vector<machine::Addr> rbufs;
+    for (int i = 1; i < n; ++i) {
+      const int dst = (r.rank + i) % n;
+      const int src = (r.rank - i + n) % n;
+      const auto s = r.mem().alloc(len);
+      const auto d = r.mem().alloc(len);
+      rbufs.push_back(d);
+      r.mem().write(s, pattern_bytes(static_cast<std::uint64_t>(r.rank * n + dst), len));
+      reqs.push_back(co_await r.off->recv_offload(d, len, src, i));
+      reqs.push_back(co_await r.off->send_offload(s, len, dst, i));
+    }
+    co_await r.off->waitall(reqs);
+    for (int i = 1; i < n; ++i) {
+      const int src = (r.rank - i + n) % n;
+      EXPECT_TRUE(check_pattern(r.mem().read(rbufs[static_cast<std::size_t>(i - 1)], len),
+                                static_cast<std::uint64_t>(src * n + r.rank)));
+    }
+  });
+  w.run();
+}
+
+TEST(OffloadInvalidate, ForcesReRegistrationOnBothSides) {
+  World w(spec_of(2, 1));
+  w.launch(0, [&](Rank& r) -> sim::Task<void> {
+    const std::size_t len = 32_KiB;
+    const auto buf = r.mem().alloc(len);
+    // Warm both caches.
+    r.mem().write(buf, pattern_bytes(1, len));
+    auto q1 = co_await r.off->send_offload(buf, len, 1, 0);
+    co_await r.off->wait(q1);
+    EXPECT_EQ(r.off->gvmi_cache().stats().misses, 1u);
+    // Invalidate, then reuse: a fresh miss on the host...
+    co_await r.off->invalidate(buf, len);
+    co_await r.compute(50_us);  // let the proxy-side eviction land
+    r.mem().write(buf, pattern_bytes(2, len));
+    auto q2 = co_await r.off->send_offload(buf, len, 1, 1);
+    co_await r.off->wait(q2);
+    EXPECT_EQ(r.off->gvmi_cache().stats().misses, 2u);
+    // ...and on the proxy.
+    auto& proxy = r.world->offload().proxy(r.world->spec().proxy_for_host(0));
+    EXPECT_EQ(proxy.gvmi_cache().stats().misses, 2u);
+  });
+  w.launch(1, [&](Rank& r) -> sim::Task<void> {
+    const std::size_t len = 32_KiB;
+    const auto buf = r.mem().alloc(len);
+    auto q1 = co_await r.off->recv_offload(buf, len, 0, 0);
+    co_await r.off->wait(q1);
+    EXPECT_TRUE(check_pattern(r.mem().read(buf, len), 1));
+    auto q2 = co_await r.off->recv_offload(buf, len, 0, 1);
+    co_await r.off->wait(q2);
+    EXPECT_TRUE(check_pattern(r.mem().read(buf, len), 2));
+  });
+  w.run();
+}
+
+TEST(GroupAllgatherTest, EveryRankAssemblesAllBlocks) {
+  const int n = 4;
+  World w(spec_of(n, 1));
+  int checked = 0;
+  w.launch_all([&](Rank& r) -> sim::Task<void> {
+    const std::size_t b = 8_KiB;
+    const auto sbuf = r.mem().alloc(b);
+    const auto rbuf = r.mem().alloc(b * n);
+    r.mem().write(sbuf, pattern_bytes(static_cast<std::uint64_t>(r.rank), b));
+    GroupAllgather ag(*r.off);
+    auto req = co_await ag.icall(sbuf, rbuf, b, r.world->mpi().world());
+    co_await ag.wait(req);
+    for (int s = 0; s < n; ++s) {
+      EXPECT_TRUE(check_pattern(r.mem().read(rbuf + static_cast<machine::Addr>(s) * b, b),
+                                static_cast<std::uint64_t>(s)))
+          << "rank " << r.rank << " block " << s;
+    }
+    ++checked;
+  });
+  w.run();
+  EXPECT_EQ(checked, n);
+}
+
+TEST(GroupAllgatherTest, RepeatsThroughCachesAndOverlapsCompute) {
+  const int n = 3;
+  World w(spec_of(n, 1));
+  w.launch_all([&](Rank& r) -> sim::Task<void> {
+    const std::size_t b = 16_KiB;
+    const auto sbuf = r.mem().alloc(b);
+    const auto rbuf = r.mem().alloc(b * n);
+    GroupAllgather ag(*r.off);
+    for (int it = 0; it < 3; ++it) {
+      r.mem().write(sbuf, pattern_bytes(static_cast<std::uint64_t>(10 * it + r.rank), b));
+      auto req = co_await ag.icall(sbuf, rbuf, b, r.world->mpi().world());
+      co_await r.compute(5_ms);
+      const SimTime before = r.world->now();
+      co_await ag.wait(req);
+      EXPECT_LT(to_us(r.world->now() - before), 50.0);  // hidden in compute
+      for (int s = 0; s < n; ++s) {
+        EXPECT_TRUE(
+            check_pattern(r.mem().read(rbuf + static_cast<machine::Addr>(s) * b, b),
+                          static_cast<std::uint64_t>(10 * it + s)));
+      }
+    }
+    EXPECT_EQ(r.off->group_cache_misses(), 1u);
+    EXPECT_EQ(r.off->group_cache_hits(), 2u);
+  });
+  w.run();
+}
+
+TEST(GroupBcastBinomialTest, DeliversFromEveryRoot) {
+  for (int root : {0, 2, 5}) {
+    const int n = 6;
+    World w(spec_of(3, 2));
+    w.launch_all([&, root](Rank& r) -> sim::Task<void> {
+      const std::size_t len = 16_KiB;
+      const auto buf = r.mem().alloc(len);
+      if (r.rank == root) r.mem().write(buf, pattern_bytes(static_cast<std::uint64_t>(root), len));
+      GroupBcastBinomial bc(*r.off);
+      auto req = co_await bc.icall(buf, len, root, r.world->mpi().world());
+      co_await bc.wait(req);
+      EXPECT_TRUE(check_pattern(r.mem().read(buf, len), static_cast<std::uint64_t>(root)))
+          << "rank " << r.rank << " root " << root << " n " << n;
+    });
+    w.run();
+  }
+}
+
+TEST(GroupBcastBinomialTest, FasterThanGroupRingForWideComms) {
+  // log2(n) depth vs n-1 hops: the binomial variant must deliver earlier.
+  const int n = 8;
+  const std::size_t len = 256_KiB;
+  auto run_variant = [&](bool binomial) {
+    World w(spec_of(n, 1));
+    double last_us = 0;
+    w.launch_all([&](Rank& r) -> sim::Task<void> {
+      const auto buf = r.mem().alloc(len, false);
+      if (binomial) {
+        GroupBcastBinomial bc(*r.off);
+        auto req = co_await bc.icall(buf, len, 0, r.world->mpi().world());
+        co_await bc.wait(req);
+      } else {
+        GroupRingBcast bc(*r.off);
+        auto req = co_await bc.icall(buf, len, 0, r.world->mpi().world());
+        co_await bc.wait(req);
+      }
+      last_us = std::max(last_us, to_us(r.world->now()));
+    });
+    w.run();
+    return last_us;
+  };
+  EXPECT_LT(run_variant(true), run_variant(false));
+}
+
+}  // namespace
+}  // namespace dpu::offload

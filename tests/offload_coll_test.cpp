@@ -1,0 +1,175 @@
+// Tests for the Group-Primitive collectives (offload/coll.h): correctness
+// with payloads, cache reuse across iterations, concurrent requests, and
+// interop expectations.
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "common/units.h"
+#include "harness/world.h"
+#include "offload/coll.h"
+
+namespace dpu::offload {
+namespace {
+
+using harness::Rank;
+using harness::World;
+
+machine::ClusterSpec spec_of(int nodes, int ppn, int proxies = 2) {
+  machine::ClusterSpec s;
+  s.nodes = nodes;
+  s.host_procs_per_node = ppn;
+  s.proxies_per_dpu = proxies;
+  return s;
+}
+
+struct A2ACase {
+  int nodes;
+  int ppn;
+  std::size_t bpr;
+};
+
+class GroupAlltoallSweep : public ::testing::TestWithParam<A2ACase> {};
+
+TEST_P(GroupAlltoallSweep, DeliversAllBlocksRepeatedly) {
+  const auto p = GetParam();
+  World w(spec_of(p.nodes, p.ppn));
+  const int n = w.spec().total_host_ranks();
+  int checked = 0;
+  w.launch_all([&, n](Rank& r) -> sim::Task<void> {
+    const std::size_t b = GetParam().bpr;
+    const int me = r.rank;
+    const auto nn = static_cast<std::size_t>(n);
+    const auto sbuf = r.mem().alloc(b * nn);
+    const auto rbuf = r.mem().alloc(b * nn);
+    GroupAlltoall a2a(*r.off, *r.mpi);
+    for (int it = 0; it < 3; ++it) {
+      for (int d = 0; d < n; ++d) {
+        r.mem().write(sbuf + static_cast<machine::Addr>(d) * b,
+                      pattern_bytes(static_cast<std::uint64_t>(1000 * it + me * n + d), b));
+      }
+      auto req = co_await a2a.icall(sbuf, rbuf, b, r.world->mpi().world());
+      co_await a2a.wait(req);
+      for (int s = 0; s < n; ++s) {
+        EXPECT_TRUE(
+            check_pattern(r.mem().read(rbuf + static_cast<machine::Addr>(s) * b, b),
+                          static_cast<std::uint64_t>(1000 * it + s * n + me)))
+            << "iter " << it << " rank " << me << " from " << s;
+      }
+    }
+    // Recorded once, replayed twice through the caches.
+    EXPECT_EQ(r.off->group_cache_misses(), 1u);
+    EXPECT_EQ(r.off->group_cache_hits(), 2u);
+    ++checked;
+  });
+  w.run();
+  EXPECT_EQ(checked, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GroupAlltoallSweep,
+                         ::testing::Values(A2ACase{2, 1, 1_KiB}, A2ACase{2, 2, 4_KiB},
+                                           A2ACase{3, 2, 2_KiB}, A2ACase{4, 4, 1_KiB},
+                                           A2ACase{2, 2, 128_KiB}),
+                         [](const ::testing::TestParamInfo<A2ACase>& i) {
+                           return "n" + std::to_string(i.param.nodes) + "x" +
+                                  std::to_string(i.param.ppn) + "_" +
+                                  format_size(i.param.bpr);
+                         });
+
+TEST(GroupColl, TwoConcurrentAlltoallsOnDistinctBuffers) {
+  // The P3DFFT usage: two group alltoalls in flight at once.
+  World w(spec_of(2, 2));
+  const int n = 4;
+  w.launch_all([&](Rank& r) -> sim::Task<void> {
+    const std::size_t b = 4_KiB;
+    const int me = r.rank;
+    const auto nn = static_cast<std::size_t>(n);
+    const auto s1 = r.mem().alloc(b * nn);
+    const auto r1 = r.mem().alloc(b * nn);
+    const auto s2 = r.mem().alloc(b * nn);
+    const auto r2 = r.mem().alloc(b * nn);
+    for (int d = 0; d < n; ++d) {
+      r.mem().write(s1 + static_cast<machine::Addr>(d) * b,
+                    pattern_bytes(static_cast<std::uint64_t>(1000 + me * n + d), b));
+      r.mem().write(s2 + static_cast<machine::Addr>(d) * b,
+                    pattern_bytes(static_cast<std::uint64_t>(2000 + me * n + d), b));
+    }
+    GroupAlltoall a2a(*r.off, *r.mpi);
+    auto q1 = co_await a2a.icall(s1, r1, b, r.world->mpi().world());
+    auto q2 = co_await a2a.icall(s2, r2, b, r.world->mpi().world());
+    co_await r.compute(50_us);
+    co_await a2a.wait(q1);
+    co_await a2a.wait(q2);
+    for (int s = 0; s < n; ++s) {
+      EXPECT_TRUE(check_pattern(r.mem().read(r1 + static_cast<machine::Addr>(s) * b, b),
+                                static_cast<std::uint64_t>(1000 + s * n + me)));
+      EXPECT_TRUE(check_pattern(r.mem().read(r2 + static_cast<machine::Addr>(s) * b, b),
+                                static_cast<std::uint64_t>(2000 + s * n + me)));
+    }
+  });
+  w.run();
+}
+
+TEST(GroupColl, RingBcastAllRootsAllSizes) {
+  for (int root : {0, 1, 3}) {
+    World w(spec_of(4, 1));
+    w.launch_all([&, root](Rank& r) -> sim::Task<void> {
+      const std::size_t len = 16_KiB;
+      const auto buf = r.mem().alloc(len);
+      if (r.rank == root) r.mem().write(buf, pattern_bytes(static_cast<std::uint64_t>(root), len));
+      GroupRingBcast ring(*r.off);
+      auto req = co_await ring.icall(buf, len, root, r.world->mpi().world());
+      co_await ring.wait(req);
+      EXPECT_TRUE(check_pattern(r.mem().read(buf, len), static_cast<std::uint64_t>(root)))
+          << "rank " << r.rank << " root " << root;
+    });
+    w.run();
+  }
+}
+
+TEST(GroupColl, RingBcastRepeatHitsCaches) {
+  World w(spec_of(3, 1));
+  w.launch_all([&](Rank& r) -> sim::Task<void> {
+    const std::size_t len = 8_KiB;
+    const auto buf = r.mem().alloc(len);
+    GroupRingBcast ring(*r.off);
+    for (int it = 0; it < 4; ++it) {
+      if (r.rank == 0) r.mem().write(buf, pattern_bytes(static_cast<std::uint64_t>(it), len));
+      auto req = co_await ring.icall(buf, len, 0, r.world->mpi().world());
+      co_await ring.wait(req);
+      EXPECT_TRUE(check_pattern(r.mem().read(buf, len), static_cast<std::uint64_t>(it)));
+    }
+    EXPECT_EQ(r.off->group_cache_misses(), 1u);
+    EXPECT_EQ(r.off->group_cache_hits(), 3u);
+  });
+  w.run();
+}
+
+TEST(GroupColl, SubCommunicatorAlltoall) {
+  World w(spec_of(2, 2));
+  // Two disjoint row communicators run group alltoalls concurrently.
+  w.launch_all([&](Rank& r) -> sim::Task<void> {
+    const int me = r.rank;
+    const std::vector<int> group = me < 2 ? std::vector<int>{0, 1} : std::vector<int>{2, 3};
+    auto comm = r.world->mpi().create_comm(group);
+    const std::size_t b = 2_KiB;
+    const auto sbuf = r.mem().alloc(2 * b);
+    const auto rbuf = r.mem().alloc(2 * b);
+    for (int d = 0; d < 2; ++d) {
+      r.mem().write(sbuf + static_cast<machine::Addr>(d) * b,
+                    pattern_bytes(static_cast<std::uint64_t>(50 * me + d), b));
+    }
+    GroupAlltoall a2a(*r.off, *r.mpi);
+    auto req = co_await a2a.icall(sbuf, rbuf, b, comm);
+    co_await a2a.wait(req);
+    const int my_local = comm->rank_of_world(me);
+    for (int s = 0; s < 2; ++s) {
+      const int src_world = comm->world_rank(s);
+      EXPECT_TRUE(check_pattern(r.mem().read(rbuf + static_cast<machine::Addr>(s) * b, b),
+                                static_cast<std::uint64_t>(50 * src_world + my_local)));
+    }
+  });
+  w.run();
+}
+
+}  // namespace
+}  // namespace dpu::offload

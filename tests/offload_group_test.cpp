@@ -1,0 +1,348 @@
+// Tests for Group Primitives (paper §VI-B, §VII-C/D): pattern recording,
+// whole-DAG offload, local barriers for ordered patterns, group caches, and
+// Algorithm 1's deadlock avoidance when one proxy serves several hosts.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/check.h"
+#include "common/units.h"
+#include "harness/world.h"
+
+namespace dpu::offload {
+namespace {
+
+using harness::Rank;
+using harness::World;
+
+machine::ClusterSpec small_spec(int nodes = 4, int ppn = 1, int proxies = 1) {
+  machine::ClusterSpec s;
+  s.nodes = nodes;
+  s.host_procs_per_node = ppn;
+  s.proxies_per_dpu = proxies;
+  return s;
+}
+
+/// The paper's Listing 5: ring broadcast from rank 0 with Local_barrier
+/// enforcing the receive->forward order, fully offloaded.
+sim::Task<void> ring_bcast_group(Rank& r, machine::Addr buf, std::size_t len, int n) {
+  const int me = r.rank;
+  const int left = (me - 1 + n) % n;
+  const int right = (me + 1) % n;
+  auto req = r.off->group_start();
+  if (me == 0) {
+    r.off->group_send(req, buf, len, right, 4);
+  } else {
+    r.off->group_recv(req, buf, len, left, 4);
+    if (me != n - 1) {
+      r.off->group_barrier(req);
+      r.off->group_send(req, buf, len, right, 4);
+    }
+  }
+  r.off->group_end(req);
+  co_await r.off->group_call(req);
+  co_await r.off->group_wait(req);
+}
+
+TEST(OffloadGroup, RingBroadcastDeliversToEveryRank) {
+  const int n = 4;
+  World w(small_spec(n, 1));
+  int checked = 0;
+  w.launch_all([&](Rank& r) -> sim::Task<void> {
+    const std::size_t len = 32_KiB;
+    const auto buf = r.mem().alloc(len);
+    if (r.rank == 0) r.mem().write(buf, pattern_bytes(55, len));
+    co_await ring_bcast_group(r, buf, len, n);
+    EXPECT_TRUE(check_pattern(r.mem().read(buf, len), 55)) << "rank " << r.rank;
+    ++checked;
+  });
+  w.run();
+  EXPECT_EQ(checked, n);
+}
+
+TEST(OffloadGroup, RingProgressesWithoutHostCpu) {
+  // The headline capability (fig. 1 case 3): every rank starts a long
+  // compute right after group_call; the ring still completes inside the
+  // compute window because the DPU proxies chain the hops.
+  const int n = 4;
+  World w(small_spec(n, 1));
+  std::vector<SimDuration> wait_time(static_cast<std::size_t>(n), 0);
+  w.launch_all([&](Rank& r) -> sim::Task<void> {
+    const std::size_t len = 64_KiB;
+    const auto buf = r.mem().alloc(len);
+    if (r.rank == 0) r.mem().write(buf, pattern_bytes(3, len));
+    const int me = r.rank;
+    const int left = (me - 1 + n) % n;
+    const int right = (me + 1) % n;
+    auto req = r.off->group_start();
+    if (me == 0) {
+      r.off->group_send(req, buf, len, right, 0);
+    } else {
+      r.off->group_recv(req, buf, len, left, 0);
+      if (me != n - 1) {
+        r.off->group_barrier(req);
+        r.off->group_send(req, buf, len, right, 0);
+      }
+    }
+    r.off->group_end(req);
+    co_await r.off->group_call(req);
+    co_await r.compute(20_ms);  // far longer than the whole ring takes
+    const SimTime before = r.world->now();
+    co_await r.off->group_wait(req);
+    wait_time[static_cast<std::size_t>(me)] = r.world->now() - before;
+    EXPECT_TRUE(check_pattern(r.mem().read(buf, len), 3));
+  });
+  w.run();
+  // Nobody had to wait: the pattern completed during the compute.
+  for (int i = 0; i < n; ++i) EXPECT_LT(wait_time[static_cast<std::size_t>(i)], 10_us) << i;
+}
+
+TEST(OffloadGroup, BarrierEnforcesOrderingBetweenStages) {
+  // rank0 sends A to rank1; rank1: recv A, barrier, send B(=A) to rank2.
+  // B must carry A's payload, proving the barrier delayed the forward until
+  // the receive landed.
+  World w(small_spec(3, 1));
+  w.launch(0, [&](Rank& r) -> sim::Task<void> {
+    const auto a = r.mem().alloc(16_KiB);
+    r.mem().write(a, pattern_bytes(77, 16_KiB));
+    auto req = r.off->group_start();
+    r.off->group_send(req, a, 16_KiB, 1, 0);
+    r.off->group_end(req);
+    co_await r.off->group_call(req);
+    co_await r.off->group_wait(req);
+  });
+  w.launch(1, [&](Rank& r) -> sim::Task<void> {
+    const auto buf = r.mem().alloc(16_KiB);  // starts zeroed
+    auto req = r.off->group_start();
+    r.off->group_recv(req, buf, 16_KiB, 0, 0);
+    r.off->group_barrier(req);
+    r.off->group_send(req, buf, 16_KiB, 2, 0);
+    r.off->group_end(req);
+    co_await r.off->group_call(req);
+    co_await r.off->group_wait(req);
+  });
+  w.launch(2, [&](Rank& r) -> sim::Task<void> {
+    const auto buf = r.mem().alloc(16_KiB);
+    auto req = r.off->group_start();
+    r.off->group_recv(req, buf, 16_KiB, 1, 0);
+    r.off->group_end(req);
+    co_await r.off->group_call(req);
+    co_await r.off->group_wait(req);
+    EXPECT_TRUE(check_pattern(r.mem().read(buf, 16_KiB), 77));
+  });
+  w.run();
+}
+
+TEST(OffloadGroup, PairwiseExchangePattern) {
+  // Scatter-destination personalized exchange over 4 ranks via one group
+  // request each (the fig. 15 pattern, small scale), with payload checks.
+  const int n = 4;
+  World w(small_spec(2, 2));
+  int checked = 0;
+  w.launch_all([&](Rank& r) -> sim::Task<void> {
+    const std::size_t b = 4_KiB;
+    const int me = r.rank;
+    const auto nn = static_cast<std::size_t>(n);
+    const auto sbuf = r.mem().alloc(b * nn);
+    const auto rbuf = r.mem().alloc(b * nn);
+    for (int d = 0; d < n; ++d) {
+      r.mem().write(sbuf + static_cast<machine::Addr>(d) * b,
+                    pattern_bytes(static_cast<std::uint64_t>(me * n + d), b));
+    }
+    auto req = r.off->group_start();
+    for (int i = 1; i < n; ++i) {
+      const int dst = (me + i) % n;
+      const int src = (me - i + n) % n;
+      r.off->group_send(req, sbuf + static_cast<machine::Addr>(dst) * b, b, dst, 0);
+      r.off->group_recv(req, rbuf + static_cast<machine::Addr>(src) * b, b, src, 0);
+    }
+    r.off->group_end(req);
+    co_await r.off->group_call(req);
+    co_await r.off->group_wait(req);
+    for (int s = 0; s < n; ++s) {
+      if (s == me) continue;
+      EXPECT_TRUE(
+          check_pattern(r.mem().read(rbuf + static_cast<machine::Addr>(s) * b, b),
+                        static_cast<std::uint64_t>(s * n + me)))
+          << "rank " << me << " from " << s;
+    }
+    ++checked;
+  });
+  w.run();
+  EXPECT_EQ(checked, n);
+}
+
+TEST(OffloadGroup, RepeatCallsHitCachesEverywhere) {
+  // Calling the same request repeatedly must (a) exchange metadata only
+  // once, (b) hit the host group cache, (c) hit the proxy template cache,
+  // and (d) hit both GVMI caches.
+  const int iters = 5;
+  World w(small_spec(2, 1));
+  w.launch_all([&](Rank& r) -> sim::Task<void> {
+    const std::size_t len = 64_KiB;
+    const int peer = 1 - r.rank;
+    const auto sbuf = r.mem().alloc(len);
+    const auto rbuf = r.mem().alloc(len);
+    auto req = r.off->group_start();
+    r.off->group_send(req, sbuf, len, peer, 0);
+    r.off->group_recv(req, rbuf, len, peer, 0);
+    r.off->group_end(req);
+    for (int i = 0; i < iters; ++i) {
+      r.mem().write(sbuf, pattern_bytes(static_cast<std::uint64_t>(100 + 10 * r.rank + i), len));
+      co_await r.off->group_call(req);
+      co_await r.off->group_wait(req);
+      EXPECT_TRUE(check_pattern(r.mem().read(rbuf, len),
+                                static_cast<std::uint64_t>(100 + 10 * peer + i)))
+          << "rank " << r.rank << " iter " << i;
+    }
+    EXPECT_EQ(r.off->group_cache_misses(), 1u);
+    EXPECT_EQ(r.off->group_cache_hits(), static_cast<std::uint64_t>(iters - 1));
+    EXPECT_EQ(r.off->gvmi_cache().stats().misses, 1u);
+    auto& proxy = r.world->offload().proxy(r.world->spec().proxy_for_host(r.rank));
+    EXPECT_EQ(proxy.group_cache_misses(), 1u);
+    EXPECT_EQ(proxy.group_cache_hits(), static_cast<std::uint64_t>(iters - 1));
+    EXPECT_EQ(proxy.gvmi_cache().stats().misses, 1u);
+  });
+  w.run();
+}
+
+TEST(OffloadGroup, CacheDisabledStillCorrectButChattier) {
+  World w(small_spec(2, 1));
+  w.launch_all([&](Rank& r) -> sim::Task<void> {
+    r.off->set_group_cache_enabled(false);
+    const std::size_t len = 8_KiB;
+    const int peer = 1 - r.rank;
+    const auto sbuf = r.mem().alloc(len);
+    const auto rbuf = r.mem().alloc(len);
+    auto req = r.off->group_start();
+    r.off->group_send(req, sbuf, len, peer, 0);
+    r.off->group_recv(req, rbuf, len, peer, 0);
+    r.off->group_end(req);
+    for (int i = 0; i < 3; ++i) {
+      r.mem().write(sbuf, pattern_bytes(static_cast<std::uint64_t>(r.rank + i), len));
+      co_await r.off->group_call(req);
+      co_await r.off->group_wait(req);
+      EXPECT_TRUE(
+          check_pattern(r.mem().read(rbuf, len), static_cast<std::uint64_t>(peer + i)));
+    }
+    EXPECT_EQ(r.off->group_cache_hits(), 0u);
+    EXPECT_EQ(r.off->group_cache_misses(), 3u);
+    // Registration caches still amortize (they are a separate mechanism).
+    EXPECT_EQ(r.off->gvmi_cache().stats().misses, 1u);
+  });
+  w.run();
+}
+
+TEST(OffloadGroup, ProxyServingTwoHostsAvoidsDeadlock) {
+  // Algorithm 1's raison d'être: hosts 0 and 1 share one proxy; each runs
+  // a barrier-ordered pattern whose receive is produced by the *other*
+  // host's job on the same proxy. A proxy that blocked inside one job
+  // would deadlock.
+  machine::ClusterSpec s = small_spec(2, 2, 1);  // 2 hosts/node, 1 proxy/DPU
+  World w(s);
+  int done = 0;
+  // 0 -> 3, 3 -> 0 and 1 -> 2, 2 -> 1, all with recv-barrier-send shapes
+  // where the send depends on the recv.
+  auto prog = [&](Rank& r) -> sim::Task<void> {
+    const int me = r.rank;
+    const int peer = 3 - me;  // 0<->3, 1<->2 (cross-node)
+    const std::size_t len = 8_KiB;
+    const auto in = r.mem().alloc(len);
+    const auto out = r.mem().alloc(len);
+    r.mem().write(out, pattern_bytes(static_cast<std::uint64_t>(me), len));
+    auto req = r.off->group_start();
+    if (me < 2) {
+      // Senders first: send, then expect an echo.
+      r.off->group_send(req, out, len, peer, 1);
+      r.off->group_barrier(req);
+      r.off->group_recv(req, in, len, peer, 2);
+    } else {
+      // Echoers: receive, barrier (order!), send back.
+      r.off->group_recv(req, in, len, peer, 1);
+      r.off->group_barrier(req);
+      r.off->group_send(req, out, len, peer, 2);
+    }
+    r.off->group_end(req);
+    co_await r.off->group_call(req);
+    co_await r.off->group_wait(req);
+    EXPECT_TRUE(check_pattern(r.mem().read(in, len), static_cast<std::uint64_t>(peer)));
+    ++done;
+  };
+  w.launch_all(prog);
+  w.run();
+  EXPECT_EQ(done, 4);
+}
+
+TEST(OffloadGroup, BarrierCounterMessagesFlow) {
+  // Only sends *preceding* a barrier trigger counter updates to the
+  // destination-side proxies (fig. 10 / Algorithm 1): the send-barrier-recv
+  // side emits them, the recv-barrier-send side does not.
+  World w(small_spec(2, 1));
+  w.launch(0, [&](Rank& r) -> sim::Task<void> {
+    const std::size_t len = 4_KiB;
+    const auto out = r.mem().alloc(len);
+    const auto in = r.mem().alloc(len);
+    auto req = r.off->group_start();
+    r.off->group_send(req, out, len, 1, 0);
+    r.off->group_barrier(req);
+    r.off->group_recv(req, in, len, 1, 1);
+    r.off->group_end(req);
+    co_await r.off->group_call(req);
+    co_await r.off->group_wait(req);
+  });
+  w.launch(1, [&](Rank& r) -> sim::Task<void> {
+    const std::size_t len = 4_KiB;
+    const auto out = r.mem().alloc(len);
+    const auto in = r.mem().alloc(len);
+    auto req = r.off->group_start();
+    r.off->group_recv(req, in, len, 0, 0);
+    r.off->group_barrier(req);
+    r.off->group_send(req, out, len, 0, 1);
+    r.off->group_end(req);
+    co_await r.off->group_call(req);
+    co_await r.off->group_wait(req);
+  });
+  w.run();
+  EXPECT_GT(w.offload().proxy(w.spec().proxy_id(0, 0)).barrier_cntr_msgs(), 0u);
+  EXPECT_EQ(w.offload().proxy(w.spec().proxy_id(1, 0)).barrier_cntr_msgs(), 0u);
+}
+
+TEST(OffloadGroup, GroupCallBeforeEndRejected) {
+  World w(small_spec(2, 1));
+  w.launch(0, [&](Rank& r) -> sim::Task<void> {
+    auto req = r.off->group_start();
+    const auto buf = r.mem().alloc(1_KiB);
+    r.off->group_send(req, buf, 1_KiB, 1, 0);
+    bool threw = false;
+    try {
+      co_await r.off->group_call(req);
+    } catch (const SimError&) {
+      threw = true;
+    }
+    EXPECT_TRUE(threw);
+  });
+  w.run();
+}
+
+TEST(OffloadGroup, ManyRanksManyProxiesPipeline) {
+  // 8-rank ring broadcast across 4 nodes x 2 PPN with 2 proxies per DPU:
+  // exercises proxy mapping, cross-node chaining and arrival buffering.
+  const int n = 8;
+  machine::ClusterSpec s = small_spec(4, 2, 2);
+  World w(s);
+  int checked = 0;
+  w.launch_all([&](Rank& r) -> sim::Task<void> {
+    const std::size_t len = 16_KiB;
+    const auto buf = r.mem().alloc(len);
+    if (r.rank == 0) r.mem().write(buf, pattern_bytes(99, len));
+    co_await ring_bcast_group(r, buf, len, n);
+    EXPECT_TRUE(check_pattern(r.mem().read(buf, len), 99)) << r.rank;
+    ++checked;
+  });
+  w.run();
+  EXPECT_EQ(checked, n);
+}
+
+}  // namespace
+}  // namespace dpu::offload

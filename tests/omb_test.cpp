@@ -1,0 +1,67 @@
+// Tests for the OMB measurement library: sanity of the measured quantities
+// and consistency with the cost model.
+#include <gtest/gtest.h>
+
+#include "apps/omb.h"
+#include "common/units.h"
+
+namespace dpu::apps::omb {
+namespace {
+
+machine::ClusterSpec pair_spec() {
+  machine::ClusterSpec s;
+  s.nodes = 2;
+  s.host_procs_per_node = 1;
+  s.proxies_per_dpu = 1;
+  return s;
+}
+
+TEST(OmbLatency, MonotonicInSize) {
+  auto mpi = p2p_latency(pair_spec(), P2pBackend::kMpi, {1_KiB, 64_KiB, 512_KiB}, 5);
+  ASSERT_EQ(mpi.size(), 3u);
+  EXPECT_LT(mpi[0].value, mpi[1].value);
+  EXPECT_LT(mpi[1].value, mpi[2].value);
+}
+
+TEST(OmbLatency, SmallMessageNearWireLatency) {
+  auto s = pair_spec();
+  auto mpi = p2p_latency(s, P2pBackend::kMpi, {256}, 10);
+  // One-way small-message latency should be within a few microseconds of
+  // the wire latency (envelope + copies + latency).
+  EXPECT_GT(mpi[0].value, s.cost.wire_latency_us);
+  EXPECT_LT(mpi[0].value, s.cost.wire_latency_us + 5.0);
+}
+
+TEST(OmbLatency, OffloadPathCostsMoreThanDirectForBlockingPingPong) {
+  auto mpi = p2p_latency(pair_spec(), P2pBackend::kMpi, {4_KiB}, 5);
+  auto off = p2p_latency(pair_spec(), P2pBackend::kOffload, {4_KiB}, 5);
+  EXPECT_GT(off[0].value, mpi[0].value);
+}
+
+TEST(OmbBandwidth, ApproachesLinkRate) {
+  auto s = pair_spec();
+  auto bw = p2p_bandwidth(s, P2pBackend::kMpi, {1_MiB}, 16, 2);
+  EXPECT_GT(bw[0].value, s.cost.nic_bandwidth_GBps * 0.8);
+  EXPECT_LE(bw[0].value, s.cost.nic_bandwidth_GBps * 1.02);
+}
+
+TEST(OmbBandwidth, OffloadWindowedBandwidthAlsoSaturates) {
+  auto s = pair_spec();
+  auto bw = p2p_bandwidth(s, P2pBackend::kOffload, {1_MiB}, 16, 2);
+  EXPECT_GT(bw[0].value, s.cost.nic_bandwidth_GBps * 0.7);
+}
+
+TEST(OmbNbc, OverlapOrderingAcrossLibraries) {
+  machine::ClusterSpec s;
+  s.nodes = 2;
+  s.host_procs_per_node = 4;
+  s.proxies_per_dpu = 2;
+  const auto intel = ialltoall_overlap(s, CollLib::kIntel, 64_KiB, 1);
+  const auto prop = ialltoall_overlap(s, CollLib::kProposed, 64_KiB, 1);
+  EXPECT_GT(prop.overlap_pct, intel.overlap_pct);
+  EXPECT_GT(prop.overlap_pct, 65.0);  // intra-node share stays CPU-driven
+  EXPECT_GT(intel.pure_us, 0.0);
+}
+
+}  // namespace
+}  // namespace dpu::apps::omb

@@ -1,0 +1,192 @@
+// Unit tests for simulation synchronization primitives.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "sim/engine.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+
+namespace dpu::sim {
+namespace {
+
+TEST(Event, WaitAfterSetDoesNotSuspend) {
+  Engine eng;
+  Event ev(eng);
+  ev.set();
+  bool reached = false;
+  auto body = [&]() -> Task<void> {
+    co_await ev.wait();
+    reached = true;
+  };
+  eng.spawn(body());
+  eng.run();
+  EXPECT_TRUE(reached);
+}
+
+TEST(Event, WakesAllWaitersAtSetTime) {
+  Engine eng;
+  Event ev(eng);
+  std::vector<SimTime> wake;
+  auto waiter = [&]() -> Task<void> {
+    co_await ev.wait();
+    wake.push_back(eng.now());
+  };
+  for (int i = 0; i < 3; ++i) eng.spawn(waiter());
+  auto setter = [&]() -> Task<void> {
+    co_await eng.sleep(25_ns);
+    ev.set();
+  };
+  eng.spawn(setter());
+  EXPECT_EQ(eng.run(), RunResult::kCompleted);
+  ASSERT_EQ(wake.size(), 3u);
+  for (auto t : wake) EXPECT_EQ(t, 25_ns);
+}
+
+TEST(Event, DoubleSetIsIdempotent) {
+  Engine eng;
+  Event ev(eng);
+  ev.set();
+  EXPECT_NO_THROW(ev.set());
+  EXPECT_TRUE(ev.is_set());
+}
+
+TEST(Notifier, OnlyWakesRegisteredWaiters) {
+  Engine eng;
+  Notifier n(eng);
+  int wakes = 0;
+  auto waiter = [&]() -> Task<void> {
+    co_await n.wait();
+    ++wakes;
+    co_await n.wait();  // must block again until a second notify
+    ++wakes;
+  };
+  eng.spawn(waiter());
+  auto notifier = [&]() -> Task<void> {
+    co_await eng.sleep(10_ns);
+    n.notify_all();
+  };
+  eng.spawn(notifier());
+  EXPECT_EQ(eng.run(), RunResult::kDeadlock);  // waiter stuck on second wait
+  EXPECT_EQ(wakes, 1);
+}
+
+TEST(Notifier, NotifyWithNoWaitersIsNoop) {
+  Engine eng;
+  Notifier n(eng);
+  EXPECT_NO_THROW(n.notify_all());
+  EXPECT_EQ(n.waiter_count(), 0u);
+}
+
+TEST(Channel, DeliversInFifoOrder) {
+  Engine eng;
+  Channel<int> ch(eng);
+  std::vector<int> got;
+  auto consumer = [&]() -> Task<void> {
+    for (int i = 0; i < 3; ++i) got.push_back(co_await ch.recv());
+  };
+  eng.spawn(consumer());
+  auto producer = [&]() -> Task<void> {
+    ch.send(1);
+    ch.send(2);
+    co_await eng.sleep(5_ns);
+    ch.send(3);
+  };
+  eng.spawn(producer());
+  EXPECT_EQ(eng.run(), RunResult::kCompleted);
+  EXPECT_EQ(got, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Channel, RecvBlocksUntilSend) {
+  Engine eng;
+  Channel<std::string> ch(eng);
+  SimTime got_at = 0;
+  auto consumer = [&]() -> Task<void> {
+    auto s = co_await ch.recv();
+    EXPECT_EQ(s, "hello");
+    got_at = eng.now();
+  };
+  eng.spawn(consumer());
+  auto producer = [&]() -> Task<void> {
+    co_await eng.sleep(100_ns);
+    ch.send("hello");
+  };
+  eng.spawn(producer());
+  eng.run();
+  EXPECT_EQ(got_at, 100_ns);
+}
+
+TEST(Channel, TryRecvNeverSuspends) {
+  Engine eng;
+  Channel<int> ch(eng);
+  EXPECT_FALSE(ch.try_recv().has_value());
+  ch.send(9);
+  auto v = ch.try_recv();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 9);
+  EXPECT_TRUE(ch.empty());
+}
+
+TEST(Channel, CompetingReceiversServedInArrivalOrder) {
+  Engine eng;
+  Channel<int> ch(eng);
+  std::vector<std::pair<int, int>> got;  // (receiver, value)
+  auto consumer = [&](int id) -> Task<void> {
+    int v = co_await ch.recv();
+    got.emplace_back(id, v);
+  };
+  eng.spawn(consumer(0));
+  eng.spawn(consumer(1));
+  auto producer = [&]() -> Task<void> {
+    co_await eng.sleep(1_ns);
+    ch.send(10);
+    co_await eng.sleep(1_ns);
+    ch.send(20);
+  };
+  eng.spawn(producer());
+  EXPECT_EQ(eng.run(), RunResult::kCompleted);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0], std::make_pair(0, 10));
+  EXPECT_EQ(got[1], std::make_pair(1, 20));
+}
+
+TEST(Semaphore, LimitsConcurrency) {
+  Engine eng;
+  Semaphore sem(eng, 2);
+  int inside = 0;
+  int peak = 0;
+  auto worker = [&]() -> Task<void> {
+    co_await sem.acquire();
+    ++inside;
+    peak = std::max(peak, inside);
+    co_await eng.sleep(10_ns);
+    --inside;
+    sem.release();
+  };
+  for (int i = 0; i < 6; ++i) eng.spawn(worker());
+  EXPECT_EQ(eng.run(), RunResult::kCompleted);
+  EXPECT_EQ(peak, 2);
+  EXPECT_EQ(eng.now(), 30_ns);  // 6 workers, 2 at a time, 10 ns each
+}
+
+TEST(Semaphore, ReleaseWithoutWaitersAccumulates) {
+  Engine eng;
+  Semaphore sem(eng, 0);
+  sem.release();
+  sem.release();
+  EXPECT_EQ(sem.available(), 2u);
+  bool done = false;
+  auto w = [&]() -> Task<void> {
+    co_await sem.acquire();
+    co_await sem.acquire();
+    done = true;
+  };
+  eng.spawn(w());
+  eng.run();
+  EXPECT_TRUE(done);
+}
+
+}  // namespace
+}  // namespace dpu::sim
