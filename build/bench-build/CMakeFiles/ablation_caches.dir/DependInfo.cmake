@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_caches.cpp" "bench-build/CMakeFiles/ablation_caches.dir/ablation_caches.cpp.o" "gcc" "bench-build/CMakeFiles/ablation_caches.dir/ablation_caches.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/dpu_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/offload/CMakeFiles/dpu_offload.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/dpu_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/dpu_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/verbs/CMakeFiles/dpu_verbs.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/dpu_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/dpu_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dpu_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dpu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

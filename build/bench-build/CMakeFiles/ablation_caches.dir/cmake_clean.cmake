@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_caches"
+  "../bench/ablation_caches.pdb"
+  "CMakeFiles/ablation_caches.dir/ablation_caches.cpp.o"
+  "CMakeFiles/ablation_caches.dir/ablation_caches.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_caches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_fabric"
+  "../bench/ablation_fabric.pdb"
+  "CMakeFiles/ablation_fabric.dir/ablation_fabric.cpp.o"
+  "CMakeFiles/ablation_fabric.dir/ablation_fabric.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

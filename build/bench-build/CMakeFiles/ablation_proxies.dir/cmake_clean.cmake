@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_proxies"
+  "../bench/ablation_proxies.pdb"
+  "CMakeFiles/ablation_proxies.dir/ablation_proxies.cpp.o"
+  "CMakeFiles/ablation_proxies.dir/ablation_proxies.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_proxies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

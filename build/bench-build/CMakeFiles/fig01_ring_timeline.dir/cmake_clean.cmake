@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig01_ring_timeline"
+  "../bench/fig01_ring_timeline.pdb"
+  "CMakeFiles/fig01_ring_timeline.dir/fig01_ring_timeline.cpp.o"
+  "CMakeFiles/fig01_ring_timeline.dir/fig01_ring_timeline.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_ring_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

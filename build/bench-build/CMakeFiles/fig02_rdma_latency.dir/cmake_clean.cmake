@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig02_rdma_latency"
+  "../bench/fig02_rdma_latency.pdb"
+  "CMakeFiles/fig02_rdma_latency.dir/fig02_rdma_latency.cpp.o"
+  "CMakeFiles/fig02_rdma_latency.dir/fig02_rdma_latency.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_rdma_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

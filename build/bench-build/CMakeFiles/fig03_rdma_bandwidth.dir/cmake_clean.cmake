@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig03_rdma_bandwidth"
+  "../bench/fig03_rdma_bandwidth.pdb"
+  "CMakeFiles/fig03_rdma_bandwidth.dir/fig03_rdma_bandwidth.cpp.o"
+  "CMakeFiles/fig03_rdma_bandwidth.dir/fig03_rdma_bandwidth.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_rdma_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig04_pingpong_staging"
+  "../bench/fig04_pingpong_staging.pdb"
+  "CMakeFiles/fig04_pingpong_staging.dir/fig04_pingpong_staging.cpp.o"
+  "CMakeFiles/fig04_pingpong_staging.dir/fig04_pingpong_staging.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_pingpong_staging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

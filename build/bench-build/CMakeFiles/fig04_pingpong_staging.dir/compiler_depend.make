@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig04_pingpong_staging.
+# This may be replaced when dependencies are built.

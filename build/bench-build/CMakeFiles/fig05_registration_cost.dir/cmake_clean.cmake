@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_registration_cost"
+  "../bench/fig05_registration_cost.pdb"
+  "CMakeFiles/fig05_registration_cost.dir/fig05_registration_cost.cpp.o"
+  "CMakeFiles/fig05_registration_cost.dir/fig05_registration_cost.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_registration_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig05_registration_cost.
+# This may be replaced when dependencies are built.

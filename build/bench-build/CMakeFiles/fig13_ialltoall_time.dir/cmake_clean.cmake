@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_ialltoall_time"
+  "../bench/fig13_ialltoall_time.pdb"
+  "CMakeFiles/fig13_ialltoall_time.dir/fig13_ialltoall_time.cpp.o"
+  "CMakeFiles/fig13_ialltoall_time.dir/fig13_ialltoall_time.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_ialltoall_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_ialltoall_overlap"
+  "../bench/fig14_ialltoall_overlap.pdb"
+  "CMakeFiles/fig14_ialltoall_overlap.dir/fig14_ialltoall_overlap.cpp.o"
+  "CMakeFiles/fig14_ialltoall_overlap.dir/fig14_ialltoall_overlap.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_ialltoall_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

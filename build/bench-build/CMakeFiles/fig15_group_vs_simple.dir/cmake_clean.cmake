@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig15_group_vs_simple"
+  "../bench/fig15_group_vs_simple.pdb"
+  "CMakeFiles/fig15_group_vs_simple.dir/fig15_group_vs_simple.cpp.o"
+  "CMakeFiles/fig15_group_vs_simple.dir/fig15_group_vs_simple.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_group_vs_simple.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig16_p3dfft"
+  "../bench/fig16_p3dfft.pdb"
+  "CMakeFiles/fig16_p3dfft.dir/fig16_p3dfft.cpp.o"
+  "CMakeFiles/fig16_p3dfft.dir/fig16_p3dfft.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_p3dfft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig17_hpl"
+  "../bench/fig17_hpl.pdb"
+  "CMakeFiles/fig17_hpl.dir/fig17_hpl.cpp.o"
+  "CMakeFiles/fig17_hpl.dir/fig17_hpl.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_hpl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/omb_suite"
+  "../bench/omb_suite.pdb"
+  "CMakeFiles/omb_suite.dir/omb_suite.cpp.o"
+  "CMakeFiles/omb_suite.dir/omb_suite.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omb_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

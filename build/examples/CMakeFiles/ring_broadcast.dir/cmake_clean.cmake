@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ring_broadcast.dir/ring_broadcast.cpp.o"
+  "CMakeFiles/ring_broadcast.dir/ring_broadcast.cpp.o.d"
+  "ring_broadcast"
+  "ring_broadcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ring_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpu_apps.dir/hpl.cpp.o"
+  "CMakeFiles/dpu_apps.dir/hpl.cpp.o.d"
+  "CMakeFiles/dpu_apps.dir/omb.cpp.o"
+  "CMakeFiles/dpu_apps.dir/omb.cpp.o.d"
+  "CMakeFiles/dpu_apps.dir/p3dfft.cpp.o"
+  "CMakeFiles/dpu_apps.dir/p3dfft.cpp.o.d"
+  "CMakeFiles/dpu_apps.dir/stencil3d.cpp.o"
+  "CMakeFiles/dpu_apps.dir/stencil3d.cpp.o.d"
+  "libdpu_apps.a"
+  "libdpu_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpu_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

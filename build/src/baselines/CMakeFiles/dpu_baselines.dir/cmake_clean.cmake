@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpu_baselines.dir/bluesmpi.cpp.o"
+  "CMakeFiles/dpu_baselines.dir/bluesmpi.cpp.o.d"
+  "libdpu_baselines.a"
+  "libdpu_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpu_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdpu_baselines.a"
+)

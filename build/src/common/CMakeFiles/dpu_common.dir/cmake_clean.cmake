@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpu_common.dir/bytes.cpp.o"
+  "CMakeFiles/dpu_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/dpu_common.dir/table.cpp.o"
+  "CMakeFiles/dpu_common.dir/table.cpp.o.d"
+  "libdpu_common.a"
+  "libdpu_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpu_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

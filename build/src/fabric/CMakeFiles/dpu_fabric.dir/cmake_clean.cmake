@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpu_fabric.dir/fabric.cpp.o"
+  "CMakeFiles/dpu_fabric.dir/fabric.cpp.o.d"
+  "libdpu_fabric.a"
+  "libdpu_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpu_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

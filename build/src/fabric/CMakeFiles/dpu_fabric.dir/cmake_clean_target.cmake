@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdpu_fabric.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpu_harness.dir/world.cpp.o"
+  "CMakeFiles/dpu_harness.dir/world.cpp.o.d"
+  "libdpu_harness.a"
+  "libdpu_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpu_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpu_machine.dir/address_space.cpp.o"
+  "CMakeFiles/dpu_machine.dir/address_space.cpp.o.d"
+  "libdpu_machine.a"
+  "libdpu_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpu_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

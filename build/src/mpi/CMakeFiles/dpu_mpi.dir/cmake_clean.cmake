@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpu_mpi.dir/collectives.cpp.o"
+  "CMakeFiles/dpu_mpi.dir/collectives.cpp.o.d"
+  "CMakeFiles/dpu_mpi.dir/mpi.cpp.o"
+  "CMakeFiles/dpu_mpi.dir/mpi.cpp.o.d"
+  "libdpu_mpi.a"
+  "libdpu_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpu_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpu_offload.dir/coll.cpp.o"
+  "CMakeFiles/dpu_offload.dir/coll.cpp.o.d"
+  "CMakeFiles/dpu_offload.dir/offload.cpp.o"
+  "CMakeFiles/dpu_offload.dir/offload.cpp.o.d"
+  "CMakeFiles/dpu_offload.dir/proxy.cpp.o"
+  "CMakeFiles/dpu_offload.dir/proxy.cpp.o.d"
+  "libdpu_offload.a"
+  "libdpu_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpu_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpu_sim.dir/engine.cpp.o"
+  "CMakeFiles/dpu_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/dpu_sim.dir/trace.cpp.o"
+  "CMakeFiles/dpu_sim.dir/trace.cpp.o.d"
+  "libdpu_sim.a"
+  "libdpu_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpu_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpu_verbs.dir/verbs.cpp.o"
+  "CMakeFiles/dpu_verbs.dir/verbs.cpp.o.d"
+  "libdpu_verbs.a"
+  "libdpu_verbs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpu_verbs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps2_test.dir/apps2_test.cpp.o"
+  "CMakeFiles/apps2_test.dir/apps2_test.cpp.o.d"
+  "apps2_test"
+  "apps2_test.pdb"
+  "apps2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bluesmpi_test.dir/bluesmpi_test.cpp.o"
+  "CMakeFiles/bluesmpi_test.dir/bluesmpi_test.cpp.o.d"
+  "bluesmpi_test"
+  "bluesmpi_test.pdb"
+  "bluesmpi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bluesmpi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finalize_trace_test.dir/finalize_trace_test.cpp.o"
+  "CMakeFiles/finalize_trace_test.dir/finalize_trace_test.cpp.o.d"
+  "finalize_trace_test"
+  "finalize_trace_test.pdb"
+  "finalize_trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finalize_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

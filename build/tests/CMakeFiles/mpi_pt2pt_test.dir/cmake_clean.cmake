@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpi_pt2pt_test.dir/mpi_pt2pt_test.cpp.o"
+  "CMakeFiles/mpi_pt2pt_test.dir/mpi_pt2pt_test.cpp.o.d"
+  "mpi_pt2pt_test"
+  "mpi_pt2pt_test.pdb"
+  "mpi_pt2pt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpi_pt2pt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

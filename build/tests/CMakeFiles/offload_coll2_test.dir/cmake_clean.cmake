@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offload_coll2_test.dir/offload_coll2_test.cpp.o"
+  "CMakeFiles/offload_coll2_test.dir/offload_coll2_test.cpp.o.d"
+  "offload_coll2_test"
+  "offload_coll2_test.pdb"
+  "offload_coll2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offload_coll2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offload_structs_test.dir/offload_structs_test.cpp.o"
+  "CMakeFiles/offload_structs_test.dir/offload_structs_test.cpp.o.d"
+  "offload_structs_test"
+  "offload_structs_test.pdb"
+  "offload_structs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offload_structs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omb_test.dir/omb_test.cpp.o"
+  "CMakeFiles/omb_test.dir/omb_test.cpp.o.d"
+  "omb_test"
+  "omb_test.pdb"
+  "omb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

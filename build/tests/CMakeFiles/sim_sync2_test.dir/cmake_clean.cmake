@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_sync2_test.dir/sim_sync2_test.cpp.o"
+  "CMakeFiles/sim_sync2_test.dir/sim_sync2_test.cpp.o.d"
+  "sim_sync2_test"
+  "sim_sync2_test.pdb"
+  "sim_sync2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_sync2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

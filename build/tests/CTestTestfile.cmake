@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_sync_test[1]_include.cmake")
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/machine_test[1]_include.cmake")
+include("/root/repo/build/tests/fabric_test[1]_include.cmake")
+include("/root/repo/build/tests/verbs_test[1]_include.cmake")
+include("/root/repo/build/tests/mpi_pt2pt_test[1]_include.cmake")
+include("/root/repo/build/tests/mpi_collectives_test[1]_include.cmake")
+include("/root/repo/build/tests/offload_basic_test[1]_include.cmake")
+include("/root/repo/build/tests/offload_group_test[1]_include.cmake")
+include("/root/repo/build/tests/bluesmpi_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_test[1]_include.cmake")
+include("/root/repo/build/tests/offload_coll_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/offload_structs_test[1]_include.cmake")
+include("/root/repo/build/tests/harness_test[1]_include.cmake")
+include("/root/repo/build/tests/mpi_collectives2_test[1]_include.cmake")
+include("/root/repo/build/tests/offload_coll2_test[1]_include.cmake")
+include("/root/repo/build/tests/omb_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_sync2_test[1]_include.cmake")
+include("/root/repo/build/tests/apps2_test[1]_include.cmake")
+include("/root/repo/build/tests/finalize_trace_test[1]_include.cmake")
