@@ -58,6 +58,9 @@ Result run(bool group_cache_on, int nodes, int ppn, std::size_t bpr) {
   };
   w.launch_all(prog);
   w.run();
+  bench::emit_metrics(w, "ablation_caches",
+                      std::string(group_cache_on ? "caches-on" : "group-cache-off") +
+                          " bpr=" + format_size(bpr));
   return res;
 }
 

@@ -51,6 +51,9 @@ Point run(double oversub, int nodes, int ppn, std::size_t bpr) {
     };
     w.launch_all(prog);
     w.run();
+    bench::emit_metrics(w, "ablation_fabric",
+                        std::string(proposed ? "proposed" : "intel") + " oversub=" +
+                            Table::num(oversub, 0) + (compute > 0 ? " overall" : " pure"));
     return out;
   };
   Point p;

@@ -34,6 +34,7 @@ double run(int proxies, int nodes, int ppn, std::size_t bpr) {
   };
   w.launch_all(prog);
   w.run();
+  bench::emit_metrics(w, "ablation_proxies", "proxies=" + std::to_string(proxies));
   return out;
 }
 

@@ -6,11 +6,18 @@
 // values are simulated microseconds, not testbed numbers.
 //
 // DPU_BENCH_FAST=1 in the environment shrinks scales for smoke runs.
+//
+// DPU_BENCH_JSON=<dir> (or =1 for the working directory) additionally dumps
+// every simulated World's metrics registry to BENCH_<bench>.json, one record
+// per measured configuration. Unset, the benches are byte-identical to a
+// build without the feature — stdout carries only the tables.
 #pragma once
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "common/table.h"
 #include "common/units.h"
@@ -38,6 +45,46 @@ inline void header(const std::string& fig, const std::string& what) {
             << "(simulated cluster; shapes comparable to the paper, absolute\n"
             << " values are model time)\n"
             << "==============================================================\n";
+}
+
+/// Output directory for metrics dumps, or nullptr when DPU_BENCH_JSON is
+/// unset/empty ("1" selects the working directory).
+inline const char* json_dir() {
+  const char* v = std::getenv("DPU_BENCH_JSON");
+  if (v == nullptr || v[0] == '\0') return nullptr;
+  return (v[0] == '1' && v[1] == '\0') ? "." : v;
+}
+
+/// Appends one labelled metrics record for `w` to BENCH_<bench>.json.
+/// Call while the World is still alive, once per measured configuration;
+/// the file is rewritten after every record so a crashed bench still leaves
+/// the completed records behind. No-op unless DPU_BENCH_JSON is set.
+inline void emit_metrics(harness::World& w, const std::string& bench,
+                         const std::string& label) {
+  const char* dir = json_dir();
+  if (dir == nullptr) return;
+  struct Dump {
+    std::string path;
+    std::vector<std::string> records;
+  };
+  static Dump dump;
+  if (dump.path.empty()) {
+    dump.path = std::string(dir) + "/BENCH_" + bench + ".json";
+    std::cerr << "[bench] metrics records -> " << dump.path << "\n";
+  }
+  std::string esc;
+  for (char c : label) {
+    if (c == '"' || c == '\\') esc += '\\';
+    esc += c;
+  }
+  dump.records.push_back("    {\"label\": \"" + esc + "\",\n     \"metrics\": " +
+                         w.metrics_json() + "}");
+  std::ofstream os(dump.path);
+  os << "{\n  \"bench\": \"" << bench << "\",\n  \"records\": [\n";
+  for (std::size_t i = 0; i < dump.records.size(); ++i) {
+    os << dump.records[i] << (i + 1 < dump.records.size() ? ",\n" : "\n");
+  }
+  os << "  ]\n}\n";
 }
 
 inline void shape(const std::string& claim, bool holds) {

@@ -58,6 +58,7 @@ Result run_mpi_ring() {
     res.all_done_us = std::max(res.all_done_us, to_us(r.world->now()));
   });
   w.run();
+  bench::emit_metrics(w, "fig01_ring_timeline", "mpi_ring");
   return res;
 }
 
@@ -76,6 +77,7 @@ Result run_staged() {
     res.all_done_us = std::max(res.all_done_us, to_us(r.world->now()));
   });
   w.run();
+  bench::emit_metrics(w, "fig01_ring_timeline", "staged");
   return res;
 }
 
@@ -97,6 +99,7 @@ Result run_proposed(std::ostream* timeline = nullptr) {
   });
   w.run();
   if (timeline) w.enable_trace().print_timeline(*timeline, 90);
+  bench::emit_metrics(w, "fig01_ring_timeline", "proposed");
   return res;
 }
 

@@ -36,6 +36,9 @@ double write_latency_us(bool from_dpu, std::size_t len) {
     out = to_us(r.world->now() - t0) / iters;
   });
   w.run();
+  bench::emit_metrics(w, "fig02_rdma_latency",
+                      std::string(from_dpu ? "dpu-host" : "host-host") +
+                          " len=" + format_size(len));
   return out;
 }
 

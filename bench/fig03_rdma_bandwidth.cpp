@@ -38,6 +38,9 @@ double write_bw_gbps(bool from_dpu, std::size_t len) {
     out = static_cast<double>(len) * window / secs / 1e9;
   });
   w.run();
+  bench::emit_metrics(w, "fig03_rdma_bandwidth",
+                      std::string(from_dpu ? "dpu-host" : "host-host") +
+                          " len=" + format_size(len));
   return out;
 }
 

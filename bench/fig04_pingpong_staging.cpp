@@ -35,6 +35,7 @@ double host_pingpong_us(std::size_t len) {
   };
   w.launch_all(prog);
   w.run();
+  bench::emit_metrics(w, "fig04_pingpong_staging", "host len=" + format_size(len));
   return out;
 }
 
@@ -58,6 +59,7 @@ double staged_pingpong_us(std::size_t len) {
   };
   w.launch_all(prog);
   w.run();
+  bench::emit_metrics(w, "fig04_pingpong_staging", "staged len=" + format_size(len));
   return out;
 }
 

@@ -34,6 +34,7 @@ RegCosts measure(std::size_t len) {
     out.cross_us = to_us(r.world->now() - t0);
   });
   w.run();
+  bench::emit_metrics(w, "fig05_registration_cost", "len=" + format_size(len));
   return out;
 }
 

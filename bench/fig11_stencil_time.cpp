@@ -35,6 +35,9 @@ StencilStats run(int grid, StencilBackend backend, bool skip_compute = false) {
   StencilStats stats;
   w.launch_all(stencil_program(cfg, &stats));
   w.run();
+  bench::emit_metrics(w, "fig11_stencil_time",
+                      std::string(backend == StencilBackend::kMpi ? "mpi" : "offload") +
+                          " grid=" + std::to_string(grid));
   return stats;
 }
 

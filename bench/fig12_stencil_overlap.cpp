@@ -39,6 +39,10 @@ Overlap run(int grid, StencilBackend backend) {
     StencilStats stats;
     w.launch_all(stencil_program(cfg, &stats));
     w.run();
+    bench::emit_metrics(w, "fig12_stencil_overlap",
+                        std::string(backend == StencilBackend::kMpi ? "mpi" : "offload") +
+                            " grid=" + std::to_string(grid) +
+                            (skip_compute ? " pure" : " overall"));
     return stats;
   };
   Overlap o;

@@ -61,6 +61,10 @@ Measure run(Lib lib, int nodes, int ppn, std::size_t bpr, SimDuration compute) {
   };
   w.launch_all(prog);
   w.run();
+  bench::emit_metrics(
+      w, "fig13_ialltoall_time",
+      std::string(lib == Lib::kIntel ? "intel" : lib == Lib::kBlues ? "blues" : "proposed") +
+          " nodes=" + std::to_string(nodes) + (compute > 0 ? " overall" : " pure"));
   return m;
 }
 

@@ -52,6 +52,10 @@ double one_run(Lib lib, int nodes, int ppn, std::size_t bpr, SimDuration compute
   };
   w.launch_all(prog);
   w.run();
+  bench::emit_metrics(
+      w, "fig14_ialltoall_overlap",
+      std::string(lib == Lib::kIntel ? "intel" : lib == Lib::kBlues ? "blues" : "proposed") +
+          " nodes=" + std::to_string(nodes) + (compute > 0 ? " overall" : " pure"));
   if (pure_out) *pure_out = out;
   return out;
 }

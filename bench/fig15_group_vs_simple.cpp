@@ -74,6 +74,9 @@ Result run(bool use_group, int nodes, int ppn, std::size_t bpr) {
   };
   w.launch_all(prog);
   w.run();
+  bench::emit_metrics(w, "fig15_group_vs_simple",
+                      std::string(use_group ? "group" : "simple") +
+                          " bpr=" + format_size(bpr));
   return res;
 }
 

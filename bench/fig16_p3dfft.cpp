@@ -28,6 +28,11 @@ P3dfftStats run(int nodes, int ppn, int nx, int ny, int nz, FftBackend b) {
   P3dfftStats stats;
   w.launch_all(p3dfft_program(cfg, &stats));
   w.run();
+  bench::emit_metrics(
+      w, "fig16_p3dfft",
+      std::string(b == FftBackend::kIntel ? "intel" : b == FftBackend::kBlues ? "blues" : "proposed") +
+          " nodes=" + std::to_string(nodes) + " grid=" + std::to_string(nx) + "x" +
+          std::to_string(ny) + "x" + std::to_string(nz));
   return stats;
 }
 

@@ -29,6 +29,13 @@ double run(long n, int nb, HplBcast b, int nodes, int ppn) {
   HplStats stats;
   w.launch_all(hpl_program(cfg, &stats));
   w.run();
+  const char* variant = b == HplBcast::k1Ring         ? "1ring"
+                        : b == HplBcast::kIntelIbcast ? "intel-ibcast"
+                        : b == HplBcast::kBlues       ? "blues"
+                                                      : "proposed";
+  bench::emit_metrics(w, "fig17_hpl",
+                      std::string(variant) + " n=" + std::to_string(n) +
+                          " nb=" + std::to_string(nb));
   return stats.total_us;
 }
 

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Full correctness gate: ASan/UBSan build + the whole test suite.
+#
+#   scripts/check.sh            # sanitized build in build-asan/, then ctest
+#   scripts/check.sh --fast     # also run the fig/ablation benches (fast
+#                               # mode) under the sanitizers afterwards
+#
+# The plain (RelWithDebInfo) build is what `cmake -B build` gives you; this
+# script exists so "did I break anything?" is one command with memory and
+# UB checking on.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build-asan
+JOBS=$(nproc 2>/dev/null || echo 4)
+
+cmake -B "$BUILD_DIR" -S . -DDPU_SANITIZE=ON
+cmake --build "$BUILD_DIR" -j "$JOBS"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+if [[ "${1:-}" == "--fast" ]]; then
+  echo "== fig/ablation benches (fast mode, sanitized) =="
+  for b in "$BUILD_DIR"/bench/fig* "$BUILD_DIR"/bench/ablation_*; do
+    [[ -x "$b" ]] || continue
+    echo "-- $b"
+    DPU_BENCH_FAST=1 "$b" > /dev/null
+  done
+fi
+
+echo "check.sh: all green"

@@ -1,7 +1,7 @@
 #include "fabric/fabric.h"
 
 #include <algorithm>
-#include <memory>
+#include <string>
 
 #include "sim/trace.h"
 
@@ -16,10 +16,19 @@ Fabric::Fabric(sim::Engine& eng, const machine::ClusterSpec& spec)
       pcie_up_(static_cast<std::size_t>(spec.nodes)),
       core_up_(static_cast<std::size_t>(spec.nodes / std::max(spec.cost.radix, 1) + 1)),
       core_down_(static_cast<std::size_t>(spec.nodes / std::max(spec.cost.radix, 1) + 1)),
-      stats_(static_cast<std::size_t>(spec.nodes)) {}
+      stats_(static_cast<std::size_t>(spec.nodes)) {
+  auto& reg = eng_.metrics();
+  for (int n = 0; n < spec.nodes; ++n) {
+    const std::string prefix = "fabric.node" + std::to_string(n) + ".";
+    auto& st = stats_[static_cast<std::size_t>(n)];
+    reg.link(prefix + "messages_tx", &st.messages_tx);
+    reg.link(prefix + "bytes_tx", &st.bytes_tx);
+    reg.link(prefix + "messages_rx", &st.messages_rx);
+    reg.link(prefix + "bytes_rx", &st.bytes_rx);
+  }
+}
 
-SimTime Fabric::transfer(int src_node, int dst_node, std::size_t bytes,
-                         std::function<void()> on_delivered, bool to_host) {
+SimTime Fabric::plan_transfer(int src_node, int dst_node, std::size_t bytes, bool to_host) {
   const SimTime now = eng_.now();
 
   if (src_node == dst_node) {
@@ -37,7 +46,6 @@ SimTime Fabric::transfer(int src_node, int dst_node, std::size_t bytes,
       tr->add("pcie:" + std::to_string(src_node), "xfer",
               std::to_string(bytes) + "B " + (to_host ? "up" : "down"), start, end);
     }
-    eng_.schedule_at(end, std::move(on_delivered));
     return end;
   }
 
@@ -86,14 +94,20 @@ SimTime Fabric::transfer(int src_node, int dst_node, std::size_t bytes,
     tr->add("wire:" + std::to_string(src_node) + "->" + std::to_string(dst_node), "xfer",
             std::to_string(bytes) + "B", tx_start, rx_end);
   }
-  eng_.schedule_at(rx_end, std::move(on_delivered));
   return rx_end;
 }
 
-sim::Task<void> Fabric::transfer_await(int src_node, int dst_node, std::size_t bytes) {
-  auto done = std::make_shared<sim::Event>(eng_);
-  transfer(src_node, dst_node, bytes, [done] { done->set(); });
-  co_await done->wait();
+SimTime Fabric::transfer(int src_node, int dst_node, std::size_t bytes,
+                         std::function<void()> on_delivered, bool to_host) {
+  const SimTime end = plan_transfer(src_node, dst_node, bytes, to_host);
+  eng_.schedule_at(end, std::move(on_delivered));
+  return end;
+}
+
+sim::Task<void> Fabric::transfer_await(int src_node, int dst_node, std::size_t bytes,
+                                       bool to_host) {
+  const SimTime end = plan_transfer(src_node, dst_node, bytes, to_host);
+  co_await eng_.sleep(end - eng_.now());
 }
 
 SimDuration Fabric::uncontended_time(int src_node, int dst_node, std::size_t bytes) const {

@@ -9,12 +9,21 @@
 // ports, as on real BlueField loopback. Per-message *initiation* cost is
 // charged by the caller on whichever core posts the operation (see
 // CostModel::post_overhead) — the fabric models only the wire.
+//
+// Both transfer flavours share one planning core (`plan_transfer`) that
+// advances the port clocks and returns the delivery time. The coroutine
+// flavour is the primary path: the awaiting frame is resumed directly at
+// the planned time, with no completion Event, closure, or heap traffic.
+// The callback flavour exists for initiators that must run side-effects at
+// delivery on behalf of another process (the verbs layer) and routes
+// through the same core.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <vector>
 
+#include "common/metrics.h"
 #include "machine/spec.h"
 #include "sim/engine.h"
 #include "sim/sync.h"
@@ -23,11 +32,13 @@
 namespace dpu::fabric {
 
 /// Aggregate transfer statistics (per node, for utilization reporting).
+/// The counters are registered with the engine's MetricsRegistry as
+/// "fabric.node<N>.*"; this struct remains the in-place storage.
 struct NicStats {
-  std::uint64_t messages_tx = 0;
-  std::uint64_t bytes_tx = 0;
-  std::uint64_t messages_rx = 0;
-  std::uint64_t bytes_rx = 0;
+  metrics::Counter messages_tx;
+  metrics::Counter bytes_tx;
+  metrics::Counter messages_rx;
+  metrics::Counter bytes_rx;
 };
 
 class Fabric {
@@ -41,8 +52,10 @@ class Fabric {
   SimTime transfer(int src_node, int dst_node, std::size_t bytes,
                    std::function<void()> on_delivered, bool to_host = false);
 
-  /// Coroutine flavour: completes at delivery time.
-  sim::Task<void> transfer_await(int src_node, int dst_node, std::size_t bytes);
+  /// Coroutine flavour (primary path): completes at delivery time without
+  /// allocating.
+  sim::Task<void> transfer_await(int src_node, int dst_node, std::size_t bytes,
+                                 bool to_host = false);
 
   /// Latency-only estimate of an uncontended transfer (used by tests and
   /// calibration, never by protocol logic).
@@ -54,6 +67,11 @@ class Fabric {
   struct Port {
     SimTime free_at = 0;
   };
+
+  /// Advances the port/lane clocks for one transfer, updates stats and
+  /// trace spans, and returns the delivery time. Does not schedule
+  /// anything — callers decide how completion is observed.
+  SimTime plan_transfer(int src_node, int dst_node, std::size_t bytes, bool to_host);
 
   sim::Engine& eng_;
   machine::CostModel cost_;

@@ -68,13 +68,28 @@ std::string World::stats_summary() const {
 }
 
 void World::run() {
-  (void)eng_.run();
+  const sim::RunResult result = eng_.run();
   std::string stuck;
   for (const auto& h : launched_) {
     h.rethrow();
     if (!h.done()) stuck += (stuck.empty() ? "" : ", ") + h.name();
   }
-  sim_expect(stuck.empty(), "rank programs deadlocked: " + stuck);
+  if (!stuck.empty()) {
+    // Deadlock diagnostics: name every live engine process, not just the
+    // launched rank programs, so a hung proxy is visible in the failure.
+    std::string live;
+    for (const auto& n : eng_.live_process_names()) live += (live.empty() ? "" : ", ") + n;
+    sim_expect(false, "rank programs deadlocked: " + stuck +
+                          (result == sim::RunResult::kDeadlock
+                               ? "; live processes: " + live
+                               : ""));
+  }
+}
+
+std::string World::metrics_json() {
+  auto& reg = eng_.metrics();
+  reg.set_gauge("sim.now_us", to_us(eng_.now()));
+  return reg.to_json();
 }
 
 }  // namespace dpu::harness

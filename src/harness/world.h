@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "baselines/bluesmpi.h"
+#include "common/metrics.h"
 #include "fabric/fabric.h"
 #include "machine/spec.h"
 #include "mpi/mpi.h"
@@ -70,6 +71,12 @@ class World {
   /// One-paragraph run summary: fabric traffic, cache hit rates, proxy
   /// work counters — for examples and post-run sanity checks.
   std::string stats_summary() const;
+
+  /// The cluster-wide metrics registry (owned by the engine); every layer
+  /// links its counters here. `metrics_json()` additionally refreshes the
+  /// run-level gauges (sim.now_us) before exporting.
+  metrics::MetricsRegistry& metrics() { return eng_.metrics(); }
+  std::string metrics_json();
 
   /// Enables span recording (compute phases, wire/PCIe transfers); the
   /// returned Trace lives as long as the World.

@@ -63,7 +63,12 @@ void MpiWorld::deliver_local(int dst_rank, std::any body, SimDuration delay) {
 // MpiCtx basics
 // ---------------------------------------------------------------------------
 
-MpiCtx::MpiCtx(MpiWorld& world, int world_rank) : world_(world), rank_(world_rank) {}
+MpiCtx::MpiCtx(MpiWorld& world, int world_rank) : world_(world), rank_(world_rank) {
+  auto& reg = world_.engine().metrics();
+  const std::string prefix = "mpi.rank" + std::to_string(rank_) + ".reg_cache.";
+  reg.link(prefix + "hits", &reg_cache_.stats().hits);
+  reg.link(prefix + "misses", &reg_cache_.stats().misses);
+}
 MpiCtx::~MpiCtx() = default;
 
 int MpiCtx::size() const { return world_.spec().total_host_ranks(); }

@@ -9,6 +9,7 @@
 #include <map>
 #include <utility>
 
+#include "common/metrics.h"
 #include "sim/task.h"
 #include "verbs/verbs.h"
 
@@ -16,9 +17,11 @@ namespace dpu::mpi {
 
 class RegCache {
  public:
+  /// Counter-backed so owners can link the slots into a MetricsRegistry
+  /// (see common/metrics.h); reads behave like plain integers.
   struct Stats {
-    std::uint64_t hits = 0;
-    std::uint64_t misses = 0;
+    metrics::Counter hits;
+    metrics::Counter misses;
   };
 
   /// Returns the cached registration for (addr,len), registering on miss

@@ -20,14 +20,17 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/metrics.h"
 #include "sim/task.h"
 #include "verbs/verbs.h"
 
 namespace dpu::offload {
 
+/// Counter-backed so owners can link the slots into a MetricsRegistry
+/// (see common/metrics.h); reads behave like plain integers.
 struct CacheStats {
-  std::uint64_t hits = 0;
-  std::uint64_t misses = 0;
+  metrics::Counter hits;
+  metrics::Counter misses;
 };
 
 /// Host-side GVMI cache: (remote proxy rank) -> BST over (addr,len) ->

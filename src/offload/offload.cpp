@@ -46,7 +46,17 @@ void OffloadRuntime::start() {
 // ---------------------------------------------------------------------------
 
 OffloadEndpoint::OffloadEndpoint(OffloadRuntime& rt, int rank)
-    : rt_(rt), rank_(rank), gvmi_cache_(rt.spec().total_procs()) {}
+    : rt_(rt), rank_(rank), gvmi_cache_(rt.spec().total_procs()) {
+  auto& reg = rt_.engine().metrics();
+  const std::string prefix = "offload.host" + std::to_string(rank_) + ".";
+  reg.link(prefix + "group_cache.hits", &group_hits_);
+  reg.link(prefix + "group_cache.misses", &group_misses_);
+  reg.link(prefix + "ctrl_msgs_sent", &ctrl_sent_);
+  reg.link(prefix + "gvmi_cache.hits", &gvmi_cache_.stats().hits);
+  reg.link(prefix + "gvmi_cache.misses", &gvmi_cache_.stats().misses);
+  reg.link(prefix + "ib_cache.hits", &ib_cache_.stats().hits);
+  reg.link(prefix + "ib_cache.misses", &ib_cache_.stats().misses);
+}
 
 verbs::ProcCtx& OffloadEndpoint::vctx() { return rt_.verbs().ctx(rank_); }
 

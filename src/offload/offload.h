@@ -22,6 +22,7 @@
 #include <span>
 #include <vector>
 
+#include "common/metrics.h"
 #include "mpi/reg_cache.h"
 #include "offload/gvmi_cache.h"
 #include "offload/protocol.h"
@@ -96,11 +97,13 @@ class OffloadEndpoint {
   sim::Task<void> group_wait(const GroupReqPtr& req);
 
   // ---- introspection ----------------------------------------------------------
+  // Counter getters are thin adapters over the "offload.host<rank>.*"
+  // registry counters.
   HostGvmiCache& gvmi_cache() { return gvmi_cache_; }
   mpi::RegCache& ib_cache() { return ib_cache_; }
-  std::uint64_t group_cache_hits() const { return group_hits_; }
-  std::uint64_t group_cache_misses() const { return group_misses_; }
-  std::uint64_t ctrl_msgs_sent() const { return ctrl_sent_; }
+  std::uint64_t group_cache_hits() const { return group_hits_.value(); }
+  std::uint64_t group_cache_misses() const { return group_misses_.value(); }
+  std::uint64_t ctrl_msgs_sent() const { return ctrl_sent_.value(); }
 
   /// Disables the host-side group request cache (ablation benches).
   void set_group_cache_enabled(bool on) { group_cache_enabled_ = on; }
@@ -114,9 +117,9 @@ class OffloadEndpoint {
   mpi::RegCache ib_cache_;
   std::uint64_t next_req_ = 1;
   std::map<int, std::deque<GroupMetaMsg>> meta_buf_;  // per-peer FIFO
-  std::uint64_t group_hits_ = 0;
-  std::uint64_t group_misses_ = 0;
-  std::uint64_t ctrl_sent_ = 0;
+  metrics::Counter group_hits_;
+  metrics::Counter group_misses_;
+  metrics::Counter ctrl_sent_;
   bool group_cache_enabled_ = true;
 };
 

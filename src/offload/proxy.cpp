@@ -1,6 +1,7 @@
 #include "offload/proxy.h"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 
 #include "common/check.h"
@@ -11,6 +12,15 @@ namespace dpu::offload {
 Proxy::Proxy(OffloadRuntime& rt, int proc_id)
     : rt_(rt), proc_(proc_id), gvmi_cache_(rt.spec().total_procs()) {
   gvmi_ = rt_.verbs().ctx(proc_).alloc_gvmi_id();
+  auto& reg = rt_.engine().metrics();
+  const std::string prefix = "offload.proxy" + std::to_string(proc_) + ".";
+  reg.link(prefix + "basic_pairs_completed", &basic_done_);
+  reg.link(prefix + "group_jobs_completed", &jobs_done_);
+  reg.link(prefix + "group_cache.hits", &tmpl_hits_);
+  reg.link(prefix + "group_cache.misses", &tmpl_misses_);
+  reg.link(prefix + "barrier_cntr_msgs", &barrier_msgs_);
+  reg.link(prefix + "gvmi_cache.hits", &gvmi_cache_.stats().hits);
+  reg.link(prefix + "gvmi_cache.misses", &gvmi_cache_.stats().misses);
 }
 
 verbs::ProcCtx& Proxy::vctx() { return rt_.verbs().ctx(proc_); }

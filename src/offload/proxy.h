@@ -15,6 +15,7 @@
 #include <set>
 #include <vector>
 
+#include "common/metrics.h"
 #include "offload/gvmi_cache.h"
 #include "offload/match_queues.h"
 #include "offload/protocol.h"
@@ -42,11 +43,12 @@ class Proxy {
   int mapped_hosts() const;
 
   // ---- stats exposed for tests / ablation benches ---------------------------
-  std::uint64_t basic_pairs_completed() const { return basic_done_; }
-  std::uint64_t group_jobs_completed() const { return jobs_done_; }
-  std::uint64_t group_cache_hits() const { return tmpl_hits_; }
-  std::uint64_t group_cache_misses() const { return tmpl_misses_; }
-  std::uint64_t barrier_cntr_msgs() const { return barrier_msgs_; }
+  // Thin adapters over the "offload.proxy<id>.*" registry counters.
+  std::uint64_t basic_pairs_completed() const { return basic_done_.value(); }
+  std::uint64_t group_jobs_completed() const { return jobs_done_.value(); }
+  std::uint64_t group_cache_hits() const { return tmpl_hits_.value(); }
+  std::uint64_t group_cache_misses() const { return tmpl_misses_.value(); }
+  std::uint64_t barrier_cntr_msgs() const { return barrier_msgs_.value(); }
   const MatchQueues& queues() const { return queues_; }
 
  private:
@@ -127,11 +129,11 @@ class Proxy {
   std::map<std::tuple<int, int, int>, int> credits_;
 
   int stops_received_ = 0;
-  std::uint64_t basic_done_ = 0;
-  std::uint64_t jobs_done_ = 0;
-  std::uint64_t tmpl_hits_ = 0;
-  std::uint64_t tmpl_misses_ = 0;
-  std::uint64_t barrier_msgs_ = 0;
+  metrics::Counter basic_done_;
+  metrics::Counter jobs_done_;
+  metrics::Counter tmpl_hits_;
+  metrics::Counter tmpl_misses_;
+  metrics::Counter barrier_msgs_;
 };
 
 }  // namespace dpu::offload

@@ -38,10 +38,16 @@ struct SpawnAccess {
   }
 };
 
+Engine::Engine() { metrics_.link("engine.events_executed", &events_executed_); }
+
 Engine::~Engine() {
-  // Drain scheduled work without executing it, then destroy every root
-  // frame; nested frames are destroyed recursively through Task ownership.
-  queue_ = {};
+  // Drain scheduled work without executing it (slot destruction releases
+  // callback captures), then destroy every root frame; nested frames are
+  // destroyed recursively through Task ownership.
+  queue_.clear();
+  now_fifo_.clear();
+  callback_slots_.clear();
+  free_slots_.clear();
   for (auto& st : procs_) {
     if (st->root) {
       auto h = st->root;
@@ -53,11 +59,16 @@ Engine::~Engine() {
 
 void Engine::schedule_at(SimTime t, std::function<void()> fn) {
   require(t >= now_, "scheduling into the past");
-  queue_.push(Ev{t, next_seq_++, std::move(fn)});
-}
-
-void Engine::resume_at(SimTime t, std::coroutine_handle<> h) {
-  schedule_at(t, [h] { h.resume(); });
+  std::size_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    callback_slots_[slot] = std::move(fn);
+  } else {
+    slot = callback_slots_.size();
+    callback_slots_.push_back(std::move(fn));
+  }
+  push_node(EvNode{t, next_seq_++, (slot << 1) | kCallbackTag});
 }
 
 ProcHandle Engine::spawn(Task<void> task, std::string name) {
@@ -71,17 +82,32 @@ ProcHandle Engine::spawn(Task<void> task, std::string name) {
 }
 
 RunResult Engine::run(SimTime until) {
-  while (!queue_.empty()) {
-    if (queue_.top().time > until) {
+  while (!queue_.empty() || !now_fifo_.empty()) {
+    // Two-way merge on (time, seq): the FIFO holds current-timestamp events
+    // in seq order, so comparing its front against the heap top recovers the
+    // exact global dispatch order of a single queue.
+    const bool from_fifo =
+        !now_fifo_.empty() &&
+        (queue_.empty() || now_fifo_.front().time < queue_.top().time ||
+         (now_fifo_.front().time == queue_.top().time &&
+          now_fifo_.front().seq < queue_.top().seq));
+    if ((from_fifo ? now_fifo_.front().time : queue_.top().time) > until) {
       now_ = until;
       return RunResult::kTimeLimit;
     }
-    // Move the event out before popping: priority_queue::top is const.
-    Ev ev = std::move(const_cast<Ev&>(queue_.top()));
-    queue_.pop();
+    const EvNode ev = from_fifo ? now_fifo_.pop() : queue_.pop();
     now_ = ev.time;
     ++events_executed_;
-    ev.fn();
+    if ((ev.payload & kCallbackTag) == 0) {
+      std::coroutine_handle<>::from_address(reinterpret_cast<void*>(ev.payload)).resume();
+    } else {
+      const std::size_t slot = ev.payload >> 1;
+      auto fn = std::move(callback_slots_[slot]);
+      // No need to null the moved-from slot: the next occupant's assignment
+      // destroys any residue, and the destructor clears the pool wholesale.
+      free_slots_.push_back(slot);
+      fn();
+    }
     if (pending_error_) {
       auto err = std::exchange(pending_error_, nullptr);
       std::rethrow_exception(err);

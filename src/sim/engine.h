@@ -6,17 +6,35 @@
 // awaitables (sleep, Event, Channel, ...). The engine is strictly
 // single-threaded and deterministic: ties in time are broken by insertion
 // order.
+//
+// Event representation (the simulator's hottest data structure): each queue
+// node is a trivially-copyable 24-byte record with two arms selected by the
+// payload's tag bit —
+//   * fast arm: a raw coroutine handle address (resume_at). Scheduling and
+//     dispatching a resumption never touches the heap.
+//   * slow arm: an index into a recycled slot pool of std::function
+//     callbacks (schedule_at). Only this arm pays type erasure.
+// Nodes live in a 4-ary min-heap ordered by (time, seq); since (time, seq)
+// is a strict total order, pop order — and therefore simulation behaviour —
+// is independent of the heap's internal shape.
+//
+// Same-timestamp fast lane: events scheduled at exactly the current time
+// (the dominant case — Event/Notifier/Channel wakeups all resume_at(now))
+// skip the heap and go to a plain FIFO. Because seq increases monotonically,
+// the FIFO is (time, seq)-sorted by construction, and run() merges it with
+// the heap by comparing front against top — the dispatch order is provably
+// identical to a single heap.
 #pragma once
 
 #include <coroutine>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <string>
 #include <vector>
 
 #include "common/check.h"
+#include "common/metrics.h"
 #include "common/units.h"
 
 namespace dpu::sim {
@@ -44,7 +62,12 @@ class ProcHandle {
 
   bool valid() const { return state_ != nullptr; }
   bool done() const { return state_ && state_->done; }
-  const std::string& name() const { return state_->name; }
+
+  /// Name of the process; empty for a default-constructed (invalid) handle.
+  const std::string& name() const {
+    static const std::string kInvalid;
+    return state_ ? state_->name : kInvalid;
+  }
 
   /// Rethrows the process's terminal exception, if any.
   void rethrow() const {
@@ -64,7 +87,7 @@ enum class RunResult {
 
 class Engine {
  public:
-  Engine() = default;
+  Engine();
   ~Engine();
 
   Engine(const Engine&) = delete;
@@ -81,8 +104,13 @@ class Engine {
     schedule_at(now_ + d, std::move(fn));
   }
 
-  /// Schedules a coroutine resumption.
-  void resume_at(SimTime t, std::coroutine_handle<> h);
+  /// Schedules a coroutine resumption (allocation-free fast path).
+  void resume_at(SimTime t, std::coroutine_handle<> h) {
+    require(t >= now_, "scheduling into the past");
+    const auto addr = reinterpret_cast<std::uintptr_t>(h.address());
+    require((addr & kCallbackTag) == 0, "coroutine frame address must be even");
+    push_node(EvNode{t, next_seq_++, addr});
+  }
   void resume_in(SimDuration d, std::coroutine_handle<> h) { resume_at(now_ + d, h); }
 
   /// Spawns a root process. The coroutine begins executing at the current
@@ -99,8 +127,14 @@ class Engine {
   /// diagnostics).
   std::vector<std::string> live_process_names() const;
 
-  /// Number of events executed so far (proxy for simulation work).
-  std::uint64_t events_executed() const { return events_executed_; }
+  /// Number of events executed so far (proxy for simulation work). Thin
+  /// adapter over the "engine.events_executed" registry counter.
+  std::uint64_t events_executed() const { return events_executed_.value(); }
+
+  /// Per-simulation metrics registry; every layer built on this engine
+  /// names its counters here (see common/metrics.h).
+  metrics::MetricsRegistry& metrics() { return metrics_; }
+  const metrics::MetricsRegistry& metrics() const { return metrics_; }
 
   /// Optional span recorder; null disables tracing (the default).
   void set_trace(Trace* t) { trace_ = t; }
@@ -119,20 +153,119 @@ class Engine {
   }
 
  private:
-  struct Ev {
+  static constexpr std::uintptr_t kCallbackTag = 1;
+
+  /// Two-arm event node. Tag bit 0 of `payload` selects the arm: clear ->
+  /// coroutine frame address (frames are at least pointer-aligned, so the
+  /// bit is free), set -> callback slot index shifted left by one.
+  struct EvNode {
     SimTime time;
     std::uint64_t seq;
-    std::function<void()> fn;
-    bool operator>(const Ev& o) const {
-      return time != o.time ? time > o.time : seq > o.seq;
-    }
+    std::uintptr_t payload;
   };
+  static_assert(std::is_trivially_copyable_v<EvNode>);
+
+  /// 4-ary min-heap over EvNode with hole-based sifting: shallower than a
+  /// binary heap and every move is a 24-byte memcpy, which is what makes
+  /// event push/pop allocation- and indirection-free.
+  class EventHeap {
+   public:
+    bool empty() const { return v_.empty(); }
+    std::size_t size() const { return v_.size(); }
+    const EvNode& top() const { return v_.front(); }
+    void clear() { v_.clear(); }
+
+    void push(const EvNode& n) {
+      std::size_t i = v_.size();
+      v_.push_back(n);
+      while (i > 0) {
+        const std::size_t parent = (i - 1) >> 2;
+        if (!less(n, v_[parent])) break;
+        v_[i] = v_[parent];
+        i = parent;
+      }
+      v_[i] = n;
+    }
+
+    EvNode pop() {
+      const EvNode out = v_.front();
+      const EvNode last = v_.back();
+      v_.pop_back();
+      if (!v_.empty()) {
+        const std::size_t n = v_.size();
+        std::size_t i = 0;
+        for (;;) {
+          const std::size_t child = (i << 2) + 1;
+          if (child >= n) break;
+          std::size_t best = child;
+          const std::size_t end = child + 4 < n ? child + 4 : n;
+          for (std::size_t c = child + 1; c < end; ++c) {
+            if (less(v_[c], v_[best])) best = c;
+          }
+          if (!less(v_[best], last)) break;
+          v_[i] = v_[best];
+          i = best;
+        }
+        v_[i] = last;
+      }
+      return out;
+    }
+
+   private:
+    static bool less(const EvNode& a, const EvNode& b) {
+      return a.time != b.time ? a.time < b.time : a.seq < b.seq;
+    }
+    std::vector<EvNode> v_;
+  };
+
+  /// FIFO for events at the current timestamp. Fully drains before the
+  /// clock advances, so a vector with a read cursor (reset on empty) gives
+  /// amortised O(1) push/pop with no wraparound bookkeeping.
+  class NowFifo {
+   public:
+    bool empty() const { return head_ == v_.size(); }
+    const EvNode& front() const { return v_[head_]; }
+
+    void push(const EvNode& n) { v_.push_back(n); }
+
+    EvNode pop() {
+      const EvNode out = v_[head_++];
+      if (head_ == v_.size()) {
+        v_.clear();
+        head_ = 0;
+      }
+      return out;
+    }
+
+    void clear() {
+      v_.clear();
+      head_ = 0;
+    }
+
+   private:
+    std::vector<EvNode> v_;
+    std::size_t head_ = 0;
+  };
+
+  void push_node(const EvNode& n) {
+    // The FIFO stays (time, seq)-sorted only while every entry carries the
+    // current timestamp; anything else takes the general-purpose heap.
+    if (n.time == now_ && (now_fifo_.empty() || now_fifo_.front().time == now_)) {
+      now_fifo_.push(n);
+    } else {
+      queue_.push(n);
+    }
+  }
 
   SimTime now_ = 0;
   Trace* trace_ = nullptr;
   std::uint64_t next_seq_ = 0;
-  std::uint64_t events_executed_ = 0;
-  std::priority_queue<Ev, std::vector<Ev>, std::greater<>> queue_;
+  metrics::MetricsRegistry metrics_;
+  metrics::Counter events_executed_;
+  EventHeap queue_;
+  NowFifo now_fifo_;
+  std::vector<std::function<void()>> callback_slots_;  // slow-arm storage
+  std::vector<std::size_t> free_slots_;                // recycled slot indices
   std::vector<std::shared_ptr<ProcState>> procs_;
   std::exception_ptr pending_error_;
 

@@ -4,10 +4,15 @@
 // simulated time (never by resuming inline), so a `set()` made from one
 // process cannot reentrantly run another in the middle of the caller's
 // statement. None of these objects may outlive the Engine they reference.
+//
+// Waiter bookkeeping goes through `WaiterList`, a small-buffer FIFO of
+// coroutine handles: the common 0–2-waiter case (one producer parked on a
+// channel, one proxy parked on its activity notifier) never allocates.
 #pragma once
 
 #include <coroutine>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <optional>
@@ -18,6 +23,64 @@
 #include "sim/task.h"
 
 namespace dpu::sim {
+
+/// FIFO of suspended coroutine handles with a two-slot inline buffer that
+/// spills to a heap ring only past two concurrent waiters. Push order is
+/// pop order, which is what preserves the engine's insertion-order
+/// tie-breaking when a wakeup schedules several resumptions at one instant.
+class WaiterList {
+ public:
+  WaiterList() = default;
+  WaiterList(const WaiterList&) = delete;
+  WaiterList& operator=(const WaiterList&) = delete;
+  ~WaiterList() { delete[] heap_; }
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  void push_back(std::coroutine_handle<> h) {
+    if (size_ == cap_) grow();
+    data()[(head_ + size_) & (cap_ - 1)] = h;
+    ++size_;
+  }
+
+  std::coroutine_handle<> pop_front() {
+    require(size_ > 0, "pop_front on empty WaiterList");
+    auto h = data()[head_];
+    head_ = (head_ + 1) & (cap_ - 1);
+    --size_;
+    return h;
+  }
+
+  /// Forgets all waiters (used by tests and by wake-all loops that already
+  /// drained via pop_front).
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  std::coroutine_handle<>* data() { return heap_ ? heap_ : inline_; }
+  const std::coroutine_handle<>* data() const { return heap_ ? heap_ : inline_; }
+
+  void grow() {
+    // Capacity stays a power of two so ring indexing is a mask.
+    const std::uint32_t ncap = cap_ * 2;
+    auto* nbuf = new std::coroutine_handle<>[ncap];
+    for (std::uint32_t i = 0; i < size_; ++i) nbuf[i] = data()[(head_ + i) & (cap_ - 1)];
+    delete[] heap_;
+    heap_ = nbuf;
+    cap_ = ncap;
+    head_ = 0;
+  }
+
+  static constexpr std::uint32_t kInlineCap = 2;
+  std::coroutine_handle<> inline_[kInlineCap];
+  std::coroutine_handle<>* heap_ = nullptr;
+  std::uint32_t cap_ = kInlineCap;
+  std::uint32_t head_ = 0;
+  std::uint32_t size_ = 0;
+};
 
 /// One-shot event: once `set`, all current and future waiters proceed.
 /// Besides coroutine waiters, lightweight callbacks can subscribe; they run
@@ -33,8 +96,7 @@ class Event {
   void set() {
     if (set_) return;
     set_ = true;
-    for (auto h : waiters_) eng_->resume_at(eng_->now(), h);
-    waiters_.clear();
+    while (!waiters_.empty()) eng_->resume_at(eng_->now(), waiters_.pop_front());
     auto subs = std::move(subscribers_);
     subscribers_.clear();
     for (auto& fn : subs) fn();
@@ -62,7 +124,7 @@ class Event {
  private:
   Engine* eng_;
   bool set_ = false;
-  std::vector<std::coroutine_handle<>> waiters_;
+  WaiterList waiters_;
   std::vector<std::function<void()>> subscribers_;
 };
 
@@ -76,8 +138,7 @@ class Notifier {
   Notifier& operator=(const Notifier&) = delete;
 
   void notify_all() {
-    for (auto h : waiters_) eng_->resume_at(eng_->now(), h);
-    waiters_.clear();
+    while (!waiters_.empty()) eng_->resume_at(eng_->now(), waiters_.pop_front());
   }
 
   std::size_t waiter_count() const { return waiters_.size(); }
@@ -94,7 +155,7 @@ class Notifier {
 
  private:
   Engine* eng_;
-  std::vector<std::coroutine_handle<>> waiters_;
+  WaiterList waiters_;
 };
 
 /// Unbounded FIFO channel. `recv` suspends while empty; `send` never blocks.
@@ -110,9 +171,7 @@ class Channel {
   void send(T value) {
     items_.push_back(std::move(value));
     if (!receivers_.empty()) {
-      auto h = receivers_.front();
-      receivers_.pop_front();
-      eng_->resume_at(eng_->now(), h);
+      eng_->resume_at(eng_->now(), receivers_.pop_front());
     }
   }
 
@@ -144,7 +203,7 @@ class Channel {
 
   Engine* eng_;
   std::deque<T> items_;
-  std::deque<std::coroutine_handle<>> receivers_;
+  WaiterList receivers_;
 };
 
 /// Counting semaphore; `acquire` suspends while no permit is available.
@@ -159,9 +218,7 @@ class Semaphore {
   void release() {
     ++permits_;
     if (!waiters_.empty()) {
-      auto h = waiters_.front();
-      waiters_.pop_front();
-      eng_->resume_at(eng_->now(), h);
+      eng_->resume_at(eng_->now(), waiters_.pop_front());
     }
   }
 
@@ -180,7 +237,7 @@ class Semaphore {
 
   Engine* eng_;
   std::size_t permits_;
-  std::deque<std::coroutine_handle<>> waiters_;
+  WaiterList waiters_;
 };
 
 }  // namespace dpu::sim
