@@ -1,0 +1,130 @@
+// Ablation: control-plane fault injection vs. the retry/timeout layer.
+//
+// Sweeps the fault rate on the offload control channels (drops, plus
+// duplication and delay at half/equal rates) over a repeated
+// scatter-destination group pattern. The workload must complete correctly
+// at every point of the sweep; the table shows what that robustness costs —
+// wall (virtual) time stretches with the fault rate while the retransmit /
+// replay-suppression counters account for every injected fault.
+#include "bench/bench_common.h"
+#include "common/bytes.h"
+
+namespace {
+
+using namespace dpu;
+using harness::Rank;
+using harness::World;
+
+struct Result {
+  double total_us = 0;
+  std::uint64_t injected = 0;
+  std::uint64_t drops = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t dup_dropped = 0;
+  bool correct = true;
+};
+
+Result run(double drop_pct, int nodes, int ppn, int iters, std::size_t bpr) {
+  machine::ClusterSpec s = bench::spec_of(nodes, ppn);
+  if (drop_pct > 0) {
+    s.fault.enabled = true;
+    s.fault.seed = 1234;
+    s.fault.drop_prob = drop_pct / 100.0;
+    s.fault.dup_prob = drop_pct / 200.0;
+    s.fault.delay_prob = drop_pct / 100.0;
+    s.fault.channels = {offload::kProxyChannel, offload::kGroupMetaChannel};
+  }
+  World w(s);
+  Result res;
+  auto prog = [&, iters, bpr](Rank& r) -> sim::Task<void> {
+    const int n = r.world->spec().total_host_ranks();
+    const int me = r.rank;
+    const auto nn = static_cast<std::size_t>(n);
+    const auto sbuf = r.mem().alloc(bpr * nn);
+    const auto rbuf = r.mem().alloc(bpr * nn);
+    auto greq = r.off->group_start();
+    for (int i = 1; i < n; ++i) {
+      const int dst = (me + i) % n;
+      const int src = (me - i + n) % n;
+      r.off->group_send(greq, sbuf + static_cast<machine::Addr>(dst) * bpr, bpr, dst, 0);
+      r.off->group_recv(greq, rbuf + static_cast<machine::Addr>(src) * bpr, bpr, src, 0);
+    }
+    r.off->group_end(greq);
+    for (int it = 0; it < iters; ++it) {
+      for (int d = 0; d < n; ++d) {
+        r.mem().write(sbuf + static_cast<machine::Addr>(d) * bpr,
+                      pattern_bytes(static_cast<std::uint64_t>((me * n + d) * 31 + it), bpr));
+      }
+      co_await r.off->group_call(greq);
+      co_await r.off->group_wait(greq);
+      for (int src = 0; src < n; ++src) {
+        if (src == me) continue;
+        if (!check_pattern(r.mem().read(rbuf + static_cast<machine::Addr>(src) * bpr, bpr),
+                           static_cast<std::uint64_t>((src * n + me) * 31 + it))) {
+          res.correct = false;
+        }
+      }
+      co_await r.mpi->barrier(*r.world->mpi().world());
+    }
+  };
+  w.launch_all(prog);
+  w.run();
+  res.total_us = to_us(w.now());
+  res.injected = w.metrics().counter_value("fault.injected");
+  res.drops = w.metrics().counter_value("fault.drops");
+  for (int node = 0; node < w.spec().nodes; ++node) {
+    for (int l = 0; l < w.spec().proxies_per_dpu; ++l) {
+      auto& p = w.offload().proxy(w.spec().proxy_id(node, l));
+      res.retries += p.retries();
+      res.dup_dropped += p.dup_dropped();
+    }
+  }
+  for (int r = 0; r < w.spec().total_host_ranks(); ++r) {
+    const std::string prefix = "offload.host" + std::to_string(r) + ".";
+    res.retries += w.metrics().counter_value(prefix + "retries");
+    res.dup_dropped += w.metrics().counter_value(prefix + "dup_dropped");
+  }
+  char label[64];
+  std::snprintf(label, sizeof(label), "drop=%.0f%%", drop_pct);
+  bench::emit_metrics(w, "ablation_faults", label);
+  return res;
+}
+
+}  // namespace
+
+int main() {
+  using namespace dpu;
+  bench::header("Ablation: fault injection",
+                "control-plane drop/dup/delay sweep vs. retransmit layer");
+  const bool fast = bench::fast_mode();
+  const int nodes = fast ? 2 : 4;
+  const int ppn = fast ? 2 : 4;
+  const int iters = fast ? 3 : 8;
+  const std::size_t bpr = 16_KiB;
+  const std::vector<double> sweep =
+      fast ? std::vector<double>{0, 10} : std::vector<double>{0, 2, 5, 10, 20};
+  std::vector<Result> results;
+  Table t({"fault rate", "time (us)", "injected", "drops", "retries", "dup suppressed",
+           "payloads"});
+  for (double pct : sweep) {
+    results.push_back(run(pct, nodes, ppn, iters, bpr));
+    const Result& res = results.back();
+    char rate[32];
+    std::snprintf(rate, sizeof(rate), "%.0f%%", pct);
+    t.add_row({rate, Table::num(res.total_us), std::to_string(res.injected),
+               std::to_string(res.drops), std::to_string(res.retries),
+               std::to_string(res.dup_dropped), res.correct ? "ok" : "CORRUPT"});
+  }
+  t.print(std::cout);
+  bool all_correct = true;
+  for (const Result& res : results) all_correct = all_correct && res.correct;
+  const Result& clean = results.front();
+  const Result& worst = results.back();
+  bench::shape("payloads survive every fault rate in the sweep", all_correct);
+  bench::shape("a disabled plan injects nothing", clean.injected == 0 && clean.retries == 0);
+  bench::shape("drops are recovered by retransmits (retries > 0 when drops > 0)",
+               worst.drops == 0 || worst.retries > 0);
+  bench::shape("recovery costs time (faulted run is slower than clean)",
+               worst.total_us > clean.total_us);
+  return 0;
+}

@@ -19,6 +19,13 @@ cmake -B "$BUILD_DIR" -S . -DDPU_SANITIZE=ON
 cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
+# The fault-injection suite is the one place drop/dup/delay recovery paths
+# (retransmit timers, dup suppression, envelope unwrap) execute; run it as
+# its own sanitized pass so a fault-path memory bug can never hide behind a
+# sharded ctest summary.
+echo "== fault-injection suite (sanitized) =="
+"$BUILD_DIR"/tests/fault_test
+
 if [[ "${1:-}" == "--fast" ]]; then
   echo "== fig/ablation benches (fast mode, sanitized) =="
   for b in "$BUILD_DIR"/bench/fig* "$BUILD_DIR"/bench/ablation_*; do

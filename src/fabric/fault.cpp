@@ -1,0 +1,45 @@
+#include "fabric/fault.h"
+
+#include <string>
+
+namespace dpu::fabric {
+
+FaultPlan::FaultPlan(const machine::FaultSpec& spec, metrics::MetricsRegistry& reg)
+    : spec_(spec), reg_(reg), rng_(spec.seed) {
+  if (spec_.enabled) {
+    reg.link("fault.injected", &injected_);
+    reg.link("fault.drops", &drops_);
+    reg.link("fault.dups", &dups_);
+    reg.link("fault.delays", &delays_);
+  }
+}
+
+FaultPlan::Decision FaultPlan::decide(int channel, int dst_proc, bool dst_is_proxy) {
+  Decision d;
+  if (!spec_.enabled) return d;
+  if (channel == kFlagWriteChannel) {
+    if (!spec_.fault_flag_writes) return d;
+  } else if (!spec_.faults_channel(channel)) {
+    return d;
+  }
+  const double u = rng_.uniform();
+  if (u < spec_.drop_prob) {
+    d.drop = true;
+    ++drops_;
+  } else if (u < spec_.drop_prob + spec_.dup_prob) {
+    d.duplicate = true;
+    ++dups_;
+  } else if (u < spec_.drop_prob + spec_.dup_prob + spec_.delay_prob) {
+    d.extra_delay = from_us(rng_.uniform() * spec_.max_delay_us);
+    ++delays_;
+  } else {
+    return d;
+  }
+  ++injected_;
+  if (dst_is_proxy) {
+    ++reg_.counter("offload.proxy" + std::to_string(dst_proc) + ".faults_injected");
+  }
+  return d;
+}
+
+}  // namespace dpu::fabric

@@ -1,0 +1,64 @@
+// Deterministic control-plane fault injection.
+//
+// A FaultPlan is the single decision point the verbs layer consults before
+// putting a control message (or a proxy FIN flag write) on the wire. Each
+// eligible message draws from one seeded xoshiro stream, so a failing
+// schedule is replayable from (spec, seed) alone. Decisions are mutually
+// exclusive per message: drop XOR duplicate XOR delay XOR clean delivery.
+//
+// The plan is strictly pass-through when disabled: no RNG draw, no counter
+// bump, no allocation — the property behind the "bit-identical virtual
+// times with faults off" guarantee.
+//
+// Injection only makes messages *worse* (lost, repeated, late); payloads are
+// never corrupted. Recovery is the offload layer's job (see
+// offload/reliable.h): sequence numbers + dup suppression + ack/timeout/
+// retransmit with exponential backoff.
+#pragma once
+
+#include <cstdint>
+
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "common/units.h"
+#include "machine/spec.h"
+
+namespace dpu::fabric {
+
+class FaultPlan {
+ public:
+  /// Channel id the verbs layer passes for flag writes (they ride their own
+  /// wire path, not a ctrl-channel inbox).
+  static constexpr int kFlagWriteChannel = -2;
+
+  FaultPlan(const machine::FaultSpec& spec, metrics::MetricsRegistry& reg);
+
+  bool enabled() const { return spec_.enabled; }
+  const machine::FaultSpec& spec() const { return spec_; }
+
+  /// What should happen to one message bound for `dst_proc` on `channel`.
+  struct Decision {
+    bool drop = false;
+    bool duplicate = false;
+    SimDuration extra_delay = 0;
+  };
+
+  /// Draws the fate of one message. Consumes RNG only for eligible messages
+  /// of an enabled plan, keeping the schedule independent of ineligible
+  /// traffic. `dst_is_proxy` routes the per-destination faults_injected
+  /// counter under the destination proxy's metric prefix.
+  Decision decide(int channel, int dst_proc, bool dst_is_proxy);
+
+  std::uint64_t faults_injected() const { return injected_.value(); }
+
+ private:
+  machine::FaultSpec spec_;
+  metrics::MetricsRegistry& reg_;
+  Rng rng_;
+  metrics::Counter injected_;  // total (also split below)
+  metrics::Counter drops_;
+  metrics::Counter dups_;
+  metrics::Counter delays_;
+};
+
+}  // namespace dpu::fabric

@@ -12,11 +12,48 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "common/check.h"
 #include "common/units.h"
 
 namespace dpu::machine {
+
+/// Deterministic fault injection on the control plane (offload robustness
+/// testing). When enabled, the verbs layer consults a seeded FaultPlan for
+/// every eligible control message / flag write and may drop, duplicate, or
+/// delay it; the offload protocol switches to sequence-numbered messages
+/// with ack/timeout/retransmit so the run still completes correctly. When
+/// disabled (the default) no RNG is consumed and no extra messages exist,
+/// so virtual times are bit-identical to a build without the feature.
+struct FaultSpec {
+  bool enabled = false;
+  std::uint64_t seed = 1;    ///< RNG seed; same seed => same fault schedule
+  double drop_prob = 0.0;    ///< P(message vanishes on the wire)
+  double dup_prob = 0.0;     ///< P(message is delivered twice)
+  double delay_prob = 0.0;   ///< P(delivery is postponed)
+  double max_delay_us = 20.0;  ///< delayed deliveries add U(0, max_delay_us)
+
+  /// Channels subject to faults; empty = every control channel. The default
+  /// targets the offload proxy channel (offload::kProxyChannel == 2) — the
+  /// only channel with a retransmit protocol behind it.
+  std::vector<int> channels = {2};
+  bool fault_flag_writes = true;  ///< also fault proxy FIN flag writes
+
+  // -- retransmit tuning (used by offload::Retransmitter) --------------------
+  double retry_timeout_us = 60.0;  ///< first ack deadline (well above RTT)
+  double retry_backoff = 2.0;      ///< exponential backoff factor
+  double retry_max_timeout_us = 2000.0;
+  int max_retries = 24;            ///< give up (SimError) past this
+
+  bool faults_channel(int channel) const {
+    if (channels.empty()) return true;
+    for (int c : channels) {
+      if (c == channel) return true;
+    }
+    return false;
+  }
+};
 
 /// Which kind of core initiates an action; scales per-message overheads.
 enum class CoreKind { kHost, kDpu };
@@ -108,6 +145,7 @@ struct ClusterSpec {
   int host_procs_per_node = 1;  ///< "PPN"
   int proxies_per_dpu = 1;      ///< worker processes launched on each DPU
   CostModel cost;
+  FaultSpec fault;
 
   int total_host_ranks() const { return nodes * host_procs_per_node; }
   int total_proxies() const { return nodes * proxies_per_dpu; }

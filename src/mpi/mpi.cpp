@@ -68,6 +68,7 @@ MpiCtx::MpiCtx(MpiWorld& world, int world_rank) : world_(world), rank_(world_ran
   const std::string prefix = "mpi.rank" + std::to_string(rank_) + ".reg_cache.";
   reg.link(prefix + "hits", &reg_cache_.stats().hits);
   reg.link(prefix + "misses", &reg_cache_.stats().misses);
+  reg.link(prefix + "coalesced", &reg_cache_.stats().coalesced);
 }
 MpiCtx::~MpiCtx() = default;
 

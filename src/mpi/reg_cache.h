@@ -3,13 +3,19 @@
 // Production MPI libraries amortize ibv_reg_mr cost with a cache keyed by
 // (address, length); this is the cache the paper's §II-C contrasts with the
 // dual host/DPU GVMI cache (implemented in src/offload/gvmi_cache.h).
+//
+// Misses are single-flight: a get issued while the same key's registration
+// is still in progress waits for that registration instead of starting a
+// duplicate one (see gvmi_cache.h for the rationale).
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <utility>
 
 #include "common/metrics.h"
+#include "sim/sync.h"
 #include "sim/task.h"
 #include "verbs/verbs.h"
 
@@ -22,6 +28,7 @@ class RegCache {
   struct Stats {
     metrics::Counter hits;
     metrics::Counter misses;
+    metrics::Counter coalesced;  ///< gets that waited on an in-flight miss
   };
 
   /// Returns the cached registration for (addr,len), registering on miss
@@ -32,9 +39,21 @@ class RegCache {
       ++stats_.hits;
       co_return it->second;
     }
+    const Key key{addr, len};
+    if (auto fit = in_flight_.find(key); fit != in_flight_.end()) {
+      ++stats_.coalesced;
+      auto flight = fit->second;  // keep alive across the wait
+      co_await flight->done->wait();
+      co_return flight->value;
+    }
     ++stats_.misses;
+    auto flight = std::make_shared<Flight>(ctx.engine());
+    in_flight_.emplace(key, flight);
     auto mr = co_await ctx.reg_mr(addr, len);
     entries_.emplace(std::make_pair(addr, len), mr);
+    flight->value = mr;
+    in_flight_.erase(key);
+    flight->done->set();
     co_return mr;
   }
 
@@ -48,7 +67,14 @@ class RegCache {
   std::size_t size() const { return entries_.size(); }
 
  private:
-  std::map<std::pair<machine::Addr, std::size_t>, verbs::MrInfo> entries_;
+  using Key = std::pair<machine::Addr, std::size_t>;
+  struct Flight {
+    explicit Flight(sim::Engine& eng) : done(std::make_shared<sim::Event>(eng)) {}
+    std::shared_ptr<sim::Event> done;
+    verbs::MrInfo value;
+  };
+  std::map<Key, verbs::MrInfo> entries_;
+  std::map<Key, std::shared_ptr<Flight>> in_flight_;
   Stats stats_;
 };
 

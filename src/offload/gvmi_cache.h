@@ -12,15 +12,23 @@
 // Correctness of the (addr,len,rank) key: the mkey is a function of
 // (addr, len, GVMI-ID) and GVMI-ID is a function of the remote rank, so a
 // given key can never alias two live registrations.
+// Miss handling is single-flight: concurrent gets for the same key while a
+// registration is in progress coalesce onto the first caller's result
+// instead of issuing (and double-paying for) a second registration whose
+// tree insert would silently shadow the first. The coalesced count is a
+// stat of its own.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <tuple>
 #include <utility>
 #include <vector>
 
 #include "common/check.h"
 #include "common/metrics.h"
+#include "sim/sync.h"
 #include "sim/task.h"
 #include "verbs/verbs.h"
 
@@ -31,6 +39,7 @@ namespace dpu::offload {
 struct CacheStats {
   metrics::Counter hits;
   metrics::Counter misses;
+  metrics::Counter coalesced;  ///< gets that waited on an in-flight miss
 };
 
 /// Host-side GVMI cache: (remote proxy rank) -> BST over (addr,len) ->
@@ -50,9 +59,21 @@ class HostGvmiCache {
       ++stats_.hits;
       co_return it->second;
     }
+    const FlightKey fkey{proxy_rank, addr, len};
+    if (auto fit = in_flight_.find(fkey); fit != in_flight_.end()) {
+      ++stats_.coalesced;
+      auto flight = fit->second;  // keep alive across the wait
+      co_await flight->done->wait();
+      co_return flight->value;
+    }
     ++stats_.misses;
+    auto flight = std::make_shared<Flight>(host.engine());
+    in_flight_.emplace(fkey, flight);
     auto info = co_await host.reg_mr_gvmi(addr, len, gvmi);
     tree.emplace(std::make_pair(addr, len), info);
+    flight->value = info;
+    in_flight_.erase(fkey);
+    flight->done->set();
     co_return info;
   }
 
@@ -69,7 +90,14 @@ class HostGvmiCache {
 
  private:
   using Key = std::pair<machine::Addr, std::size_t>;
+  using FlightKey = std::tuple<int, machine::Addr, std::size_t>;
+  struct Flight {
+    explicit Flight(sim::Engine& eng) : done(std::make_shared<sim::Event>(eng)) {}
+    std::shared_ptr<sim::Event> done;
+    verbs::GvmiMrInfo value;
+  };
   std::vector<std::map<Key, verbs::GvmiMrInfo>> trees_;
+  std::map<FlightKey, std::shared_ptr<Flight>> in_flight_;
   CacheStats stats_;
 };
 
@@ -94,11 +122,23 @@ class DpuGvmiCache {
       ++stats_.hits;
       co_return it->second;
     }
+    const FlightKey fkey{host_rank, info.addr, info.len};
+    if (auto fit = in_flight_.find(fkey); fit != in_flight_.end()) {
+      ++stats_.coalesced;
+      auto flight = fit->second;
+      co_await flight->done->wait();
+      co_return flight->value;
+    }
     ++stats_.misses;
+    auto flight = std::make_shared<Flight>(dpu.engine());
+    in_flight_.emplace(fkey, flight);
     Entry e;
     e.mkey2 = co_await dpu.cross_register(info);
     e.host_info = info;
     tree.emplace(std::make_pair(info.addr, info.len), e);
+    flight->value = e;
+    in_flight_.erase(fkey);
+    flight->done->set();
     co_return e;
   }
 
@@ -115,7 +155,14 @@ class DpuGvmiCache {
 
  private:
   using Key = std::pair<machine::Addr, std::size_t>;
+  using FlightKey = std::tuple<int, machine::Addr, std::size_t>;
+  struct Flight {
+    explicit Flight(sim::Engine& eng) : done(std::make_shared<sim::Event>(eng)) {}
+    std::shared_ptr<sim::Event> done;
+    Entry value;
+  };
   std::vector<std::map<Key, Entry>> trees_;
+  std::map<FlightKey, std::shared_ptr<Flight>> in_flight_;
   CacheStats stats_;
 };
 

@@ -46,16 +46,21 @@ void OffloadRuntime::start() {
 // ---------------------------------------------------------------------------
 
 OffloadEndpoint::OffloadEndpoint(OffloadRuntime& rt, int rank)
-    : rt_(rt), rank_(rank), gvmi_cache_(rt.spec().total_procs()) {
+    : rt_(rt), rank_(rank), gvmi_cache_(rt.spec().total_procs()),
+      retx_(rt.verbs().ctx(rank)) {
   auto& reg = rt_.engine().metrics();
   const std::string prefix = "offload.host" + std::to_string(rank_) + ".";
   reg.link(prefix + "group_cache.hits", &group_hits_);
   reg.link(prefix + "group_cache.misses", &group_misses_);
   reg.link(prefix + "ctrl_msgs_sent", &ctrl_sent_);
+  reg.link(prefix + "retries", &retx_.retries());
+  reg.link(prefix + "dup_dropped", &dup_dropped_);
   reg.link(prefix + "gvmi_cache.hits", &gvmi_cache_.stats().hits);
   reg.link(prefix + "gvmi_cache.misses", &gvmi_cache_.stats().misses);
+  reg.link(prefix + "gvmi_cache.coalesced", &gvmi_cache_.stats().coalesced);
   reg.link(prefix + "ib_cache.hits", &ib_cache_.stats().hits);
   reg.link(prefix + "ib_cache.misses", &ib_cache_.stats().misses);
+  reg.link(prefix + "ib_cache.coalesced", &ib_cache_.stats().coalesced);
 }
 
 verbs::ProcCtx& OffloadEndpoint::vctx() { return rt_.verbs().ctx(rank_); }
@@ -72,7 +77,7 @@ sim::Task<OffloadReqPtr> OffloadEndpoint::send_offload(machine::Addr addr, std::
   auto info = co_await gvmi_cache_.get(vctx, proxy, rt_.gvmi_of(proxy), addr, len);
   // NB: named locals, not temporaries — see the GCC 12 note in sim/task.h.
   std::any rts = RtsProxyMsg{rank_, dst, tag, len, info, req->flag};
-  co_await vctx.post_ctrl(proxy, kProxyChannel, std::move(rts), 0);
+  co_await retx_.send(proxy, kProxyChannel, std::move(rts), 0);
   ++ctrl_sent_;
   co_return req;
 }
@@ -87,7 +92,7 @@ sim::Task<OffloadReqPtr> OffloadEndpoint::recv_offload(machine::Addr addr, std::
   req->flag = std::make_shared<sim::Event>(rt_.engine());
   auto mr = co_await ib_cache_.get(vctx, addr, len);
   std::any rtr = RtrProxyMsg{src, rank_, tag, len, addr, mr.rkey, req->flag};
-  co_await vctx.post_ctrl(proxy, kProxyChannel, std::move(rtr), 0);
+  co_await retx_.send(proxy, kProxyChannel, std::move(rtr), 0);
   ++ctrl_sent_;
   co_return req;
 }
@@ -103,22 +108,19 @@ sim::Task<void> OffloadEndpoint::waitall(std::span<const OffloadReqPtr> reqs) {
 }
 
 sim::Task<void> OffloadEndpoint::finalize() {
-  auto& vctx = rt_.verbs().ctx(rank_);
   std::any stop = StopMsg{rank_};
-  co_await vctx.post_ctrl(rt_.spec().proxy_for_host(rank_), kProxyChannel, std::move(stop),
-                          0);
+  co_await retx_.send(rt_.spec().proxy_for_host(rank_), kProxyChannel, std::move(stop), 0);
   ++ctrl_sent_;
 }
 
 sim::Task<void> OffloadEndpoint::invalidate(machine::Addr addr, std::size_t len) {
-  auto& vctx = rt_.verbs().ctx(rank_);
   const int my_proxy = rt_.spec().proxy_for_host(rank_);
   // Host-side entries (both cache layers).
   (void)gvmi_cache_.evict(my_proxy, addr, len);
   (void)ib_cache_.evict(addr, len);
   // DPU-side cross-registrations of this buffer at my proxy.
   std::any inv = InvalidateMsg{rank_, addr, len};
-  co_await vctx.post_ctrl(my_proxy, kProxyChannel, std::move(inv), 0);
+  co_await retx_.send(my_proxy, kProxyChannel, std::move(inv), 0);
   ++ctrl_sent_;
 }
 
@@ -182,6 +184,18 @@ sim::Task<GroupMetaMsg> OffloadEndpoint::await_meta_from(int peer) {
       co_return m;
     }
     while (auto msg = box.try_recv()) {
+      // Under faults the metadata travels in a reliable envelope (the
+      // transport acked it at delivery): drop replays, then unwrap.
+      if (auto* rel = std::any_cast<ReliableMsg>(&msg->body)) {
+        if (!dup_filter_.accept(rel->sender, rel->seq)) {
+          ++dup_dropped_;
+          continue;
+        }
+        // `rel` points into msg->body; detach the payload before overwriting
+        // it (any::operator= destroys the old value before transferring).
+        std::any inner = std::move(rel->inner);
+        msg->body = std::move(inner);
+      }
       auto meta = std::any_cast<GroupMetaMsg>(std::move(msg->body));
       meta_buf_[meta.from_rank].push_back(std::move(meta));
     }
@@ -205,7 +219,7 @@ sim::Task<void> OffloadEndpoint::group_call(const GroupReqPtr& req) {
     // the request id.
     ++group_hits_;
     std::any cc = GroupCachedCallMsg{rank_, req->id, req->current_flag};
-    co_await vctx.post_ctrl(my_proxy, kProxyChannel, std::move(cc), 0);
+    co_await retx_.send(my_proxy, kProxyChannel, std::move(cc), 0);
     ++ctrl_sent_;
     co_return;
   }
@@ -225,8 +239,8 @@ sim::Task<void> OffloadEndpoint::group_call(const GroupReqPtr& req) {
   for (auto& [peer, entries] : meta_out) {
     const auto bytes =
         static_cast<std::size_t>(cost.group_entry_bytes * static_cast<double>(entries.size()));
-    std::any meta = GroupMetaMsg{rank_, std::move(entries)};
-    co_await vctx.post_ctrl(peer, kGroupMetaChannel, std::move(meta), bytes);
+    std::any meta = GroupMetaMsg{rank_, req->id, std::move(entries)};
+    co_await retx_.send(peer, kGroupMetaChannel, std::move(meta), bytes);
     ++ctrl_sent_;
   }
 
@@ -247,8 +261,10 @@ sim::Task<void> OffloadEndpoint::group_call(const GroupReqPtr& req) {
     }
   }
   std::map<int, std::map<int, std::deque<GroupRecvMeta>>> by_dst_tag;
+  std::map<int, std::uint64_t> dst_req;  // receiver-side request id per dst
   for (int dst : dsts) {
     GroupMetaMsg meta = co_await await_meta_from(dst);
+    dst_req[dst] = meta.req_id;
     for (auto& e : meta.entries) by_dst_tag[dst][e.tag].push_back(e);
   }
   for (auto& op : req->ops) {
@@ -260,13 +276,14 @@ sim::Task<void> OffloadEndpoint::group_call(const GroupReqPtr& req) {
     sim_expect(op.len <= m.len, "group send longer than matched receive buffer");
     op.dst_addr = m.addr;
     op.dst_rkey = m.rkey;
+    op.dst_req_id = dst_req[op.peer];
   }
 
   // 5. One contiguous Group_Offload_packet to my proxy.
   const auto pkt_bytes =
       static_cast<std::size_t>(cost.group_entry_bytes * static_cast<double>(req->ops.size()));
   std::any pkt = GroupPacketMsg{rank_, req->id, req->ops, req->current_flag};
-  co_await vctx.post_ctrl(my_proxy, kProxyChannel, std::move(pkt), pkt_bytes);
+  co_await retx_.send(my_proxy, kProxyChannel, std::move(pkt), pkt_bytes);
   ++ctrl_sent_;
   if (group_cache_enabled_) req->sent_to_proxy = true;
 }

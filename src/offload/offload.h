@@ -27,6 +27,7 @@
 #include "offload/gvmi_cache.h"
 #include "offload/protocol.h"
 #include "offload/proxy.h"
+#include "offload/reliable.h"
 #include "sim/engine.h"
 #include "sim/sync.h"
 #include "sim/task.h"
@@ -115,11 +116,14 @@ class OffloadEndpoint {
   int rank_;
   HostGvmiCache gvmi_cache_;
   mpi::RegCache ib_cache_;
+  Retransmitter retx_;      ///< reliable sender for proxy-bound control msgs
+  DupFilter dup_filter_;    ///< replay suppression for host-received ctrl msgs
   std::uint64_t next_req_ = 1;
   std::map<int, std::deque<GroupMetaMsg>> meta_buf_;  // per-peer FIFO
   metrics::Counter group_hits_;
   metrics::Counter group_misses_;
   metrics::Counter ctrl_sent_;
+  metrics::Counter dup_dropped_;
   bool group_cache_enabled_ = true;
 };
 

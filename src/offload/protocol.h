@@ -13,7 +13,12 @@
 // messages; post_flag_write models the RDMA update.
 #pragma once
 
+#include <any>
 #include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <utility>
 #include <vector>
 
 #include "machine/address_space.h"
@@ -23,6 +28,48 @@ namespace dpu::offload {
 
 inline constexpr int kProxyChannel = 2;
 inline constexpr int kGroupMetaChannel = 4;
+
+/// Shared ack token for one reliable control message. The receiver marks it
+/// after the (simulated) transport-level ack latency; the sender's pending
+/// retransmit timer reads it. This models the RC QP's hardware ack without
+/// a second inbox: acks themselves are never faulted (InfiniBand loses whole
+/// packets, and the retry logic only needs "ack seen by deadline?").
+struct AckState {
+  bool acked = false;
+};
+
+/// Envelope for sequence-numbered, retransmittable control messages. Only
+/// used when fault injection is enabled; clean runs ship bare bodies.
+struct ReliableMsg {
+  std::uint64_t seq = 0;  ///< per-sender, starts at 1
+  int sender = -1;        ///< proc id the seq space belongs to
+  std::shared_ptr<AckState> ack;
+  std::any inner;
+};
+
+/// Per-receiver duplicate suppression over (sender, seq). Seen-sets compact
+/// to a contiguous base so memory stays O(reorder window), not O(messages).
+class DupFilter {
+ public:
+  /// Returns true the first time (sender, seq) is seen, false for replays.
+  bool accept(int sender, std::uint64_t seq) {
+    auto& s = per_sender_[sender];
+    if (seq <= s.base) return false;
+    if (!s.seen.insert(seq).second) return false;
+    while (!s.seen.empty() && *s.seen.begin() == s.base + 1) {
+      ++s.base;
+      s.seen.erase(s.seen.begin());
+    }
+    return true;
+  }
+
+ private:
+  struct Window {
+    std::uint64_t base = 0;  ///< all seqs <= base already accepted
+    std::set<std::uint64_t> seen;
+  };
+  std::map<int, Window> per_sender_;
+};
 
 /// Ready-To-Send: host -> (its own) proxy. Carries the GVMI first
 /// registration so the proxy can cross-register.
@@ -60,6 +107,7 @@ struct GroupEntryWire {
   verbs::GvmiMrInfo src_info;   ///< host GVMI registration of the source
   machine::Addr dst_addr = 0;   ///< matched destination buffer
   verbs::RKey dst_rkey = 0;
+  std::uint64_t dst_req_id = 0;  ///< receiver-side request the buffer belongs to
 };
 
 /// Full group offload packet: host -> proxy (first call for a request).
@@ -84,6 +132,10 @@ struct RecvArrivedMsg {
   int src_rank = -1;
   int dst_rank = -1;
   int tag = 0;
+  /// Receiver-side request id the matched buffer belongs to. Arrivals must
+  /// complete *that* request's receive, not whichever job happens to be
+  /// first with the same (src, tag) — two concurrent groups may share both.
+  std::uint64_t dst_req_id = 0;
 };
 
 /// Receive-readiness credit between proxies: the destination-side proxy
@@ -137,6 +189,7 @@ struct GroupRecvMeta {
 
 struct GroupMetaMsg {
   int from_rank = -1;  ///< the receiving host that owns these buffers
+  std::uint64_t req_id = 0;  ///< the receiver's request these buffers belong to
   std::vector<GroupRecvMeta> entries;
 };
 

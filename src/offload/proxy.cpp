@@ -10,7 +10,8 @@
 namespace dpu::offload {
 
 Proxy::Proxy(OffloadRuntime& rt, int proc_id)
-    : rt_(rt), proc_(proc_id), gvmi_cache_(rt.spec().total_procs()) {
+    : rt_(rt), proc_(proc_id), gvmi_cache_(rt.spec().total_procs()),
+      retx_(rt.verbs().ctx(proc_id)) {
   gvmi_ = rt_.verbs().ctx(proc_).alloc_gvmi_id();
   auto& reg = rt_.engine().metrics();
   const std::string prefix = "offload.proxy" + std::to_string(proc_) + ".";
@@ -19,14 +20,24 @@ Proxy::Proxy(OffloadRuntime& rt, int proc_id)
   reg.link(prefix + "group_cache.hits", &tmpl_hits_);
   reg.link(prefix + "group_cache.misses", &tmpl_misses_);
   reg.link(prefix + "barrier_cntr_msgs", &barrier_msgs_);
+  reg.link(prefix + "retries", &retx_.retries());
+  reg.link(prefix + "dup_dropped", &dup_dropped_);
+  reg.link(prefix + "credit_gated", &credit_gated_);
   reg.link(prefix + "gvmi_cache.hits", &gvmi_cache_.stats().hits);
   reg.link(prefix + "gvmi_cache.misses", &gvmi_cache_.stats().misses);
+  reg.link(prefix + "gvmi_cache.coalesced", &gvmi_cache_.stats().coalesced);
 }
 
 verbs::ProcCtx& Proxy::vctx() { return rt_.verbs().ctx(proc_); }
 
 sim::Task<void> Proxy::charge_entry() {
   co_await rt_.engine().sleep(from_us(rt_.spec().cost.proxy_entry_us));
+}
+
+std::uint64_t Proxy::template_runs(int host_rank, std::uint64_t req_id) const {
+  auto it = templates_.find({host_rank, req_id});
+  if (it == templates_.end() || !it->second) return 0;
+  return static_cast<std::uint64_t>(it->second->runs);
 }
 
 int Proxy::mapped_hosts() const {
@@ -63,6 +74,19 @@ sim::Task<void> Proxy::run() {
 
 sim::Task<void> Proxy::handle(verbs::CtrlMsg msg) {
   co_await charge_entry();
+  // Under faults every retransmittable message arrives in a reliable
+  // envelope; the transport acked each delivered copy already, so here we
+  // only drop replays, then dispatch the inner body as usual.
+  if (auto* rel = std::any_cast<ReliableMsg>(&msg.body)) {
+    if (!dup_filter_.accept(rel->sender, rel->seq)) {
+      ++dup_dropped_;
+      co_return;
+    }
+    // `rel` points into msg.body; detach the payload before overwriting it
+    // (any::operator= destroys the old value before transferring).
+    std::any inner = std::move(rel->inner);
+    msg.body = std::move(inner);
+  }
   if (auto* rts = std::any_cast<RtsProxyMsg>(&msg.body)) {
     if (auto rtr = queues_.on_rts(*rts)) {
       combined_.push_back(BasicPair{*rts, std::move(*rtr)});
@@ -78,7 +102,12 @@ sim::Task<void> Proxy::handle(verbs::CtrlMsg msg) {
     auto tmpl = std::make_shared<JobTemplate>();
     tmpl->entries = std::move(pkt->entries);
     tmpl->mkey2.assign(tmpl->entries.size(), 0);
-    templates_[{pkt->host_rank, pkt->req_id}] = tmpl;
+    auto& slot = templates_[{pkt->host_rank, pkt->req_id}];
+    // A re-recorded request (host cache disabled or invalidated) is still
+    // the same request: its run count — and with it the credit gating of
+    // every run after the first — must survive the template swap.
+    if (slot) tmpl->runs = slot->runs;
+    slot = std::move(tmpl);
     start_instance(pkt->host_rank, pkt->req_id, pkt->flag);
   } else if (auto* cc = std::any_cast<GroupCachedCallMsg>(&msg.body)) {
     ++tmpl_hits_;
@@ -142,10 +171,12 @@ void Proxy::start_instance(int host_rank, std::uint64_t req_id, verbs::Completio
 }
 
 bool Proxy::match_arrival(const RecvArrivedMsg& a) {
-  // FIFO over job instances, then program order within a job: take the
-  // first unarrived recv entry matching (dst host, src, tag).
+  // The arrival names the receiver-side request it belongs to: match only
+  // that job, never whichever instance happens to be first with the same
+  // (src, tag) — two concurrent groups may legally share both. Within the
+  // job, program order (FIFO per (src, tag)) still applies.
   for (auto& job : jobs_) {
-    if (job->host_rank != a.dst_rank) continue;
+    if (job->host_rank != a.dst_rank || job->req_id != a.dst_req_id) continue;
     auto it = job->recv_index.find({a.src_rank, a.tag});
     if (it == job->recv_index.end() || it->second.empty()) continue;
     const std::size_t idx = it->second.front();
@@ -179,18 +210,22 @@ sim::Task<bool> Proxy::process_combined() {
 
 sim::Task<bool> Proxy::harvest_fins() {
   bool moved = false;
-  for (auto it = fins_.begin(); it != fins_.end();) {
-    if (!it->completion->is_set()) {
-      ++it;
+  // Index-based drain: the co_awaits below suspend this coroutine, and a
+  // vector iterator held across a suspension dangles as soon as anything
+  // grows fins_ in the meantime. Indices survive reallocation, and
+  // re-reading size() each step picks up entries appended mid-drain.
+  for (std::size_t i = 0; i < fins_.size();) {
+    if (!fins_[i].completion->is_set()) {
+      ++i;
       continue;
     }
-    FinPending fin = std::move(*it);
-    it = fins_.erase(it);
+    FinPending fin = std::move(fins_[i]);
+    fins_.erase(fins_.begin() + static_cast<std::ptrdiff_t>(i));
     moved = true;
     // FIN packets: completion-counter updates RDMA-written into both hosts'
     // memory (fig. 8, final step).
-    co_await vctx().post_flag_write(fin.src_rank, fin.src_flag, fin.src_rank);
-    co_await vctx().post_flag_write(fin.dst_rank, fin.dst_flag, fin.dst_rank);
+    co_await retx_.flag_write(fin.src_rank, fin.src_flag, fin.src_rank);
+    co_await retx_.flag_write(fin.dst_rank, fin.dst_flag, fin.dst_rank);
     ++basic_done_;
   }
   co_return moved;
@@ -207,10 +242,12 @@ sim::Task<void> Proxy::post_group_send(JobInstance& job, std::size_t idx) {
   }
   const int dst_proxy = rt_.spec().proxy_for_host(e.peer);
   // The write's immediate is consumed by the destination-side proxy and
-  // drives its receive tracking. Hook bound to a named local first (GCC 12
-  // temporary-argument bug, see sim/task.h).
-  std::function<void()> imm_hook = rt_.verbs().ctx(proc_).make_imm_hook(
-      dst_proxy, kProxyChannel, RecvArrivedMsg{job.host_rank, e.peer, e.tag});
+  // drives its receive tracking. Under faults the immediate becomes a
+  // reliable ctrl message fired at delivery time — an immediate lost with
+  // its carrier has no hardware retry of its own. Hook bound to a named
+  // local first (GCC 12 temporary-argument bug, see sim/task.h).
+  std::function<void()> imm_hook = retx_.make_hook(
+      dst_proxy, kProxyChannel, RecvArrivedMsg{job.host_rank, e.peer, e.tag, e.dst_req_id});
   auto c = co_await vctx().post_rdma_write_on_behalf_hooked(
       tmpl.mkey2[idx], e.src_addr, e.peer, e.dst_rkey, e.dst_addr, e.len,
       std::move(imm_hook));
@@ -229,7 +266,10 @@ sim::Task<bool> Proxy::advance_one(JobInstance& job) {
       // destination proxy granted a credit for this (src, dst, tag).
       if (job.needs_credits) {
         auto cit = credits_.find({job.host_rank, e.peer, e.tag});
-        if (cit == credits_.end() || cit->second == 0) break;
+        if (cit == credits_.end() || cit->second == 0) {
+          ++credit_gated_;
+          break;
+        }
         --cit->second;
       }
       co_await charge_entry();
@@ -258,8 +298,8 @@ sim::Task<bool> Proxy::advance_one(JobInstance& job) {
         ++job.num_barriers;
         for (int dst : job.send_rank_set) {
           std::any bc = BarrierCntrMsg{job.host_rank, dst, job.num_barriers};
-          co_await vctx().post_ctrl(rt_.spec().proxy_for_host(dst), kProxyChannel,
-                                    std::move(bc), 0);
+          co_await retx_.send(rt_.spec().proxy_for_host(dst), kProxyChannel,
+                              std::move(bc), 0);
           ++barrier_msgs_;
         }
         job.send_rank_set.clear();
@@ -285,7 +325,7 @@ sim::Task<bool> Proxy::advance_one(JobInstance& job) {
     // arrived; then update the completion counter in host memory.
     if (*job.sends_done < job.sends_total || job.arrivals < job.recvs_total)
       co_return moved;
-    co_await vctx().post_flag_write(job.host_rank, job.flag, job.host_rank);
+    co_await retx_.flag_write(job.host_rank, job.flag, job.host_rank);
     job.fin_sent = true;
     ++jobs_done_;
     moved = true;
@@ -309,19 +349,23 @@ sim::Task<void> Proxy::grant_credits(const JobInstance& job) {
   for (auto& [proxy, batch] : batches) {
     const auto bytes = batch.credits.size() * 12;
     std::any body = std::move(batch);
-    co_await vctx().post_ctrl(proxy, kProxyChannel, std::move(body), bytes);
+    co_await retx_.send(proxy, kProxyChannel, std::move(body), bytes);
   }
 }
 
 sim::Task<bool> Proxy::advance_jobs() {
   bool moved = false;
-  for (auto it = jobs_.begin(); it != jobs_.end();) {
-    if (co_await advance_one(**it)) moved = true;
-    if ((*it)->fin_sent) {
-      co_await grant_credits(**it);
-      it = jobs_.erase(it);
+  // Index-based for the same reason as harvest_fins: advance_one and
+  // grant_credits suspend, and start_instance may push into jobs_ while
+  // this coroutine is parked — an iterator would not survive that.
+  for (std::size_t i = 0; i < jobs_.size();) {
+    if (co_await advance_one(*jobs_[i])) moved = true;
+    if (jobs_[i]->fin_sent) {
+      auto job = std::move(jobs_[i]);
+      jobs_.erase(jobs_.begin() + static_cast<std::ptrdiff_t>(i));
+      co_await grant_credits(*job);
     } else {
-      ++it;
+      ++i;
     }
   }
   co_return moved;

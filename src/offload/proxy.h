@@ -19,6 +19,7 @@
 #include "offload/gvmi_cache.h"
 #include "offload/match_queues.h"
 #include "offload/protocol.h"
+#include "offload/reliable.h"
 #include "sim/task.h"
 #include "verbs/verbs.h"
 
@@ -49,6 +50,13 @@ class Proxy {
   std::uint64_t group_cache_hits() const { return tmpl_hits_.value(); }
   std::uint64_t group_cache_misses() const { return tmpl_misses_.value(); }
   std::uint64_t barrier_cntr_msgs() const { return barrier_msgs_.value(); }
+  std::uint64_t retries() const { return retx_.retries().value(); }
+  std::uint64_t dup_dropped() const { return dup_dropped_.value(); }
+  std::uint64_t credit_gated() const { return credit_gated_.value(); }
+  /// Lifetime run count of the recorded template for (host, req_id); 0 when
+  /// none exists. A re-recorded template must keep its predecessor's count —
+  /// that is what keeps re-call credit gating armed across re-records.
+  std::uint64_t template_runs(int host_rank, std::uint64_t req_id) const;
   const MatchQueues& queues() const { return queues_; }
 
  private:
@@ -118,6 +126,8 @@ class Proxy {
   int proc_;
   verbs::GvmiId gvmi_ = 0;
   DpuGvmiCache gvmi_cache_;
+  Retransmitter retx_;    ///< reliable sender for proxy-originated ctrl msgs
+  DupFilter dup_filter_;  ///< replay suppression for received ctrl msgs
   MatchQueues queues_;
   std::deque<BasicPair> combined_;
   std::vector<FinPending> fins_;
@@ -134,6 +144,8 @@ class Proxy {
   metrics::Counter tmpl_hits_;
   metrics::Counter tmpl_misses_;
   metrics::Counter barrier_msgs_;
+  metrics::Counter dup_dropped_;   ///< duplicate ctrl msgs suppressed
+  metrics::Counter credit_gated_;  ///< sends that waited on a receive credit
 };
 
 }  // namespace dpu::offload

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "fabric/fabric.h"
+#include "fabric/fault.h"
 #include "machine/address_space.h"
 #include "machine/spec.h"
 #include "sim/engine.h"
@@ -93,6 +94,9 @@ class ProcCtx {
   /// posted operations completes; progress loops wait on this.
   sim::Notifier& activity() { return activity_; }
 
+  Runtime& runtime() { return rt_; }
+  sim::Engine& engine();
+
   // ---- standard IB registration ------------------------------------------
   sim::Task<MrInfo> reg_mr(Addr addr, std::size_t len);
   sim::Task<void> dereg_mr(const MrInfo& mr);
@@ -151,13 +155,28 @@ class ProcCtx {
 
   /// Fire-and-forget remote flag write: on delivery, sets `flag` and pokes
   /// `wake_proc`'s activity notifier (models an RDMA write of a completion
-  /// counter into another process's memory).
+  /// counter into another process's memory). Never faulted — the reliable
+  /// offload path uses post_flag_write_raw instead.
   sim::Task<void> post_flag_write(int dst_proc, Completion flag, int wake_proc);
+
+  /// Non-coroutine flag write used by the retransmit layer: charges no CPU
+  /// (a NIC-autonomous resend), runs through the fault plan, and invokes
+  /// `on_delivered` at the target when the write actually lands.
+  void post_flag_write_raw(int dst_proc, Completion flag, int wake_proc,
+                           std::function<void()> on_delivered = {});
 
   // ---- two-sided control messages -------------------------------------------
   /// Sends a small message into `dst_proc`'s inbox for `channel`.
-  /// `wire_bytes` is the modelled on-wire size.
+  /// `wire_bytes` is the modelled on-wire size. Subject to the fault plan.
   sim::Task<void> post_ctrl(int dst_proc, int channel, std::any body, std::size_t wire_bytes);
+
+  /// Non-coroutine variant for retransmits and delivery hooks: identical
+  /// wire behaviour (including fault injection) but no initiator CPU
+  /// charge. `on_delivered` runs at the receiver when (each copy of) the
+  /// message lands in the inbox — the transport-level receipt the reliable
+  /// layer builds its acks on; it does not run for dropped copies.
+  void post_ctrl_raw(int dst_proc, int channel, std::any body, std::size_t wire_bytes,
+                     std::function<void()> on_delivered = {});
 
   /// Inbox for a logical channel (created on demand).
   sim::Channel<CtrlMsg>& inbox(int channel);
@@ -182,6 +201,9 @@ class ProcCtx {
   sim::Task<Completion> post_write_internal(int data_src_proc, Addr src_addr, int dst_proc,
                                             Addr dst_addr, std::size_t len,
                                             std::function<void()> on_delivered = {});
+  /// Shared wire stage of post_ctrl / post_ctrl_raw; consults the fault plan.
+  void send_ctrl_wire(int dst_proc, int channel, std::any body, std::size_t wire_bytes,
+                      std::function<void()> on_delivered = {});
   /// Validates an mkey2 access; returns the host proc owning the memory.
   int check_cross_reg(MKey mkey2, Addr src_addr, std::size_t len) const;
   void validate_local(LKey lkey, Addr addr, std::size_t len) const;
@@ -206,6 +228,7 @@ class Runtime {
   const machine::ClusterSpec& spec() const { return spec_; }
   sim::Engine& engine() { return eng_; }
   fabric::Fabric& fab() { return fab_; }
+  fabric::FaultPlan& fault() { return fault_; }
 
  private:
   friend class ProcCtx;
@@ -228,6 +251,7 @@ class Runtime {
   sim::Engine& eng_;
   machine::ClusterSpec spec_;
   fabric::Fabric& fab_;
+  fabric::FaultPlan fault_;
   std::vector<std::unique_ptr<ProcCtx>> ctxs_;
 
   std::uint32_t next_key_ = 100;
