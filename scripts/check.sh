@@ -26,6 +26,12 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 echo "== fault-injection suite (sanitized) =="
 "$BUILD_DIR"/tests/fault_test
 
+# Same treatment for the proxy failure model: crash/hang injection, the
+# heartbeat monitor, and the host-fallback replay allocate and tear down
+# state on paths no clean run touches — run them under ASan/UBSan explicitly.
+echo "== proxy-failover suite (sanitized) =="
+"$BUILD_DIR"/tests/failover_test
+
 if [[ "${1:-}" == "--fast" ]]; then
   echo "== fig/ablation benches (fast mode, sanitized) =="
   for b in "$BUILD_DIR"/bench/fig* "$BUILD_DIR"/bench/ablation_*; do

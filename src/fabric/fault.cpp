@@ -4,13 +4,28 @@
 
 namespace dpu::fabric {
 
-FaultPlan::FaultPlan(const machine::FaultSpec& spec, metrics::MetricsRegistry& reg)
+FaultPlan::FaultPlan(const machine::FaultSpec& spec, const machine::ClusterSpec& cluster,
+                     metrics::MetricsRegistry& reg)
     : spec_(spec), reg_(reg), rng_(spec.seed) {
   if (spec_.enabled) {
+    require(spec_.drop_prob + spec_.dup_prob + spec_.delay_prob <= 1.0,
+            "fault probabilities must sum to at most 1");
     reg.link("fault.injected", &injected_);
     reg.link("fault.drops", &drops_);
     reg.link("fault.dups", &dups_);
     reg.link("fault.delays", &delays_);
+  }
+  for (const auto& pf : spec_.proxy_failures) {
+    require(cluster.is_proxy(pf.proxy),
+            "proxy failure schedule names a proc that is not a proxy");
+    require(pf.at_us >= 0.0, "proxy failure scheduled in the past");
+  }
+  if (spec_.liveness_enabled()) {
+    // Process-failure counters are registry-owned so they exist (at zero)
+    // even when no scheduled failure ever fires.
+    reg.counter("fault.proxy_crashes");
+    reg.counter("fault.proxy_hangs");
+    reg.counter("fault.proxy_recoveries");
   }
 }
 

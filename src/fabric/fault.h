@@ -31,10 +31,21 @@ class FaultPlan {
   /// wire path, not a ctrl-channel inbox).
   static constexpr int kFlagWriteChannel = -2;
 
-  FaultPlan(const machine::FaultSpec& spec, metrics::MetricsRegistry& reg);
+  /// Validates the message-fault probabilities *and* the process-level
+  /// failure schedule (proxy ids must name proxies of `cluster`, times must
+  /// be non-negative) — a bad schedule fails at construction, not at a
+  /// confusing mid-run injection point.
+  FaultPlan(const machine::FaultSpec& spec, const machine::ClusterSpec& cluster,
+            metrics::MetricsRegistry& reg);
 
   bool enabled() const { return spec_.enabled; }
   const machine::FaultSpec& spec() const { return spec_; }
+
+  /// Process-level failure schedule (crashes/hangs) for the offload runtime
+  /// to install on its proxies.
+  const std::vector<machine::ProxyFailure>& proxy_failures() const {
+    return spec_.proxy_failures;
+  }
 
   /// What should happen to one message bound for `dst_proc` on `channel`.
   struct Decision {

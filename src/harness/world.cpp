@@ -13,6 +13,9 @@ World::World(machine::ClusterSpec spec, bool with_offload) : spec_(spec) {
   mpi_ = std::make_unique<mpi::MpiWorld>(*vrt_);
   if (with_offload) {
     off_ = std::make_unique<offload::OffloadRuntime>(*vrt_);
+    // Graceful-degradation path: a confirmed-dead proxy's in-flight work is
+    // re-executed on the host-driven minimpi path.
+    off_->set_mpi(mpi_.get());
     off_->start();
     blues_ = std::make_unique<baselines::BluesMpi>(*vrt_);
     blues_->start();

@@ -26,6 +26,18 @@ namespace dpu::machine {
 /// with ack/timeout/retransmit so the run still completes correctly. When
 /// disabled (the default) no RNG is consumed and no extra messages exist,
 /// so virtual times are bit-identical to a build without the feature.
+/// One scheduled process-level proxy failure. A *crash* makes the proxy's
+/// progress loop exit at the given virtual time (the ARM process died); a
+/// *hang* makes it stop servicing its queues while the process — and hence
+/// the NIC transport underneath it — stays alive, optionally recovering
+/// after a bounded window. Injection is purely schedule-driven: no RNG.
+struct ProxyFailure {
+  int proxy = -1;        ///< flat proc id of the proxy (ClusterSpec scheme)
+  double at_us = 0.0;    ///< virtual time the failure hits
+  bool hang = false;     ///< false: crash (permanent); true: hang
+  double hang_for_us = -1.0;  ///< hang window; < 0 means it never recovers
+};
+
 struct FaultSpec {
   bool enabled = false;
   std::uint64_t seed = 1;    ///< RNG seed; same seed => same fault schedule
@@ -44,9 +56,28 @@ struct FaultSpec {
   double retry_timeout_us = 60.0;  ///< first ack deadline (well above RTT)
   double retry_backoff = 2.0;      ///< exponential backoff factor
   double retry_max_timeout_us = 2000.0;
-  int max_retries = 24;            ///< give up (SimError) past this
+  int max_retries = 24;  ///< past this the sender reports the peer unreachable
+
+  // -- proxy liveness / failover (offload robustness) -------------------------
+  // The heartbeat/lease protocol and the host-fallback degradation path are
+  // active only when `liveness` is set (or a failure is scheduled). With the
+  // model off, no liveness message, timer or poll exists anywhere, so
+  // virtual times stay bit-identical to a build without the feature.
+  std::vector<ProxyFailure> proxy_failures;  ///< scheduled crashes / hangs
+  bool liveness = false;        ///< heartbeat monitoring + failover machinery
+  bool failover = true;         ///< degrade to the host-driven path on death
+  double hb_period_us = 40.0;   ///< heartbeat interval while ops are in flight
+  double hb_suspect_after_us = 150.0;  ///< silence => suspected (lease stale)
+  double hb_confirm_after_us = 400.0;  ///< silence => confirmed dead
+  double finalize_drain_us = 500.0;    ///< bounded Finalize_Offload drain
+
+  bool liveness_enabled() const { return liveness || !proxy_failures.empty(); }
 
   bool faults_channel(int channel) const {
+    // The liveness plane (offload::kLivenessChannel) is never message-faulted:
+    // losing heartbeats to the wire-fault model would conflate "lossy link"
+    // with "dead proxy" and break the detector's timing contract.
+    if (channel == 6) return false;
     if (channels.empty()) return true;
     for (int c : channels) {
       if (c == channel) return true;

@@ -69,10 +69,12 @@ sim::Task<GroupAlltoall::Handle> GroupAlltoall::icall(machine::Addr sbuf, machin
   co_return h;
 }
 
-sim::Task<void> GroupAlltoall::wait(Handle& h) {
-  if (h.greq) co_await ep_.group_wait(h.greq);
+sim::Task<Status> GroupAlltoall::wait(Handle& h) {
+  Status st = Status::kOk;
+  if (h.greq) st = co_await ep_.group_wait(h.greq);
   co_await mpi_.waitall(h.local);
   h.local.clear();
+  co_return st;
 }
 
 sim::Task<GroupReqPtr> GroupRingBcast::icall(machine::Addr buf, std::size_t len, int root,

@@ -42,7 +42,7 @@ class GroupAlltoall {
   sim::Task<Handle> icall(machine::Addr sbuf, machine::Addr rbuf, std::size_t bpr,
                           mpi::CommPtr comm);
 
-  sim::Task<void> wait(Handle& h);
+  sim::Task<Status> wait(Handle& h);
 
  private:
   using Key = std::tuple<machine::Addr, machine::Addr, std::size_t, int>;
@@ -63,7 +63,7 @@ class GroupRingBcast {
   sim::Task<GroupReqPtr> icall(machine::Addr buf, std::size_t len, int root,
                                mpi::CommPtr comm);
 
-  sim::Task<void> wait(const GroupReqPtr& req) { return ep_.group_wait(req); }
+  sim::Task<Status> wait(const GroupReqPtr& req) { return ep_.group_wait(req); }
 
  private:
   using Key = std::tuple<machine::Addr, std::size_t, int, int>;
@@ -81,7 +81,7 @@ class GroupAllgather {
 
   sim::Task<GroupReqPtr> icall(machine::Addr sbuf, machine::Addr rbuf,
                                std::size_t block, mpi::CommPtr comm);
-  sim::Task<void> wait(const GroupReqPtr& req) { return ep_.group_wait(req); }
+  sim::Task<Status> wait(const GroupReqPtr& req) { return ep_.group_wait(req); }
 
  private:
   using Key = std::tuple<machine::Addr, machine::Addr, std::size_t, int>;
@@ -97,7 +97,7 @@ class GroupBcastBinomial {
 
   sim::Task<GroupReqPtr> icall(machine::Addr buf, std::size_t len, int root,
                                mpi::CommPtr comm);
-  sim::Task<void> wait(const GroupReqPtr& req) { return ep_.group_wait(req); }
+  sim::Task<Status> wait(const GroupReqPtr& req) { return ep_.group_wait(req); }
 
  private:
   using Key = std::tuple<machine::Addr, std::size_t, int, int>;

@@ -47,6 +47,32 @@ class MatchQueues {
     return std::nullopt;
   }
 
+  /// Drops every unmatched RTS and RTR of (src, dst, tag) — the failover
+  /// fence for basic pairs the hosts already completed on the fallback path.
+  /// Returns how many envelopes were discarded.
+  std::size_t erase_pair(int src, int dst, int tag) {
+    std::size_t n = 0;
+    auto& sq = sendq_[dst];
+    for (auto it = sq.begin(); it != sq.end();) {
+      if (it->src_rank == src && it->tag == tag) {
+        it = sq.erase(it);
+        ++n;
+      } else {
+        ++it;
+      }
+    }
+    auto& rq = recvq_[dst];
+    for (auto it = rq.begin(); it != rq.end();) {
+      if (it->src_rank == src && it->tag == tag) {
+        it = rq.erase(it);
+        ++n;
+      } else {
+        ++it;
+      }
+    }
+    return n;
+  }
+
   std::size_t pending_sends() const {
     std::size_t n = 0;
     for (const auto& [_, q] : sendq_) n += q.size();

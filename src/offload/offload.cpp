@@ -39,10 +39,28 @@ void OffloadRuntime::start() {
   for (auto& p : proxies_) {
     engine().spawn(p->run(), "proxy" + std::to_string(p->proc_id()));
   }
+  // Process-level failure schedule: plain engine timers at exact virtual
+  // times. No RNG is drawn and no timer exists when the list is empty, so a
+  // failure-free schedule stays bit-identical to a build without the model.
+  for (const auto& pf : spec().fault.proxy_failures) {
+    Proxy* p = &proxy(pf.proxy);
+    const bool hang = pf.hang;
+    engine().schedule_at(from_us(pf.at_us), [p, hang] {
+      if (hang) {
+        p->inject_hang();
+      } else {
+        p->inject_crash();
+      }
+    });
+    if (pf.hang && pf.hang_for_us >= 0.0) {
+      engine().schedule_at(from_us(pf.at_us + pf.hang_for_us),
+                           [p] { p->recover_from_hang(); });
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
-// OffloadEndpoint — basic primitives
+// OffloadEndpoint — construction and liveness plumbing
 // ---------------------------------------------------------------------------
 
 OffloadEndpoint::OffloadEndpoint(OffloadRuntime& rt, int rank)
@@ -61,9 +79,181 @@ OffloadEndpoint::OffloadEndpoint(OffloadRuntime& rt, int rank)
   reg.link(prefix + "ib_cache.hits", &ib_cache_.stats().hits);
   reg.link(prefix + "ib_cache.misses", &ib_cache_.stats().misses);
   reg.link(prefix + "ib_cache.coalesced", &ib_cache_.stats().coalesced);
+  if (rt_.spec().fault.liveness_enabled()) {
+    // Liveness metrics are linked only when the model is armed so clean-run
+    // JSON exports stay byte-identical to builds without the feature.
+    reg.link(prefix + "hb_sent", &hb_sent_);
+    reg.link(prefix + "hb_acked", &hb_acked_);
+    reg.link(prefix + "hb_missed", &hb_missed_);
+    reg.link(prefix + "hb_rtt_total_ns", &hb_rtt_total_ns_);
+    reg.link(prefix + "hb_rtt_max_ns", &hb_rtt_max_ns_);
+    reg.link(prefix + "proxy_suspected", &suspected_ctr_);
+    reg.link(prefix + "proxy_confirmed_dead", &confirmed_dead_ctr_);
+    reg.link(prefix + "lease_reacquired", &lease_reacquired_);
+    reg.link(prefix + "degrade_certs_received", &certs_received_);
+    reg.link(prefix + "degraded_ops", &degraded_ops_);
+    reg.link(prefix + "finalize_timeouts", &finalize_timeouts_);
+    reg.link(prefix + "retx_give_ups", &retx_.give_ups());
+  }
+  if (giveup_watch_on()) {
+    retx_.on_give_up([this](int dst) { poison_unreachable(dst); });
+  }
 }
 
 verbs::ProcCtx& OffloadEndpoint::vctx() { return rt_.verbs().ctx(rank_); }
+
+bool OffloadEndpoint::liveness_on() const {
+  return rt_.spec().fault.liveness_enabled();
+}
+
+bool OffloadEndpoint::giveup_watch_on() const {
+  // Fault-only mode: the supervised polling waits of the liveness model would
+  // perturb event timing (and hence reshuffle the seeded fault schedule), so
+  // waits stay pure event waits; instead a Retransmitter give-up poisons the
+  // flags of every op that depended on the unreachable process, and Wait
+  // translates the mark into Status::kUnreachable. In liveness mode the
+  // supervised loops observe give-ups themselves (proxy_presumed_dead).
+  return rt_.spec().fault.enabled && !liveness_on();
+}
+
+void OffloadEndpoint::poison_unreachable(int dst_proc) {
+  dead_proxies_.insert(dst_proc);
+  for (auto it = watched_basic_.begin(); it != watched_basic_.end();) {
+    auto req = it->lock();
+    if (!req || req->flag->is_set()) {
+      it = watched_basic_.erase(it);
+      continue;
+    }
+    if (req->dep_proxy == dst_proc) {
+      req->unreachable = true;
+      req->flag->set();
+      it = watched_basic_.erase(it);
+      continue;
+    }
+    ++it;
+  }
+  for (auto it = watched_groups_.begin(); it != watched_groups_.end();) {
+    auto g = it->lock();
+    if (!g || !g->current_flag || g->current_flag->is_set()) {
+      it = watched_groups_.erase(it);
+      continue;
+    }
+    if (current_target(*g) == dst_proc) {
+      g->unreachable = true;
+      g->current_flag->set();
+      it = watched_groups_.erase(it);
+      continue;
+    }
+    ++it;
+  }
+}
+
+OffloadEndpoint::Monitor& OffloadEndpoint::monitor(int proxy) {
+  auto [it, fresh] = monitors_.try_emplace(proxy);
+  if (fresh) {
+    it->second.last_ack = rt_.engine().now();
+    it->second.last_pump = rt_.engine().now();
+    if (dead_proxies_.count(proxy) > 0) it->second.dead = true;
+  }
+  return it->second;
+}
+
+bool OffloadEndpoint::proxy_presumed_dead(int proxy) const {
+  return dead_proxies_.count(proxy) > 0 || retx_.gave_up_on(proxy);
+}
+
+bool OffloadEndpoint::failover_ready() const {
+  return rt_.mpi_world() != nullptr && rt_.spec().fault.failover;
+}
+
+SimDuration OffloadEndpoint::wait_tick() const {
+  return from_us(std::max(1.0, rt_.spec().fault.hb_period_us / 4.0));
+}
+
+sim::Task<void> OffloadEndpoint::drain_liveness() {
+  if (!liveness_on()) co_return;
+  auto& box = vctx().inbox(kLivenessChannel);
+  while (auto msg = box.try_recv()) {
+    if (auto* ack = std::any_cast<HeartbeatAckMsg>(&msg->body)) {
+      auto& m = monitor(ack->proxy);
+      ++hb_acked_;
+      auto it = m.outstanding.find(ack->seq);
+      if (it != m.outstanding.end()) {
+        const auto rtt_ns =
+            static_cast<std::uint64_t>(to_us(rt_.engine().now() - it->second) * 1000.0);
+        hb_rtt_total_ns_ += rtt_ns;
+        if (rtt_ns > hb_rtt_max_ns_.value()) hb_rtt_max_ns_.set(rtt_ns);
+        // Older unanswered probes are superseded by this reply.
+        m.outstanding.erase(m.outstanding.begin(), std::next(it));
+      }
+      // A confirmed death is terminal even if the proxy later answers (an
+      // unbounded hang that recovered): failover already committed, and the
+      // fences make any late proxy work harmless.
+      if (!m.dead) {
+        m.last_ack = rt_.engine().now();
+        if (m.suspected) {
+          m.suspected = false;
+          ++lease_reacquired_;
+        }
+      }
+    } else if (auto* sa = std::any_cast<StopAckMsg>(&msg->body)) {
+      stop_acked_.insert(sa->proxy);
+      auto& m = monitor(sa->proxy);
+      if (!m.dead) m.last_ack = rt_.engine().now();
+    } else if (auto* arr = std::any_cast<RecvArrivedMsg>(&msg->body)) {
+      ++arrivals_seen_[{arr->dst_req_id, arr->src_rank, arr->tag}];
+    } else if (auto* sd = std::any_cast<SendDeliveredMsg>(&msg->body)) {
+      ++sends_delivered_[{sd->req_id, sd->dst_rank, sd->tag}];
+    } else if (auto* dm = std::any_cast<DegradeMsg>(&msg->body)) {
+      ++certs_received_;
+      if (dm->dead_proxy >= 0 && rt_.spec().is_proxy(dm->dead_proxy)) {
+        if (dead_proxies_.insert(dm->dead_proxy).second) {
+          monitor(dm->dead_proxy).dead = true;
+        }
+      }
+      if (dm->group) pending_degrades_.push_back(*dm);
+    } else {
+      require(false, "unknown message on the liveness channel");
+    }
+  }
+}
+
+sim::Task<void> OffloadEndpoint::pump_monitors() {
+  if (!liveness_on()) co_return;
+  const auto& f = rt_.spec().fault;
+  const SimDuration period = from_us(f.hb_period_us);
+  for (auto& [proxy, m] : monitors_) {
+    if (m.dead) continue;
+    const SimTime now = rt_.engine().now();
+    // A long compute gap between waits is host silence, not proxy silence:
+    // the host was not listening for replies, so restart the lease clock
+    // instead of insta-confirming a death it never probed for.
+    if (now - m.last_pump > 2 * period) m.last_ack = now;
+    m.last_pump = now;
+    if (now - m.last_beat >= period) {
+      if (!m.outstanding.empty()) ++hb_missed_;
+      const std::uint64_t seq = m.next_seq++;
+      m.outstanding.emplace(seq, now);
+      m.last_beat = now;
+      ++hb_sent_;
+      std::any beat = HeartbeatMsg{rank_, seq};
+      co_await vctx().post_ctrl(proxy, kLivenessChannel, std::move(beat), 0);
+    }
+    if (!m.suspected && now - m.last_ack > from_us(f.hb_suspect_after_us)) {
+      m.suspected = true;
+      ++suspected_ctr_;
+    }
+    if (now - m.last_ack > from_us(f.hb_confirm_after_us)) {
+      m.dead = true;
+      ++confirmed_dead_ctr_;
+      dead_proxies_.insert(proxy);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// OffloadEndpoint — basic primitives
+// ---------------------------------------------------------------------------
 
 sim::Task<OffloadReqPtr> OffloadEndpoint::send_offload(machine::Addr addr, std::size_t len,
                                                        int dst, int tag) {
@@ -72,6 +262,22 @@ sim::Task<OffloadReqPtr> OffloadEndpoint::send_offload(machine::Addr addr, std::
   const int proxy = rt_.spec().proxy_for_host(rank_);
   auto req = std::make_shared<OffloadRequest>();
   req->flag = std::make_shared<sim::Event>(rt_.engine());
+  req->is_send = true;
+  req->addr = addr;
+  req->len = len;
+  req->peer = dst;
+  req->tag = tag;
+  req->dep_proxy = proxy;
+  if (giveup_watch_on()) watched_basic_.push_back(req);
+  if (liveness_on()) {
+    monitor(proxy);
+    if (failover_ready() && proxy_presumed_dead(proxy)) {
+      // The proxy is already written off: skip it (and its registration
+      // cost) entirely and issue the op on the host path right away.
+      co_await degrade_basic(req);
+      co_return req;
+    }
+  }
   // First (host-side) GVMI registration against the proxy's GVMI-ID,
   // amortized by the array-of-BST cache.
   auto info = co_await gvmi_cache_.get(vctx, proxy, rt_.gvmi_of(proxy), addr, len);
@@ -90,6 +296,20 @@ sim::Task<OffloadReqPtr> OffloadEndpoint::recv_offload(machine::Addr addr, std::
   const int proxy = rt_.spec().proxy_for_host(src);
   auto req = std::make_shared<OffloadRequest>();
   req->flag = std::make_shared<sim::Event>(rt_.engine());
+  req->is_send = false;
+  req->addr = addr;
+  req->len = len;
+  req->peer = src;
+  req->tag = tag;
+  req->dep_proxy = proxy;
+  if (giveup_watch_on()) watched_basic_.push_back(req);
+  if (liveness_on()) {
+    monitor(proxy);
+    if (failover_ready() && proxy_presumed_dead(proxy)) {
+      co_await degrade_basic(req);
+      co_return req;
+    }
+  }
   auto mr = co_await ib_cache_.get(vctx, addr, len);
   std::any rtr = RtrProxyMsg{src, rank_, tag, len, addr, mr.rkey, req->flag};
   co_await retx_.send(proxy, kProxyChannel, std::move(rtr), 0);
@@ -97,20 +317,123 @@ sim::Task<OffloadReqPtr> OffloadEndpoint::recv_offload(machine::Addr addr, std::
   co_return req;
 }
 
-sim::Task<void> OffloadEndpoint::wait(const OffloadReqPtr& req) {
-  co_await rt_.engine().sleep(from_us(rt_.spec().cost.mpi_call_us));
-  co_await req->flag->wait();
+sim::Task<void> OffloadEndpoint::degrade_basic(const OffloadReqPtr& req) {
+  req->degraded = true;
+  ++rt_.engine().metrics().counter("offload.failover.basic_degraded");
+  // Best-effort fence: a hung proxy that later recovers must not re-run a
+  // pair the hosts already completed on the fallback path.
+  const int src = req->is_send ? rank_ : req->peer;
+  const int dst = req->is_send ? req->peer : rank_;
+  std::any fence = FenceBasicMsg{src, dst, req->tag};
+  co_await vctx().post_ctrl(req->dep_proxy, kLivenessChannel, std::move(fence), 0);
+  // Death certificate to the counterparty so it degrades without waiting
+  // out its own detection window (both ends of a basic pair depend on the
+  // same source-side proxy).
+  std::any cert = DegradeMsg{rank_, req->dep_proxy, false, {}};
+  co_await vctx().post_ctrl(req->peer, kLivenessChannel, std::move(cert), 0);
+  // Re-execute on the host-driven path, in a context no healthy minimpi
+  // traffic can match.
+  auto& mc = rt_.mpi_world()->ctx(rank_);
+  if (req->is_send) {
+    req->fallback =
+        co_await mc.isend(req->addr, req->len, req->peer, req->tag, kFailoverBasicContext);
+  } else {
+    req->fallback =
+        co_await mc.irecv(req->addr, req->len, req->peer, req->tag, kFailoverBasicContext);
+  }
 }
 
-sim::Task<void> OffloadEndpoint::waitall(std::span<const OffloadReqPtr> reqs) {
-  co_await rt_.engine().sleep(from_us(rt_.spec().cost.mpi_call_us));
-  for (const auto& r : reqs) co_await r->flag->wait();
+sim::Task<Status> OffloadEndpoint::wait_many(std::vector<OffloadReqPtr> reqs) {
+  auto& eng = rt_.engine();
+  for (;;) {
+    co_await drain_liveness();
+    co_await apply_pending_degrades();
+    co_await pump_monitors();
+    bool all_done = true;
+    for (auto& req : reqs) {
+      if (req->flag->is_set()) continue;
+      if (req->fallback) {
+        auto& mc = rt_.mpi_world()->ctx(rank_);
+        const bool done = co_await mc.test(req->fallback);
+        if (done) {
+          req->flag->set();
+          ++degraded_ops_;
+          ++eng.metrics().counter("offload.failover.completed_degraded");
+          continue;
+        }
+      } else if (!req->degraded && req->dep_proxy >= 0 &&
+                 proxy_presumed_dead(req->dep_proxy)) {
+        if (!failover_ready()) co_return Status::kUnreachable;
+        co_await degrade_basic(req);
+      }
+      all_done = false;
+    }
+    if (all_done) break;
+    co_await eng.sleep(wait_tick());
+  }
+  for (const auto& req : reqs) {
+    if (req->degraded) co_return Status::kDegraded;
+  }
+  co_return Status::kOk;
 }
 
-sim::Task<void> OffloadEndpoint::finalize() {
+sim::Task<Status> OffloadEndpoint::wait(const OffloadReqPtr& req) {
+  co_await rt_.engine().sleep(from_us(rt_.spec().cost.mpi_call_us));
+  if (!liveness_on()) {
+    co_await req->flag->wait();
+    co_return req->unreachable ? Status::kUnreachable : Status::kOk;
+  }
+  std::vector<OffloadReqPtr> one;
+  one.push_back(req);
+  co_return co_await wait_many(std::move(one));
+}
+
+sim::Task<Status> OffloadEndpoint::waitall(std::span<const OffloadReqPtr> reqs) {
+  co_await rt_.engine().sleep(from_us(rt_.spec().cost.mpi_call_us));
+  if (!liveness_on()) {
+    Status st = Status::kOk;
+    for (const auto& r : reqs) {
+      co_await r->flag->wait();
+      if (r->unreachable) st = Status::kUnreachable;
+    }
+    co_return st;
+  }
+  co_return co_await wait_many(std::vector<OffloadReqPtr>(reqs.begin(), reqs.end()));
+}
+
+sim::Task<Status> OffloadEndpoint::finalize() {
+  const int my_proxy = rt_.spec().proxy_for_host(rank_);
+  if (!liveness_on()) {
+    std::any stop = StopMsg{rank_};
+    co_await retx_.send(my_proxy, kProxyChannel, std::move(stop), 0);
+    ++ctrl_sent_;
+    co_return retx_.gave_up_on(my_proxy) ? Status::kUnreachable : Status::kOk;
+  }
+  if (proxy_presumed_dead(my_proxy)) {
+    // Nothing to hand over: the proxy is gone and every outstanding op was
+    // already settled (or fenced) by the failover machinery.
+    co_return Status::kDegraded;
+  }
   std::any stop = StopMsg{rank_};
-  co_await retx_.send(rt_.spec().proxy_for_host(rank_), kProxyChannel, std::move(stop), 0);
+  co_await retx_.send(my_proxy, kProxyChannel, std::move(stop), 0);
   ++ctrl_sent_;
+  // Bounded drain: wait for the proxy's application-level StopAck instead of
+  // trusting it blindly. A proxy that dies mid-shutdown (or hangs past the
+  // window) is written off; its FIN accounting never blocks the host.
+  auto& eng = rt_.engine();
+  const SimTime deadline = eng.now() + from_us(rt_.spec().fault.finalize_drain_us);
+  while (eng.now() < deadline) {
+    co_await drain_liveness();
+    if (stop_acked_.count(my_proxy) > 0) co_return Status::kOk;
+    if (proxy_presumed_dead(my_proxy)) break;
+    co_await eng.sleep(wait_tick());
+  }
+  co_await drain_liveness();
+  if (stop_acked_.count(my_proxy) > 0) co_return Status::kOk;
+  ++finalize_timeouts_;
+  dead_proxies_.insert(my_proxy);
+  monitor(my_proxy).dead = true;
+  co_return Status::kDegraded;
 }
 
 sim::Task<void> OffloadEndpoint::invalidate(machine::Addr addr, std::size_t len) {
@@ -126,6 +449,15 @@ sim::Task<void> OffloadEndpoint::invalidate(machine::Addr addr, std::size_t len)
 
 sim::Task<bool> OffloadEndpoint::test(const OffloadReqPtr& req) {
   co_await rt_.engine().sleep(from_us(rt_.spec().cost.mpi_call_us));
+  if (liveness_on() && !req->flag->is_set() && req->fallback) {
+    auto& mc = rt_.mpi_world()->ctx(rank_);
+    const bool done = co_await mc.test(req->fallback);
+    if (done) {
+      req->flag->set();
+      ++degraded_ops_;
+      ++rt_.engine().metrics().counter("offload.failover.completed_degraded");
+    }
+  }
   co_return req->flag->is_set();
 }
 
@@ -209,12 +541,51 @@ sim::Task<void> OffloadEndpoint::group_call(const GroupReqPtr& req) {
   sim_expect(req->owner == rank_, "group_call on a foreign request");
   auto& vctx = rt_.verbs().ctx(rank_);
   const auto& cost = rt_.spec().cost;
-  const int my_proxy = rt_.spec().proxy_for_host(rank_);
   co_await rt_.engine().sleep(from_us(cost.mpi_call_us));
 
   req->current_flag = std::make_shared<sim::Event>(rt_.engine());
 
-  if (group_cache_enabled_ && req->sent_to_proxy) {
+  if (giveup_watch_on()) {
+    bool tracked = false;
+    for (auto& w : watched_groups_) tracked = tracked || w.lock().get() == req.get();
+    if (!tracked) watched_groups_.push_back(req);
+  }
+
+  bool degrade_now = false;
+  if (liveness_on()) {
+    bool tracked = false;
+    for (const auto& g : live_groups_) tracked = tracked || g.get() == req.get();
+    if (!tracked) live_groups_.push_back(req);
+    monitor(current_target(*req));
+    if (req->degraded) {
+      // Permanently degraded: the peers of the first degraded run hold
+      // matching certificates, so every re-call replays symmetrically on
+      // the host path. Nothing previously delivered — fresh run.
+      req->fb_active = true;
+      req->fb_next = 0;
+      req->fb_inflight.clear();
+      req->fb_skip.assign(req->ops.size(), false);
+      co_return;
+    }
+    if (failover_ready() && proxy_presumed_dead(current_target(*req))) {
+      const int dead = current_target(*req);
+      const int sib = send_only(*req) ? live_sibling_of(dead) : -1;
+      if (sib >= 0) {
+        // Home proxy gone before the call even started: aim the whole call
+        // at the surviving sibling (full packet; it has no template).
+        req->target_proxy = sib;
+        req->redispatched = true;
+        req->sent_to_proxy = false;
+        monitor(sib);
+        ++rt_.engine().metrics().counter("offload.failover.sibling_redispatch");
+      } else {
+        degrade_now = true;
+      }
+    }
+  }
+  const int my_proxy = current_target(*req);
+
+  if (!degrade_now && group_cache_enabled_ && req->sent_to_proxy) {
     // §VII-D cache hit: all metadata already lives on the proxy; send only
     // the request id.
     ++group_hits_;
@@ -245,14 +616,18 @@ sim::Task<void> OffloadEndpoint::group_call(const GroupReqPtr& req) {
   }
 
   // 3. Register send buffers (host GVMI cache, against my proxy's GVMI-ID).
-  for (auto& op : req->ops) {
-    if (op.type != GopType::kSend) continue;
-    op.src_info =
-        co_await gvmi_cache_.get(vctx, my_proxy, rt_.gvmi_of(my_proxy), op.src_addr, op.len);
+  // Skipped when degrading at call time: the host path needs no GVMI keys.
+  if (!degrade_now) {
+    for (auto& op : req->ops) {
+      if (op.type != GopType::kSend) continue;
+      op.src_info =
+          co_await gvmi_cache_.get(vctx, my_proxy, rt_.gvmi_of(my_proxy), op.src_addr, op.len);
+    }
   }
 
   // 4. Gather metadata from every destination I send to and match my send
-  // entries against it (dst rank + tag, FIFO within a tag).
+  // entries against it (dst rank + tag, FIFO within a tag). The degraded
+  // path still needs this: dst_req_id scopes the replay's tag space.
   std::vector<int> dsts;
   for (const auto& op : req->ops) {
     if (op.type == GopType::kSend &&
@@ -279,6 +654,11 @@ sim::Task<void> OffloadEndpoint::group_call(const GroupReqPtr& req) {
     op.dst_req_id = dst_req[op.peer];
   }
 
+  if (degrade_now) {
+    co_await degrade_group(req, my_proxy);
+    co_return;
+  }
+
   // 5. One contiguous Group_Offload_packet to my proxy.
   const auto pkt_bytes =
       static_cast<std::size_t>(cost.group_entry_bytes * static_cast<double>(req->ops.size()));
@@ -288,10 +668,271 @@ sim::Task<void> OffloadEndpoint::group_call(const GroupReqPtr& req) {
   if (group_cache_enabled_) req->sent_to_proxy = true;
 }
 
-sim::Task<void> OffloadEndpoint::group_wait(const GroupReqPtr& req) {
+sim::Task<Status> OffloadEndpoint::group_wait(const GroupReqPtr& req) {
   sim_expect(req->current_flag != nullptr, "group_wait before group_call");
   co_await rt_.engine().sleep(from_us(rt_.spec().cost.mpi_call_us));
-  co_await req->current_flag->wait();
+  if (!liveness_on()) {
+    co_await req->current_flag->wait();
+    co_return req->unreachable ? Status::kUnreachable : Status::kOk;
+  }
+  co_return co_await group_wait_live(req);
+}
+
+// ---------------------------------------------------------------------------
+// OffloadEndpoint — group failover
+// ---------------------------------------------------------------------------
+
+int OffloadEndpoint::current_target(const GroupRequest& req) const {
+  return req.target_proxy >= 0 ? req.target_proxy : rt_.spec().proxy_for_host(rank_);
+}
+
+int OffloadEndpoint::group_dead_dep(const GroupRequest& req) const {
+  // Only the group's own target proxy is a local death sentence. A peer-side
+  // proxy death is the *peer's* call: the owner of a send either re-dispatches
+  // it to a sibling (nothing for us to do) or degrades and floods a
+  // certificate scoped with our request id (apply_pending_degrades picks it
+  // up). Deciding here on the peer's behalf would race its sibling recovery.
+  const int own = current_target(req);
+  return proxy_presumed_dead(own) ? own : -1;
+}
+
+int OffloadEndpoint::live_sibling_of(int proxy) const {
+  const auto& spec = rt_.spec();
+  const int node = spec.node_of(proxy);
+  for (int l = 0; l < spec.proxies_per_dpu; ++l) {
+    const int cand = spec.proxy_id(node, l);
+    if (cand != proxy && !proxy_presumed_dead(cand)) return cand;
+  }
+  return -1;
+}
+
+bool OffloadEndpoint::send_only(const GroupRequest& req) {
+  for (const auto& op : req.ops) {
+    if (op.type == GopType::kRecv) return false;
+  }
+  return true;
+}
+
+int OffloadEndpoint::fb_tag(int tag, std::uint64_t scope_req) {
+  // Both ends can compute the scope: the receiver uses its own request id,
+  // the sender the dst_req_id its matching step recorded — the same value.
+  // Disambiguates concurrent degraded groups between the same rank pair
+  // with identical tags.
+  return static_cast<int>((scope_req & 0x7FFFull) << 16) ^ tag;
+}
+
+sim::Task<void> OffloadEndpoint::fail_over_group(const GroupReqPtr& req, int dead_dep) {
+  const int own = current_target(*req);
+  if (dead_dep == own && send_only(*req)) {
+    // Arrival immediates for receive entries land at the *receiver's* home
+    // proxy, so only send-only templates can move wholesale to a sibling;
+    // anything with receives degrades to the host path instead.
+    const int sib = live_sibling_of(own);
+    if (sib >= 0) {
+      co_await redispatch_to_sibling(req, sib);
+      co_return;
+    }
+  }
+  co_await degrade_group(req, dead_dep);
+}
+
+sim::Task<void> OffloadEndpoint::redispatch_to_sibling(const GroupReqPtr& req, int sib) {
+  auto& vc = vctx();
+  // Fence the old home first: a hang-recovery must not double-run the
+  // template (receivers would swallow duplicate arrivals, but the fence
+  // keeps the dead proxy from burning cycles and credits on it).
+  const int old = current_target(*req);
+  std::any fence = FenceGroupMsg{rank_, req->id};
+  co_await vc.post_ctrl(old, kLivenessChannel, std::move(fence), 0);
+  // Re-register the send buffers against the sibling's GVMI and ship the
+  // full packet — the sibling has no recorded template for this request.
+  for (auto& op : req->ops) {
+    if (op.type != GopType::kSend) continue;
+    op.src_info = co_await gvmi_cache_.get(vc, sib, rt_.gvmi_of(sib), op.src_addr, op.len);
+  }
+  req->target_proxy = sib;
+  req->redispatched = true;
+  req->sent_to_proxy = true;  // the sibling records the template from the packet
+  monitor(sib);
+  const auto& cost = rt_.spec().cost;
+  const auto pkt_bytes = static_cast<std::size_t>(
+      cost.group_entry_bytes * static_cast<double>(req->ops.size()));
+  std::any pkt = GroupPacketMsg{rank_, req->id, req->ops, req->current_flag};
+  co_await retx_.send(sib, kProxyChannel, std::move(pkt), pkt_bytes);
+  ++ctrl_sent_;
+  ++rt_.engine().metrics().counter("offload.failover.sibling_redispatch");
+}
+
+sim::Task<void> OffloadEndpoint::degrade_group(const GroupReqPtr& req, int dead_proxy) {
+  if (req->degraded) co_return;
+  req->degraded = true;
+  req->fb_active = true;
+  req->fb_next = 0;
+  req->fb_inflight.clear();
+  ++rt_.engine().metrics().counter("offload.failover.groups_degraded");
+  // Snapshot the delivery ledgers into a per-entry skip mask, walking in
+  // program order with per-(peer, tag) cursors — the same FIFO order the
+  // proxies matched in. Both ends of every transfer heard about it from the
+  // same delivery event (see SendDeliveredMsg), so the sender's send-skips
+  // and the receiver's recv-skips name exactly the same transfers and the
+  // replay's send/recv postings pair up with no duplicate delivery.
+  req->fb_skip.assign(req->ops.size(), false);
+  std::map<std::tuple<std::uint64_t, int, int>, int> used_s;
+  std::map<std::tuple<std::uint64_t, int, int>, int> used_r;
+  for (std::size_t i = 0; i < req->ops.size(); ++i) {
+    const auto& op = req->ops[i];
+    if (op.type == GopType::kSend) {
+      const std::tuple<std::uint64_t, int, int> k{req->id, op.peer, op.tag};
+      auto it = sends_delivered_.find(k);
+      const int have = it == sends_delivered_.end() ? 0 : it->second;
+      if (used_s[k] < have) {
+        req->fb_skip[i] = true;
+        ++used_s[k];
+      }
+    } else if (op.type == GopType::kRecv) {
+      const std::tuple<std::uint64_t, int, int> k{req->id, op.peer, op.tag};
+      auto it = arrivals_seen_.find(k);
+      const int have = it == arrivals_seen_.end() ? 0 : it->second;
+      if (used_r[k] < have) {
+        req->fb_skip[i] = true;  // the bytes already landed in the buffer
+        ++used_r[k];
+      }
+    }
+  }
+  // Fence whichever proxy holds (or held) my job instance, then flood the
+  // certificate through the peer graph.
+  const int tgt = current_target(*req);
+  std::any fence = FenceGroupMsg{rank_, req->id};
+  co_await vctx().post_ctrl(tgt, kLivenessChannel, std::move(fence), 0);
+  co_await flood_degrade(req, dead_proxy);
+}
+
+sim::Task<void> OffloadEndpoint::flood_degrade(const GroupReqPtr& req, int dead_proxy) {
+  if (req->flooded) co_return;
+  req->flooded = true;
+  std::set<int> peers;
+  for (const auto& op : req->ops) {
+    if (op.type != GopType::kBarrier) peers.insert(op.peer);
+  }
+  for (int peer : peers) {
+    DegradeMsg cert;
+    cert.from_rank = rank_;
+    cert.dead_proxy = dead_proxy;
+    cert.group = true;
+    // Name the peer's request(s) this degrade concerns: my own id (their
+    // send entries recorded it as dst_req_id) plus the dst_req_id of my
+    // sends to them (their own request id).
+    cert.req_ids.push_back(req->id);
+    for (const auto& op : req->ops) {
+      if (op.type == GopType::kSend && op.peer == peer && op.dst_req_id != 0) {
+        cert.req_ids.push_back(op.dst_req_id);
+      }
+    }
+    std::any body = cert;
+    co_await vctx().post_ctrl(peer, kLivenessChannel, std::move(body), 0);
+  }
+}
+
+sim::Task<void> OffloadEndpoint::apply_pending_degrades() {
+  if (pending_degrades_.empty()) co_return;
+  // A group whose flag is already set needs no action: its sends all
+  // delivered (so every peer's arrival ledger covers them and their replays
+  // skip them) and its receives all arrived. Prune before matching.
+  std::erase_if(live_groups_, [](const GroupReqPtr& g) {
+    return g->current_flag && g->current_flag->is_set() && !g->fb_active;
+  });
+  for (std::size_t ci = 0; ci < pending_degrades_.size();) {
+    const DegradeMsg cert = pending_degrades_[ci];
+    GroupReqPtr match;
+    for (const auto& g : live_groups_) {
+      if (g->degraded || (g->current_flag && g->current_flag->is_set())) continue;
+      bool hit = false;
+      for (std::uint64_t id : cert.req_ids) {
+        if (g->id == id) hit = true;
+      }
+      if (!hit) {
+        for (const auto& op : g->ops) {
+          if (op.type != GopType::kSend || op.peer != cert.from_rank) continue;
+          for (std::uint64_t id : cert.req_ids) {
+            if (op.dst_req_id == id && id != 0) hit = true;
+          }
+        }
+      }
+      if (hit) {
+        match = g;
+        break;
+      }
+    }
+    if (!match) {
+      ++ci;  // may concern a request we have not called yet; keep it
+      continue;
+    }
+    pending_degrades_.erase(pending_degrades_.begin() + static_cast<std::ptrdiff_t>(ci));
+    co_await degrade_group(match, cert.dead_proxy);
+    ci = 0;  // the erase shifted indices; rescan
+  }
+}
+
+sim::Task<bool> OffloadEndpoint::advance_group_fallback(const GroupReqPtr& req) {
+  auto& mc = rt_.mpi_world()->ctx(rank_);
+  // Harvest the in-flight stage; the next stage may not start before it
+  // completed (barriers are stage boundaries — a ring forwards the same
+  // buffer, so posting the next send before the recv landed would forward
+  // stale bytes).
+  for (auto& r : req->fb_inflight) {
+    const bool done = co_await mc.test(r);
+    if (!done) co_return false;
+  }
+  req->fb_inflight.clear();
+  if (req->fb_next >= req->ops.size()) {
+    req->fb_active = false;
+    ++degraded_ops_;
+    ++rt_.engine().metrics().counter("offload.failover.completed_degraded");
+    req->current_flag->set();
+    co_return true;
+  }
+  while (req->fb_next < req->ops.size()) {
+    const std::size_t i = req->fb_next++;
+    const auto& op = req->ops[i];
+    if (op.type == GopType::kBarrier) break;  // stage boundary
+    if (req->fb_skip[i]) continue;
+    if (op.type == GopType::kSend) {
+      mpi::Request r = co_await mc.isend(op.src_addr, op.len, op.peer,
+                                         fb_tag(op.tag, op.dst_req_id),
+                                         kFailoverGroupContext);
+      req->fb_inflight.push_back(std::move(r));
+    } else {
+      mpi::Request r = co_await mc.irecv(op.dst_addr, op.len, op.peer,
+                                         fb_tag(op.tag, req->id), kFailoverGroupContext);
+      req->fb_inflight.push_back(std::move(r));
+    }
+  }
+  co_return false;
+}
+
+sim::Task<Status> OffloadEndpoint::group_wait_live(GroupReqPtr req) {
+  auto& eng = rt_.engine();
+  for (;;) {
+    if (req->current_flag->is_set() && !req->fb_active) {
+      std::erase_if(live_groups_, [&](const GroupReqPtr& g) { return g.get() == req.get(); });
+      co_return (req->degraded || req->redispatched) ? Status::kDegraded : Status::kOk;
+    }
+    co_await drain_liveness();
+    co_await apply_pending_degrades();
+    co_await pump_monitors();
+    if (req->fb_active) {
+      const bool finished = co_await advance_group_fallback(req);
+      if (finished) continue;
+    } else if (!req->current_flag->is_set() && !req->degraded) {
+      const int dead = group_dead_dep(*req);
+      if (dead >= 0) {
+        if (!failover_ready()) co_return Status::kUnreachable;
+        co_await fail_over_group(req, dead);
+        continue;
+      }
+    }
+    co_await eng.sleep(wait_tick());
+  }
 }
 
 }  // namespace dpu::offload

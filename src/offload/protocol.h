@@ -28,6 +28,21 @@ namespace dpu::offload {
 
 inline constexpr int kProxyChannel = 2;
 inline constexpr int kGroupMetaChannel = 4;
+/// Liveness-plane channel (heartbeats, leases, fences, degrade notices).
+/// Deliberately distinct from the faulted control channels: losing liveness
+/// probes to the *message* fault model would conflate "lossy wire" with
+/// "dead proxy". 5 is taken by the BluesMPI baseline.
+inline constexpr int kLivenessChannel = 6;
+
+/// Typed completion status surfaced by Wait/Group_Wait/Finalize. The old
+/// behaviour — aborting the whole simulation when the control plane gave up
+/// on a peer — made failover impossible; callers now observe how the
+/// operation completed and the endpoint handles degradation internally.
+enum class Status {
+  kOk,           ///< completed on the offloaded (proxy) path
+  kDegraded,     ///< completed, but via host fallback or sibling re-dispatch
+  kUnreachable,  ///< peer unreachable and no failover path available
+};
 
 /// Shared ack token for one reliable control message. The receiver marks it
 /// after the (simulated) transport-level ack latency; the sender's pending
@@ -192,5 +207,84 @@ struct GroupMetaMsg {
   std::uint64_t req_id = 0;  ///< the receiver's request these buffers belong to
   std::vector<GroupRecvMeta> entries;
 };
+
+// ---------------------------------------------------------------------------
+// Liveness plane (kLivenessChannel). Only exists when FaultSpec::liveness is
+// on; none of these messages is ever sent on a clean run.
+// ---------------------------------------------------------------------------
+
+/// Host -> proxy liveness probe. The proxy answers from its *progress loop*
+/// (not the transport): a hung-but-alive proxy still generates transport
+/// acks, so only an application-level reply proves serviceability.
+struct HeartbeatMsg {
+  int from_rank = -1;
+  std::uint64_t seq = 0;
+};
+
+/// Proxy -> host heartbeat reply; `seq` echoes the probe (host-side RTT).
+struct HeartbeatAckMsg {
+  int proxy = -1;
+  std::uint64_t seq = 0;
+};
+
+/// Proxy -> host acknowledgement of StopMsg, liveness runs only: lets
+/// Finalize_Offload bound its drain instead of trusting a dead proxy.
+struct StopAckMsg {
+  int proxy = -1;
+};
+
+/// Host -> proxy: discard any queued/combined basic-primitive state for
+/// (src, dst, tag) — the hosts completed it on the fallback path. Sent
+/// best-effort (the target is presumed dead; if it recovers from a hang the
+/// fence stops it from re-executing the failed-over pair).
+struct FenceBasicMsg {
+  int src_rank = -1;
+  int dst_rank = -1;
+  int tag = 0;
+};
+
+/// Host -> proxy: abandon the group job instance of (host, req_id) and
+/// swallow its future arrivals (keyed by dst_req_id, the PR-2 matching
+/// machinery). Fences a dead/hung proxy's partial work so a recovery can
+/// never double-execute a request the hosts already degraded.
+struct FenceGroupMsg {
+  int host_rank = -1;
+  std::uint64_t req_id = 0;
+};
+
+/// Host -> host death certificate + degradation notice. `dead_proxy` lets
+/// the receiver skip its own detection timeout. For group degrades the
+/// notice must flood through the request's peer graph (every live
+/// participant of a degraded group must replay it on the host path, even
+/// ranks whose own dependencies are all healthy — group data flows are
+/// transitive). `req_ids` names the receiver-side requests this degrade
+/// concerns: the sender's own request id plus the dst_req_id of every send
+/// entry aimed at the destination, so the receiver degrades exactly the
+/// affected requests (no over-degrading of unrelated concurrent groups).
+struct DegradeMsg {
+  int from_rank = -1;
+  int dead_proxy = -1;
+  bool group = false;
+  std::vector<std::uint64_t> req_ids;
+};
+
+/// Proxy -> source host, liveness runs only: one of this host's group sends
+/// (request `req_id`, destination `dst_rank`, tag `tag`) landed at the
+/// target. Fired by the delivery hook — an NIC event, so it reports even
+/// when the issuing proxy has since died. Together with the dst-host copy
+/// of RecvArrivedMsg this gives both ends an identical, delivery-time view
+/// of which transfers happened, which is what makes the fallback replay
+/// skip-sets agree on the two sides.
+struct SendDeliveredMsg {
+  std::uint64_t req_id = 0;
+  int dst_rank = -1;
+  int tag = 0;
+};
+
+/// MPI context ids used by the failover replay so degraded traffic can
+/// never match healthy minimpi traffic (communicators use non-negative
+/// contexts).
+inline constexpr int kFailoverGroupContext = -7777;
+inline constexpr int kFailoverBasicContext = -7778;
 
 }  // namespace dpu::offload

@@ -26,6 +26,30 @@ Proxy::Proxy(OffloadRuntime& rt, int proc_id)
   reg.link(prefix + "gvmi_cache.hits", &gvmi_cache_.stats().hits);
   reg.link(prefix + "gvmi_cache.misses", &gvmi_cache_.stats().misses);
   reg.link(prefix + "gvmi_cache.coalesced", &gvmi_cache_.stats().coalesced);
+  if (rt_.spec().fault.liveness_enabled()) {
+    reg.link(prefix + "hb_replies", &hb_replies_);
+    reg.link(prefix + "fenced_jobs", &fenced_jobs_);
+  }
+}
+
+void Proxy::inject_crash() {
+  crashed_ = true;
+  ++rt_.engine().metrics().counter("fault.proxy_crashes");
+  // The loop may be parked on its activity notifier; wake it so the crash
+  // takes effect now rather than at the next message arrival.
+  vctx().activity().notify_all();
+}
+
+void Proxy::inject_hang() {
+  hung_ = true;
+  ++rt_.engine().metrics().counter("fault.proxy_hangs");
+}
+
+void Proxy::recover_from_hang() {
+  if (crashed_ || !hung_) return;
+  hung_ = false;
+  ++rt_.engine().metrics().counter("fault.proxy_recoveries");
+  vctx().activity().notify_all();
 }
 
 verbs::ProcCtx& Proxy::vctx() { return rt_.verbs().ctx(proc_); }
@@ -50,13 +74,37 @@ int Proxy::mapped_hosts() const {
 
 sim::Task<void> Proxy::run() {
   auto& box = vctx().inbox(kProxyChannel);
+  const bool liveness = rt_.spec().fault.liveness_enabled();
   const int expected_stops = mapped_hosts();
   for (;;) {
+    // Process-level failure points. A crash ends the loop for good (the
+    // process died; its inbox keeps accepting — and transport-acking —
+    // deliveries that no one will ever service). A hang parks the loop
+    // without draining anything: each arrival wakes it, it observes it is
+    // hung, and goes back to sleep, which is exactly the observable
+    // behaviour of a wedged ARM core behind a live HCA.
+    if (crashed_) co_return;
+    while (hung_) {
+      co_await vctx().activity().wait();
+      if (crashed_) co_return;
+    }
     bool moved = false;
+    if (liveness) {
+      // Liveness plane first: heartbeat replies must not queue behind bulk
+      // control work, and fences must land before advance_jobs resumes a
+      // job the hosts already failed over (the hang-recovery race).
+      auto& live_box = vctx().inbox(kLivenessChannel);
+      while (auto m = live_box.try_recv()) {
+        co_await handle_liveness(std::move(*m));
+        moved = true;
+      }
+    }
     while (auto m = box.try_recv()) {
       co_await handle(std::move(*m));
       moved = true;
+      if (crashed_ || hung_) break;
     }
+    if (crashed_ || hung_) continue;
     if (co_await process_combined()) moved = true;
     if (co_await harvest_fins()) moved = true;
     if (co_await advance_jobs()) moved = true;
@@ -69,6 +117,44 @@ sim::Task<void> Proxy::run() {
     } else {
       co_await rt_.engine().sleep(from_us(rt_.spec().cost.proxy_poll_us));
     }
+  }
+}
+
+sim::Task<void> Proxy::handle_liveness(verbs::CtrlMsg msg) {
+  co_await charge_entry();
+  if (auto* hb = std::any_cast<HeartbeatMsg>(&msg.body)) {
+    ++hb_replies_;
+    std::any ack = HeartbeatAckMsg{proc_, hb->seq};
+    co_await vctx().post_ctrl(hb->from_rank, kLivenessChannel, std::move(ack), 0);
+  } else if (auto* fb = std::any_cast<FenceBasicMsg>(&msg.body)) {
+    (void)queues_.erase_pair(fb->src_rank, fb->dst_rank, fb->tag);
+    for (auto it = combined_.begin(); it != combined_.end();) {
+      if (it->rts.src_rank == fb->src_rank && it->rts.dst_rank == fb->dst_rank &&
+          it->rts.tag == fb->tag) {
+        it = combined_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  } else if (auto* fg = std::any_cast<FenceGroupMsg>(&msg.body)) {
+    fenced_.insert({fg->host_rank, fg->req_id});
+    ++fenced_jobs_;
+    for (auto it = jobs_.begin(); it != jobs_.end();) {
+      if ((*it)->host_rank == fg->host_rank && (*it)->req_id == fg->req_id) {
+        it = jobs_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    for (auto it = pending_arrivals_.begin(); it != pending_arrivals_.end();) {
+      if (it->dst_rank == fg->host_rank && it->dst_req_id == fg->req_id) {
+        it = pending_arrivals_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  } else {
+    require(false, "unknown liveness message at proxy");
   }
 }
 
@@ -118,8 +204,14 @@ sim::Task<void> Proxy::handle(verbs::CtrlMsg msg) {
     for (const auto& cr : cb->credits) ++credits_[{cr.src_rank, cr.dst_rank, cr.tag}];
   } else if (auto* bc = std::any_cast<BarrierCntrMsg>(&msg.body)) {
     barrier_counters_[bc->src_rank] = std::max(barrier_counters_[bc->src_rank], bc->count);
-  } else if (std::any_cast<StopMsg>(&msg.body) != nullptr) {
+  } else if (auto* stop = std::any_cast<StopMsg>(&msg.body)) {
     ++stops_received_;
+    if (rt_.spec().fault.liveness_enabled()) {
+      // Liveness runs close the Finalize handshake explicitly, so a host
+      // can bound its drain instead of trusting the proxy to be alive.
+      std::any ack = StopAckMsg{proc_};
+      co_await vctx().post_ctrl(stop->host_rank, kLivenessChannel, std::move(ack), 0);
+    }
   } else if (auto* inv = std::any_cast<InvalidateMsg>(&msg.body)) {
     // Cache coherence: drop the cross-registration and un-memoize it from
     // every cached template of that host.
@@ -171,6 +263,11 @@ void Proxy::start_instance(int host_rank, std::uint64_t req_id, verbs::Completio
 }
 
 bool Proxy::match_arrival(const RecvArrivedMsg& a) {
+  // Failover fence: the hosts completed this request on the fallback path —
+  // swallow its arrivals (consumed, never re-queued) so a late or duplicate
+  // delivery from a recovering peer proxy cannot resurrect the job. Keyed
+  // by dst_req_id, the same identity the PR-2 matching fix introduced.
+  if (!fenced_.empty() && fenced_.count({a.dst_rank, a.dst_req_id}) > 0) return true;
   // The arrival names the receiver-side request it belongs to: match only
   // that job, never whichever instance happens to be first with the same
   // (src, tag) — two concurrent groups may legally share both. Within the
@@ -248,6 +345,25 @@ sim::Task<void> Proxy::post_group_send(JobInstance& job, std::size_t idx) {
   // local first (GCC 12 temporary-argument bug, see sim/task.h).
   std::function<void()> imm_hook = retx_.make_hook(
       dst_proxy, kProxyChannel, RecvArrivedMsg{job.host_rank, e.peer, e.tag, e.dst_req_id});
+  if (rt_.spec().fault.liveness_enabled()) {
+    // Liveness runs also notify BOTH hosts at delivery time (NIC events, so
+    // they fire even if this proxy has died by then): the receiver learns
+    // which transfers already landed in its buffers, the sender learns which
+    // of its sends delivered. Because the two notices come from the same
+    // delivery event, the two ends' failover skip-sets always agree — the
+    // property that makes the host replay free of duplicate delivery.
+    auto* pctx = &vctx();
+    const RecvArrivedMsg arr{job.host_rank, e.peer, e.tag, e.dst_req_id};
+    const SendDeliveredMsg sd{job.req_id, e.peer, e.tag};
+    const int src_host = job.host_rank;
+    const int dst_host = e.peer;
+    std::function<void()> inner = std::move(imm_hook);
+    imm_hook = [pctx, inner = std::move(inner), arr, sd, src_host, dst_host] {
+      inner();
+      pctx->post_ctrl_raw(dst_host, kLivenessChannel, std::any(arr), 0);
+      pctx->post_ctrl_raw(src_host, kLivenessChannel, std::any(sd), 0);
+    };
+  }
   auto c = co_await vctx().post_rdma_write_on_behalf_hooked(
       tmpl.mkey2[idx], e.src_addr, e.peer, e.dst_rkey, e.dst_addr, e.len,
       std::move(imm_hook));

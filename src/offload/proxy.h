@@ -37,11 +37,26 @@ class Proxy {
 
   /// The proxy's main progress loop (spawned by OffloadRuntime::start).
   /// Exits once every mapped host sent Finalize_Offload and all work
-  /// drained.
+  /// drained — or immediately when a crash is injected.
   sim::Task<void> run();
 
   /// Host ranks served by this proxy (the §VII-A modulo mapping).
   int mapped_hosts() const;
+
+  // ---- process-level fault injection (machine::ProxyFailure) ----------------
+  /// Kills the proxy: its progress loop exits at the next scheduling point
+  /// and never services anything again. Queued inbox messages rot (the NIC
+  /// transport below keeps acking deliveries, exactly like a host whose
+  /// process died but whose HCA is powered — which is why liveness needs
+  /// application-level heartbeats, not transport acks).
+  void inject_crash();
+  /// Freezes the progress loop (process alive, queues unserviced).
+  void inject_hang();
+  /// Ends a hang window; the loop resumes servicing whatever piled up.
+  void recover_from_hang();
+
+  bool crashed() const { return crashed_; }
+  bool hung() const { return hung_; }
 
   // ---- stats exposed for tests / ablation benches ---------------------------
   // Thin adapters over the "offload.proxy<id>.*" registry counters.
@@ -110,6 +125,7 @@ class Proxy {
   };
 
   sim::Task<void> handle(verbs::CtrlMsg msg);
+  sim::Task<void> handle_liveness(verbs::CtrlMsg msg);
   sim::Task<bool> process_combined();
   sim::Task<bool> harvest_fins();
   sim::Task<bool> advance_jobs();
@@ -139,6 +155,13 @@ class Proxy {
   std::map<std::tuple<int, int, int>, int> credits_;
 
   int stops_received_ = 0;
+  bool crashed_ = false;
+  bool hung_ = false;
+  /// (host, req_id) group jobs the hosts completed on the fallback path; any
+  /// live instance is dropped and future arrivals for them are swallowed.
+  std::set<std::pair<int, std::uint64_t>> fenced_;
+  metrics::Counter hb_replies_;
+  metrics::Counter fenced_jobs_;
   metrics::Counter basic_done_;
   metrics::Counter jobs_done_;
   metrics::Counter tmpl_hits_;

@@ -54,8 +54,18 @@ void Retransmitter::arm(std::shared_ptr<Pending> p) {
     if (p->ack->acked) return;
     ++p->attempt;
     const auto& f = self->ctx_.runtime().spec().fault;
-    sim_expect(p->attempt <= f.max_retries,
-               "reliable: retransmit budget exhausted — control message lost for good");
+    if (p->attempt > f.max_retries) {
+      // Typed give-up instead of the old SimError abort: the message is
+      // written off, the destination is marked unreachable, and the owner's
+      // handler (wired by the endpoint/proxy) decides what to do — e.g.
+      // trigger failover from the next Wait. Throwing here would escape
+      // straight out of Engine::run and kill ranks that could still degrade
+      // gracefully.
+      ++self->give_ups_;
+      const bool first = self->unreachable_.insert(p->dst).second;
+      if (first && self->give_up_cb_) self->give_up_cb_(p->dst);
+      return;
+    }
     ++self->retries_;
     self->resend(*p);
     p->timeout = from_us(

@@ -1,0 +1,332 @@
+// Proxy failure-model regression suite.
+//
+// Process-level failures (crash / hang of a proxy) are detected by the
+// host-side heartbeat/lease monitor and, with failover enabled, every
+// outstanding Basic and Group operation is transparently re-executed on the
+// host-driven minimpi path: no hang, no duplicate delivery, correct payload
+// bytes. The suite pins down each leg of that contract — crash before the
+// first op, crash mid-group, a bounded hang that recovers inside the lease
+// window (no failover, lease re-acquired), sibling re-dispatch of send-only
+// templates when proxies_per_dpu > 1, and same-seed determinism of a
+// failure run.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <tuple>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/check.h"
+#include "common/units.h"
+#include "harness/world.h"
+#include "offload/protocol.h"
+
+namespace dpu::offload {
+namespace {
+
+using harness::Rank;
+using harness::World;
+
+machine::ClusterSpec base_spec(int nodes = 2, int ppn = 1, int proxies = 1) {
+  machine::ClusterSpec s;
+  s.nodes = nodes;
+  s.host_procs_per_node = ppn;
+  s.proxies_per_dpu = proxies;
+  return s;
+}
+
+/// Crash `proxy` at `at_us`. Scheduling a failure arms the liveness model
+/// (heartbeats + failover) automatically.
+machine::ClusterSpec crash_spec(machine::ClusterSpec s, int proxy, double at_us) {
+  s.fault.proxy_failures.push_back({proxy, at_us, /*hang=*/false, -1.0});
+  return s;
+}
+
+std::uint64_t host_sum(World& w, const std::string& leaf) {
+  std::uint64_t total = 0;
+  for (int r = 0; r < w.spec().total_host_ranks(); ++r) {
+    total += w.metrics().counter_value("offload.host" + std::to_string(r) + "." + leaf);
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// Crash before the first op: both ends of a basic pair degrade
+// ---------------------------------------------------------------------------
+
+TEST(Failover, CrashBeforeFirstOpDegradesBasicPair) {
+  // Proxy 2 (serving rank 0, the data mover for both directions) dies before
+  // the hosts issue anything. Detection runs from inside Wait; both ends
+  // re-execute on the host path and the payload still lands intact.
+  auto s = crash_spec(base_spec(), /*proxy=*/2, /*at_us=*/1.0);
+  World w(s);
+  const std::size_t len = 8_KiB;
+  int degraded_waits = 0;
+  w.launch(0, [&](Rank& r) -> sim::Task<void> {
+    co_await r.compute(5_us);  // proxy is dead before the first op
+    const auto buf = r.mem().alloc(len);
+    r.mem().write(buf, pattern_bytes(21, len));
+    auto req = co_await r.off->send_offload(buf, len, 1, 7);
+    const Status st = co_await r.off->wait(req);
+    EXPECT_EQ(st, Status::kDegraded);
+    if (st == Status::kDegraded) ++degraded_waits;
+    EXPECT_EQ(co_await r.off->finalize(), Status::kDegraded);
+  });
+  w.launch(1, [&](Rank& r) -> sim::Task<void> {
+    co_await r.compute(5_us);
+    const auto buf = r.mem().alloc(len);
+    auto req = co_await r.off->recv_offload(buf, len, 0, 7);
+    const Status st = co_await r.off->wait(req);
+    EXPECT_EQ(st, Status::kDegraded);
+    if (st == Status::kDegraded) ++degraded_waits;
+    EXPECT_TRUE(check_pattern(r.mem().read(buf, len), 21));
+  });
+  w.run();
+  EXPECT_EQ(degraded_waits, 2);
+  EXPECT_EQ(w.metrics().counter_value("fault.proxy_crashes"), 1u);
+  EXPECT_GE(w.metrics().counter_value("offload.failover.completed_degraded"), 2u);
+  EXPECT_GE(host_sum(w, "proxy_suspected"), 2u);
+  EXPECT_GE(host_sum(w, "proxy_confirmed_dead"), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Crash mid-group: ring broadcast fails over, no hang, no duplicates
+// ---------------------------------------------------------------------------
+
+TEST(Failover, CrashMidGroupRingBcastCompletesDegraded) {
+  // 4 nodes, ring broadcast from rank 0 of a 32 KiB payload; the proxy of
+  // rank 1 dies shortly after the calls are issued. Every rank's Group_Wait
+  // must return with the right bytes in the buffer: the delivery-time
+  // arrival ledgers skip whatever already landed, degrade certificates chase
+  // the dependency chain (rank 1 -> 2 -> 3), and the host replay finishes
+  // the rest in rendezvous mode (32 KiB > eager) with both sides in flight.
+  const int n = 4;
+  auto s = crash_spec(base_spec(n, 1), /*proxy=*/n + 1, /*at_us=*/6.0);
+  World w(s);
+  const std::size_t len = 32_KiB;
+  int completed = 0;
+  w.launch_all([&](Rank& r) -> sim::Task<void> {
+    const int me = r.rank;
+    const int left = (me - 1 + n) % n;
+    const int right = (me + 1) % n;
+    const auto buf = r.mem().alloc(len);
+    if (me == 0) r.mem().write(buf, pattern_bytes(77, len));
+    auto req = r.off->group_start();
+    if (me == 0) {
+      r.off->group_send(req, buf, len, right, 4);
+    } else {
+      r.off->group_recv(req, buf, len, left, 4);
+      if (me != n - 1) {
+        r.off->group_barrier(req);
+        r.off->group_send(req, buf, len, right, 4);
+      }
+    }
+    r.off->group_end(req);
+    co_await r.off->group_call(req);
+    const Status st = co_await r.off->group_wait(req);
+    EXPECT_NE(st, Status::kUnreachable) << "rank " << me;
+    EXPECT_TRUE(check_pattern(r.mem().read(buf, len), 77)) << "rank " << me;
+    ++completed;
+  });
+  w.run();
+  EXPECT_EQ(completed, n);  // no hang: every Group_Wait returned
+  EXPECT_EQ(w.metrics().counter_value("fault.proxy_crashes"), 1u);
+  EXPECT_GT(w.metrics().counter_value("offload.failover.groups_degraded"), 0u);
+  EXPECT_GT(w.metrics().counter_value("offload.failover.completed_degraded"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Bounded hang inside the lease window: recovery, no failover
+// ---------------------------------------------------------------------------
+
+TEST(Failover, HangThenRecoverReacquiresLeaseWithoutFailover) {
+  // The proxy stops servicing its queues at t=0.5us and recovers 250us later
+  // — long enough for the lease to go stale (suspect threshold 150us), short
+  // of the 400us death confirmation. The host must re-acquire the lease and
+  // complete on the proxy path: zero degraded ops, no duplicate completion.
+  auto s = base_spec();
+  s.fault.proxy_failures.push_back({/*proxy=*/2, /*at_us=*/0.5, /*hang=*/true,
+                                    /*hang_for_us=*/250.0});
+  World w(s);
+  const std::size_t len = 8_KiB;
+  w.launch(0, [&](Rank& r) -> sim::Task<void> {
+    const auto buf = r.mem().alloc(len);
+    r.mem().write(buf, pattern_bytes(33, len));
+    auto req = co_await r.off->send_offload(buf, len, 1, 0);
+    EXPECT_EQ(co_await r.off->wait(req), Status::kOk);
+    EXPECT_EQ(co_await r.off->finalize(), Status::kOk);
+  });
+  w.launch(1, [&](Rank& r) -> sim::Task<void> {
+    const auto buf = r.mem().alloc(len);
+    auto req = co_await r.off->recv_offload(buf, len, 0, 0);
+    EXPECT_EQ(co_await r.off->wait(req), Status::kOk);
+    EXPECT_TRUE(check_pattern(r.mem().read(buf, len), 33));
+  });
+  w.run();
+  EXPECT_EQ(w.metrics().counter_value("fault.proxy_hangs"), 1u);
+  EXPECT_EQ(w.metrics().counter_value("fault.proxy_recoveries"), 1u);
+  EXPECT_GE(host_sum(w, "proxy_suspected"), 1u);
+  EXPECT_GE(host_sum(w, "lease_reacquired"), 1u);
+  EXPECT_EQ(host_sum(w, "proxy_confirmed_dead"), 0u);
+  EXPECT_EQ(w.metrics().counter_value("offload.failover.completed_degraded"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Unbounded hang: the transport stays alive but the process is written off
+// ---------------------------------------------------------------------------
+
+TEST(Failover, UnboundedHangFailsOverLikeACrash) {
+  // A hung process keeps ack-ing at the transport level (the NIC is alive),
+  // so only the application-level heartbeat reply can expose it. The basic
+  // pair must still fail over and complete with the right payload.
+  auto s = base_spec();
+  s.fault.proxy_failures.push_back({/*proxy=*/2, /*at_us=*/0.5, /*hang=*/true,
+                                    /*hang_for_us=*/-1.0});
+  World w(s);
+  const std::size_t len = 4_KiB;
+  w.launch(0, [&](Rank& r) -> sim::Task<void> {
+    const auto buf = r.mem().alloc(len);
+    r.mem().write(buf, pattern_bytes(55, len));
+    auto req = co_await r.off->send_offload(buf, len, 1, 2);
+    EXPECT_EQ(co_await r.off->wait(req), Status::kDegraded);
+  });
+  w.launch(1, [&](Rank& r) -> sim::Task<void> {
+    const auto buf = r.mem().alloc(len);
+    auto req = co_await r.off->recv_offload(buf, len, 0, 2);
+    EXPECT_EQ(co_await r.off->wait(req), Status::kDegraded);
+    EXPECT_TRUE(check_pattern(r.mem().read(buf, len), 55));
+  });
+  w.run();
+  EXPECT_EQ(w.metrics().counter_value("fault.proxy_hangs"), 1u);
+  EXPECT_EQ(w.metrics().counter_value("fault.proxy_recoveries"), 0u);
+  EXPECT_GE(w.metrics().counter_value("offload.failover.completed_degraded"), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Sibling re-dispatch: send-only templates move to a surviving proxy
+// ---------------------------------------------------------------------------
+
+TEST(Failover, SendOnlyGroupRedispatchesToSiblingProxy) {
+  // proxies_per_dpu = 2: rank 0's proxy (4) dies; the send-only scatter
+  // template is re-aimed at the surviving sibling (5) and still delivers on
+  // the offload path — the receivers' proxies count the arrivals as usual.
+  // Rank 0 learns of the death through a preceding basic op's failover.
+  auto s = crash_spec(base_spec(/*nodes=*/2, /*ppn=*/2, /*proxies=*/2),
+                      /*proxy=*/4, /*at_us=*/1.0);
+  World w(s);
+  const std::size_t len = 8_KiB;
+  w.launch_all([&](Rank& r) -> sim::Task<void> {
+    const int me = r.rank;
+    if (me == 0) {
+      // Basic op first: its failover marks proxy 4 dead on this host.
+      const auto pre = r.mem().alloc(len);
+      r.mem().write(pre, pattern_bytes(90, len));
+      auto basic = co_await r.off->send_offload(pre, len, 2, 9);
+      EXPECT_EQ(co_await r.off->wait(basic), Status::kDegraded);
+      // Send-only group to the two remote ranks.
+      const auto buf = r.mem().alloc(2 * len);
+      r.mem().write(buf, pattern_bytes(91, len));
+      r.mem().write(buf + len, pattern_bytes(92, len));
+      auto req = r.off->group_start();
+      r.off->group_send(req, buf, len, 2, 0);
+      r.off->group_send(req, buf + len, len, 3, 0);
+      r.off->group_end(req);
+      co_await r.off->group_call(req);
+      EXPECT_NE(co_await r.off->group_wait(req), Status::kUnreachable);
+    } else if (me == 2 || me == 3) {
+      if (me == 2) {
+        const auto pre = r.mem().alloc(len);
+        auto basic = co_await r.off->recv_offload(pre, len, 0, 9);
+        EXPECT_EQ(co_await r.off->wait(basic), Status::kDegraded);
+        EXPECT_TRUE(check_pattern(r.mem().read(pre, len), 90));
+      }
+      const auto buf = r.mem().alloc(len);
+      auto req = r.off->group_start();
+      r.off->group_recv(req, buf, len, 0, 0);
+      r.off->group_end(req);
+      co_await r.off->group_call(req);
+      EXPECT_NE(co_await r.off->group_wait(req), Status::kUnreachable);
+      EXPECT_TRUE(check_pattern(r.mem().read(buf, len),
+                                static_cast<std::uint64_t>(89 + me)));
+    }
+    co_return;
+  });
+  w.run();
+  EXPECT_GE(w.metrics().counter_value("offload.failover.sibling_redispatch"), 1u);
+  EXPECT_GE(w.metrics().counter_value("offload.failover.completed_degraded"), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: the same failure schedule reproduces the same run
+// ---------------------------------------------------------------------------
+
+TEST(Failover, SameScheduleReproducesTheSameRun) {
+  auto run_once = [] {
+    const int n = 4;
+    auto s = crash_spec(base_spec(n, 1), /*proxy=*/n + 1, /*at_us=*/6.0);
+    World w(s);
+    const std::size_t len = 32_KiB;
+    w.launch_all([&, n](Rank& r) -> sim::Task<void> {
+      const int me = r.rank;
+      const auto buf = r.mem().alloc(len);
+      if (me == 0) r.mem().write(buf, pattern_bytes(12, len));
+      auto req = r.off->group_start();
+      if (me == 0) {
+        r.off->group_send(req, buf, len, 1, 4);
+      } else {
+        r.off->group_recv(req, buf, len, me - 1, 4);
+        if (me != n - 1) {
+          r.off->group_barrier(req);
+          r.off->group_send(req, buf, len, me + 1, 4);
+        }
+      }
+      r.off->group_end(req);
+      co_await r.off->group_call(req);
+      co_await r.off->group_wait(req);
+    });
+    w.run();
+    return std::tuple{to_us(w.now()),
+                      w.metrics().counter_value("offload.failover.groups_degraded"),
+                      w.metrics().counter_value("offload.failover.completed_degraded"),
+                      host_sum(w, "hb_sent"), host_sum(w, "degrade_certs_received")};
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+// ---------------------------------------------------------------------------
+// The armed-but-idle model never perturbs a healthy run
+// ---------------------------------------------------------------------------
+
+TEST(Failover, FailureFreeScheduleMatchesDisabledModel) {
+  // Liveness machinery on (monitors, heartbeats) but no scheduled failure:
+  // the run completes kOk on the proxy path with zero failover activity.
+  // 2 MiB keeps the wire busy for several heartbeat periods, so the lease
+  // protocol actually exchanges probes during the wait.
+  auto s = base_spec();
+  s.fault.liveness = true;
+  World w(s);
+  const std::size_t len = 2_MiB;
+  w.launch(0, [&](Rank& r) -> sim::Task<void> {
+    const auto buf = r.mem().alloc(len);
+    r.mem().write(buf, pattern_bytes(44, len));
+    auto req = co_await r.off->send_offload(buf, len, 1, 0);
+    EXPECT_EQ(co_await r.off->wait(req), Status::kOk);
+    EXPECT_EQ(co_await r.off->finalize(), Status::kOk);
+  });
+  w.launch(1, [&](Rank& r) -> sim::Task<void> {
+    const auto buf = r.mem().alloc(len);
+    auto req = co_await r.off->recv_offload(buf, len, 0, 0);
+    EXPECT_EQ(co_await r.off->wait(req), Status::kOk);
+    EXPECT_TRUE(check_pattern(r.mem().read(buf, len), 44));
+  });
+  w.run();
+  EXPECT_EQ(w.metrics().counter_value("offload.failover.completed_degraded"), 0u);
+  // A long data op can block the single-threaded proxy loop past the suspect
+  // threshold (a false-positive suspicion that the next ack clears), but a
+  // healthy proxy must never be confirmed dead.
+  EXPECT_EQ(host_sum(w, "proxy_confirmed_dead"), 0u);
+  EXPECT_GT(host_sum(w, "hb_acked"), 0u);
+}
+
+}  // namespace
+}  // namespace dpu::offload
