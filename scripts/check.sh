@@ -32,6 +32,15 @@ echo "== fault-injection suite (sanitized) =="
 echo "== proxy-failover suite (sanitized) =="
 "$BUILD_DIR"/tests/failover_test
 
+# The segmented data path (chunked pipelining + striping) shares countdown
+# state across workers and replays chunks over the failover machinery; run
+# its suite sanitized, then smoke the sweep bench so the striped issue loop,
+# sibling delegation, and FIN aggregation all execute under ASan/UBSan.
+echo "== stripe suite (sanitized) =="
+"$BUILD_DIR"/tests/stripe_test
+echo "== ablation_pipeline smoke (fast mode, sanitized) =="
+DPU_BENCH_FAST=1 "$BUILD_DIR"/bench/ablation_pipeline > /dev/null
+
 if [[ "${1:-}" == "--fast" ]]; then
   echo "== fig/ablation benches (fast mode, sanitized) =="
   for b in "$BUILD_DIR"/bench/fig* "$BUILD_DIR"/bench/ablation_*; do

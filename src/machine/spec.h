@@ -128,6 +128,25 @@ struct CostModel {
   double group_entry_bytes = 48.0;    ///< serialized size of one Group_op entry
   double staging_setup_us = 150.0;    ///< BluesMPI first-touch per (buffer,size) setup
 
+  // -- segmented data path (chunked pipelining / multi-proxy striping) --------
+  // Messages above `stripe_threshold` are split into `chunk_bytes` segments
+  // striped round-robin across the node's proxy workers; 0 disables the
+  // feature entirely (the default), in which case no chunk descriptor, stop
+  // broadcast, or extra metric exists and virtual times are bit-identical to
+  // a build without it.
+  std::size_t stripe_threshold = 0;   ///< stripe messages larger than this; 0 = off
+  std::size_t chunk_bytes = 131072;   ///< segment size for striped transfers
+  int max_chunks_in_flight = 4;       ///< per-proxy cap on concurrently posted chunks
+  /// Per-proxy-process data-path issue rate (the per-QP/per-core limit the
+  /// SmartNIC offload studies measure). 0 = uncapped: DPU-initiated RDMA
+  /// serializes only on the NIC port, exactly the seed model.
+  double dpu_qp_GBps = 0.0;
+  /// LRU capacity for the registration caches (HostGvmiCache / DpuGvmiCache /
+  /// mpi::RegCache); 0 = unbounded (the default — seed behaviour).
+  std::size_t reg_cache_capacity = 0;
+
+  bool stripe_enabled() const { return stripe_threshold > 0; }
+
   /// Per-message post overhead for the given core kind, in simulated time.
   SimDuration post_overhead(CoreKind k) const {
     const double us = k == CoreKind::kHost ? host_post_us : host_post_us * dpu_post_factor;

@@ -69,6 +69,10 @@ MpiCtx::MpiCtx(MpiWorld& world, int world_rank) : world_(world), rank_(world_ran
   reg.link(prefix + "hits", &reg_cache_.stats().hits);
   reg.link(prefix + "misses", &reg_cache_.stats().misses);
   reg.link(prefix + "coalesced", &reg_cache_.stats().coalesced);
+  reg_cache_.set_capacity(world_.spec().cost.reg_cache_capacity);
+  if (world_.spec().cost.reg_cache_capacity > 0) {
+    reg.link(prefix + "evictions", &reg_cache_.stats().evictions);
+  }
 }
 MpiCtx::~MpiCtx() = default;
 

@@ -29,6 +29,7 @@ class RegCache {
     metrics::Counter hits;
     metrics::Counter misses;
     metrics::Counter coalesced;  ///< gets that waited on an in-flight miss
+    metrics::Counter evictions;  ///< LRU capacity evictions (bounded caches only)
   };
 
   /// Returns the cached registration for (addr,len), registering on miss
@@ -37,7 +38,8 @@ class RegCache {
     auto it = entries_.find({addr, len});
     if (it != entries_.end()) {
       ++stats_.hits;
-      co_return it->second;
+      touch(it->second);
+      co_return it->second.value;
     }
     const Key key{addr, len};
     if (auto fit = in_flight_.find(key); fit != in_flight_.end()) {
@@ -50,7 +52,10 @@ class RegCache {
     auto flight = std::make_shared<Flight>(ctx.engine());
     in_flight_.emplace(key, flight);
     auto mr = co_await ctx.reg_mr(addr, len);
-    entries_.emplace(std::make_pair(addr, len), mr);
+    if (capacity_ > 0 && entries_.size() >= capacity_) evict_oldest();
+    const std::uint64_t tick = ++tick_;
+    entries_.emplace(std::make_pair(addr, len), Slot{mr, tick});
+    lru_.emplace(tick, key);
     flight->value = mr;
     in_flight_.erase(key);
     flight->done->set();
@@ -60,21 +65,52 @@ class RegCache {
   /// Drops an entry (e.g. buffer freed); deregistration cost is the
   /// caller's to charge via dereg_mr if it wants fidelity.
   bool evict(machine::Addr addr, std::size_t len) {
-    return entries_.erase({addr, len}) > 0;
+    auto it = entries_.find({addr, len});
+    if (it == entries_.end()) return false;
+    lru_.erase(it->second.tick);
+    entries_.erase(it);
+    return true;
   }
+
+  /// Bounds the cache to `n` entries (LRU); 0 = unbounded. Eviction drops
+  /// only the cache entry — the registration itself stays live (see
+  /// gvmi_cache.h for the rationale).
+  void set_capacity(std::size_t n) { capacity_ = n; }
 
   const Stats& stats() const { return stats_; }
   std::size_t size() const { return entries_.size(); }
 
  private:
   using Key = std::pair<machine::Addr, std::size_t>;
+  struct Slot {
+    verbs::MrInfo value;
+    std::uint64_t tick = 0;
+  };
   struct Flight {
     explicit Flight(sim::Engine& eng) : done(std::make_shared<sim::Event>(eng)) {}
     std::shared_ptr<sim::Event> done;
     verbs::MrInfo value;
   };
-  std::map<Key, verbs::MrInfo> entries_;
+
+  void touch(Slot& s) {
+    auto node = lru_.extract(s.tick);
+    s.tick = ++tick_;
+    node.key() = s.tick;
+    lru_.insert(std::move(node));
+  }
+
+  void evict_oldest() {
+    auto it = lru_.begin();
+    entries_.erase(it->second);
+    lru_.erase(it);
+    ++stats_.evictions;
+  }
+
+  std::map<Key, Slot> entries_;
   std::map<Key, std::shared_ptr<Flight>> in_flight_;
+  std::map<std::uint64_t, Key> lru_;  ///< tick -> key, oldest first
+  std::uint64_t tick_ = 0;
+  std::size_t capacity_ = 0;
   Stats stats_;
 };
 

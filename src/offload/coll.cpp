@@ -37,6 +37,10 @@ sim::Task<GroupAlltoall::Handle> GroupAlltoall::icall(machine::Addr sbuf, machin
   }
 
   // Inter-node peers: recorded once, replayed through the group caches.
+  // When the segmented data path is armed, a per-rank block above
+  // stripe_threshold splits into chunk sub-entries right here at record
+  // time (inside group_send/group_recv), so every group collective stripes
+  // across the node's workers with no collective-specific code.
   const Key key{sbuf, rbuf, bpr, comm->context_id()};
   auto it = recorded_.find(key);
   if (it == recorded_.end()) {

@@ -17,6 +17,14 @@
 // instead of issuing (and double-paying for) a second registration whose
 // tree insert would silently shadow the first. The coalesced count is a
 // stat of its own.
+//
+// Capacity: both caches accept an optional LRU bound (set_capacity; 0 =
+// unbounded, the default). Eviction drops only the *cache entry*, never the
+// underlying registration — real registration caches leave deregistration
+// to a reclaim pass, and here old mkeys stay live in the verbs tables so a
+// stale reference held by in-flight work keeps validating. Recency is a
+// plain insertion-order tick (no clock, no RNG), so bounded runs stay
+// deterministic.
 #pragma once
 
 #include <cstdint>
@@ -40,6 +48,7 @@ struct CacheStats {
   metrics::Counter hits;
   metrics::Counter misses;
   metrics::Counter coalesced;  ///< gets that waited on an in-flight miss
+  metrics::Counter evictions;  ///< LRU capacity evictions (bounded caches only)
 };
 
 /// Host-side GVMI cache: (remote proxy rank) -> BST over (addr,len) ->
@@ -57,7 +66,8 @@ class HostGvmiCache {
     auto it = tree.find({addr, len});
     if (it != tree.end()) {
       ++stats_.hits;
-      co_return it->second;
+      touch(it->second, FlightKey{proxy_rank, addr, len});
+      co_return it->second.value;
     }
     const FlightKey fkey{proxy_rank, addr, len};
     if (auto fit = in_flight_.find(fkey); fit != in_flight_.end()) {
@@ -70,7 +80,11 @@ class HostGvmiCache {
     auto flight = std::make_shared<Flight>(host.engine());
     in_flight_.emplace(fkey, flight);
     auto info = co_await host.reg_mr_gvmi(addr, len, gvmi);
-    tree.emplace(std::make_pair(addr, len), info);
+    if (capacity_ > 0 && size_ >= capacity_) evict_oldest();
+    const std::uint64_t tick = ++tick_;
+    tree.emplace(std::make_pair(addr, len), Slot{info, tick});
+    lru_.emplace(tick, fkey);
+    ++size_;
     flight->value = info;
     in_flight_.erase(fkey);
     flight->done->set();
@@ -78,26 +92,55 @@ class HostGvmiCache {
   }
 
   bool evict(int proxy_rank, machine::Addr addr, std::size_t len) {
-    return trees_.at(static_cast<std::size_t>(proxy_rank)).erase({addr, len}) > 0;
+    auto& tree = trees_.at(static_cast<std::size_t>(proxy_rank));
+    auto it = tree.find({addr, len});
+    if (it == tree.end()) return false;
+    lru_.erase(it->second.tick);
+    tree.erase(it);
+    --size_;
+    return true;
   }
 
+  /// Bounds the cache to `n` entries (LRU); 0 = unbounded.
+  void set_capacity(std::size_t n) { capacity_ = n; }
+
   const CacheStats& stats() const { return stats_; }
-  std::size_t entries() const {
-    std::size_t n = 0;
-    for (const auto& t : trees_) n += t.size();
-    return n;
-  }
+  std::size_t entries() const { return size_; }
 
  private:
   using Key = std::pair<machine::Addr, std::size_t>;
   using FlightKey = std::tuple<int, machine::Addr, std::size_t>;
+  struct Slot {
+    verbs::GvmiMrInfo value;
+    std::uint64_t tick = 0;
+  };
   struct Flight {
     explicit Flight(sim::Engine& eng) : done(std::make_shared<sim::Event>(eng)) {}
     std::shared_ptr<sim::Event> done;
     verbs::GvmiMrInfo value;
   };
-  std::vector<std::map<Key, verbs::GvmiMrInfo>> trees_;
+
+  void touch(Slot& s, const FlightKey& fkey) {
+    lru_.erase(s.tick);
+    s.tick = ++tick_;
+    lru_.emplace(s.tick, fkey);
+  }
+
+  void evict_oldest() {
+    auto it = lru_.begin();
+    const auto& [rank, addr, len] = it->second;
+    trees_.at(static_cast<std::size_t>(rank)).erase({addr, len});
+    lru_.erase(it);
+    --size_;
+    ++stats_.evictions;
+  }
+
+  std::vector<std::map<Key, Slot>> trees_;
   std::map<FlightKey, std::shared_ptr<Flight>> in_flight_;
+  std::map<std::uint64_t, FlightKey> lru_;  ///< tick -> key, oldest first
+  std::uint64_t tick_ = 0;
+  std::size_t capacity_ = 0;
+  std::size_t size_ = 0;
   CacheStats stats_;
 };
 
@@ -120,7 +163,8 @@ class DpuGvmiCache {
     auto it = tree.find({info.addr, info.len});
     if (it != tree.end()) {
       ++stats_.hits;
-      co_return it->second;
+      touch(it->second, FlightKey{host_rank, info.addr, info.len});
+      co_return it->second.value;
     }
     const FlightKey fkey{host_rank, info.addr, info.len};
     if (auto fit = in_flight_.find(fkey); fit != in_flight_.end()) {
@@ -135,7 +179,11 @@ class DpuGvmiCache {
     Entry e;
     e.mkey2 = co_await dpu.cross_register(info);
     e.host_info = info;
-    tree.emplace(std::make_pair(info.addr, info.len), e);
+    if (capacity_ > 0 && size_ >= capacity_) evict_oldest();
+    const std::uint64_t tick = ++tick_;
+    tree.emplace(std::make_pair(info.addr, info.len), Slot{e, tick});
+    lru_.emplace(tick, fkey);
+    ++size_;
     flight->value = e;
     in_flight_.erase(fkey);
     flight->done->set();
@@ -143,26 +191,55 @@ class DpuGvmiCache {
   }
 
   bool evict(int host_rank, machine::Addr addr, std::size_t len) {
-    return trees_.at(static_cast<std::size_t>(host_rank)).erase({addr, len}) > 0;
+    auto& tree = trees_.at(static_cast<std::size_t>(host_rank));
+    auto it = tree.find({addr, len});
+    if (it == tree.end()) return false;
+    lru_.erase(it->second.tick);
+    tree.erase(it);
+    --size_;
+    return true;
   }
 
+  /// Bounds the cache to `n` entries (LRU); 0 = unbounded.
+  void set_capacity(std::size_t n) { capacity_ = n; }
+
   const CacheStats& stats() const { return stats_; }
-  std::size_t entries() const {
-    std::size_t n = 0;
-    for (const auto& t : trees_) n += t.size();
-    return n;
-  }
+  std::size_t entries() const { return size_; }
 
  private:
   using Key = std::pair<machine::Addr, std::size_t>;
   using FlightKey = std::tuple<int, machine::Addr, std::size_t>;
+  struct Slot {
+    Entry value;
+    std::uint64_t tick = 0;
+  };
   struct Flight {
     explicit Flight(sim::Engine& eng) : done(std::make_shared<sim::Event>(eng)) {}
     std::shared_ptr<sim::Event> done;
     Entry value;
   };
-  std::vector<std::map<Key, Entry>> trees_;
+
+  void touch(Slot& s, const FlightKey& fkey) {
+    lru_.erase(s.tick);
+    s.tick = ++tick_;
+    lru_.emplace(s.tick, fkey);
+  }
+
+  void evict_oldest() {
+    auto it = lru_.begin();
+    const auto& [rank, addr, len] = it->second;
+    trees_.at(static_cast<std::size_t>(rank)).erase({addr, len});
+    lru_.erase(it);
+    --size_;
+    ++stats_.evictions;
+  }
+
+  std::vector<std::map<Key, Slot>> trees_;
   std::map<FlightKey, std::shared_ptr<Flight>> in_flight_;
+  std::map<std::uint64_t, FlightKey> lru_;  ///< tick -> key, oldest first
+  std::uint64_t tick_ = 0;
+  std::size_t capacity_ = 0;
+  std::size_t size_ = 0;
   CacheStats stats_;
 };
 

@@ -22,7 +22,8 @@ class MatchQueues {
   std::optional<RtrProxyMsg> on_rts(const RtsProxyMsg& rts) {
     auto& q = recvq_[rts.dst_rank];
     for (auto it = q.begin(); it != q.end(); ++it) {
-      if (it->src_rank == rts.src_rank && it->tag == rts.tag) {
+      if (it->src_rank == rts.src_rank && it->tag == rts.tag &&
+          it->chunk.index == rts.chunk.index) {
         RtrProxyMsg m = std::move(*it);
         q.erase(it);
         return m;
@@ -35,9 +36,13 @@ class MatchQueues {
   /// Tries to pair an arriving RTR with a queued RTS; queues the RTR
   /// otherwise.
   std::optional<RtsProxyMsg> on_rtr(const RtrProxyMsg& rtr) {
+    // Striped pairs additionally match on the segment index (both ends plan
+    // the same chunking, so indices line up); monolithic envelopes all carry
+    // index 0 and behave exactly as before.
     auto& q = sendq_[rtr.dst_rank];
     for (auto it = q.begin(); it != q.end(); ++it) {
-      if (it->src_rank == rtr.src_rank && it->tag == rtr.tag) {
+      if (it->src_rank == rtr.src_rank && it->tag == rtr.tag &&
+          it->chunk.index == rtr.chunk.index) {
         RtsProxyMsg m = std::move(*it);
         q.erase(it);
         return m;

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "offload/stripe.h"
 
 namespace dpu::offload {
 
@@ -66,6 +67,8 @@ void OffloadRuntime::start() {
 OffloadEndpoint::OffloadEndpoint(OffloadRuntime& rt, int rank)
     : rt_(rt), rank_(rank), gvmi_cache_(rt.spec().total_procs()),
       retx_(rt.verbs().ctx(rank)) {
+  gvmi_cache_.set_capacity(rt.spec().cost.reg_cache_capacity);
+  ib_cache_.set_capacity(rt.spec().cost.reg_cache_capacity);
   auto& reg = rt_.engine().metrics();
   const std::string prefix = "offload.host" + std::to_string(rank_) + ".";
   reg.link(prefix + "group_cache.hits", &group_hits_);
@@ -79,6 +82,16 @@ OffloadEndpoint::OffloadEndpoint(OffloadRuntime& rt, int rank)
   reg.link(prefix + "ib_cache.hits", &ib_cache_.stats().hits);
   reg.link(prefix + "ib_cache.misses", &ib_cache_.stats().misses);
   reg.link(prefix + "ib_cache.coalesced", &ib_cache_.stats().coalesced);
+  // Gated links keep existing configurations' metrics JSON byte-identical:
+  // eviction counters only exist on bounded caches, striping counters only
+  // when the segmented data path is armed.
+  if (rt_.spec().cost.reg_cache_capacity > 0) {
+    reg.link(prefix + "gvmi_cache.evictions", &gvmi_cache_.stats().evictions);
+    reg.link(prefix + "ib_cache.evictions", &ib_cache_.stats().evictions);
+  }
+  if (rt_.spec().cost.stripe_enabled()) {
+    reg.link(prefix + "bytes_striped", &bytes_striped_);
+  }
   if (rt_.spec().fault.liveness_enabled()) {
     // Liveness metrics are linked only when the model is armed so clean-run
     // JSON exports stay byte-identical to builds without the feature.
@@ -124,7 +137,12 @@ void OffloadEndpoint::poison_unreachable(int dst_proc) {
       it = watched_basic_.erase(it);
       continue;
     }
-    if (req->dep_proxy == dst_proc) {
+    bool depends = req->dep_proxy == dst_proc;
+    // Striped ops depend on every chunk-owner proxy, not just the home.
+    for (const auto& cs : req->chunks) {
+      depends = depends || cs.info.owner_proxy == dst_proc;
+    }
+    if (depends) {
       req->unreachable = true;
       req->flag->set();
       it = watched_basic_.erase(it);
@@ -268,21 +286,46 @@ sim::Task<OffloadReqPtr> OffloadEndpoint::send_offload(machine::Addr addr, std::
   req->peer = dst;
   req->tag = tag;
   req->dep_proxy = proxy;
+  const auto chunks = plan_chunks(rt_.spec(), rank_, len);
   if (giveup_watch_on()) watched_basic_.push_back(req);
   if (liveness_on()) {
     monitor(proxy);
-    if (failover_ready() && proxy_presumed_dead(proxy)) {
+    if (failover_ready() && proxy_presumed_dead(proxy) && chunks.empty()) {
       // The proxy is already written off: skip it (and its registration
       // cost) entirely and issue the op on the host path right away.
+      // Striped ops never take this shortcut: both ends must agree
+      // PER CHUNK on rdma-vs-fallback, and the only rule that guarantees
+      // that without a handshake is "post everything, replay dead owners'
+      // chunks in wait" — a monolithic degrade here while the peer stripes
+      // would deadlock the live owners' segments.
       co_await degrade_basic(req);
       co_return req;
     }
   }
   // First (host-side) GVMI registration against the proxy's GVMI-ID,
-  // amortized by the array-of-BST cache.
+  // amortized by the array-of-BST cache. Striped messages register the WHOLE
+  // buffer exactly once against the home proxy's GVMI — every segment
+  // offsets into this single entry (no per-chunk cache entries).
   auto info = co_await gvmi_cache_.get(vctx, proxy, rt_.gvmi_of(proxy), addr, len);
+  if (!chunks.empty()) {
+    req->cd = std::make_shared<ChunkCountdown>();
+    req->cd->remaining = static_cast<int>(chunks.size());
+    req->cd->done.assign(chunks.size(), 0);
+    req->chunks.reserve(chunks.size());
+    bytes_striped_ += len;
+    for (const auto& ck : chunks) {
+      req->chunks.push_back(OffloadRequest::ChunkState{ck, false, {}});
+      if (liveness_on()) monitor(ck.owner_proxy);
+      const std::size_t clen =
+          chunk_len(len, rt_.spec().cost.chunk_bytes, ck.index, ck.count);
+      std::any rts = RtsProxyMsg{rank_, dst, tag, clen, info, req->flag, ck, req->cd};
+      co_await retx_.send(ck.owner_proxy, kProxyChannel, std::move(rts), 0);
+      ++ctrl_sent_;
+    }
+    co_return req;
+  }
   // NB: named locals, not temporaries — see the GCC 12 note in sim/task.h.
-  std::any rts = RtsProxyMsg{rank_, dst, tag, len, info, req->flag};
+  std::any rts = RtsProxyMsg{rank_, dst, tag, len, info, req->flag, {}, {}};
   co_await retx_.send(proxy, kProxyChannel, std::move(rts), 0);
   ++ctrl_sent_;
   co_return req;
@@ -302,16 +345,39 @@ sim::Task<OffloadReqPtr> OffloadEndpoint::recv_offload(machine::Addr addr, std::
   req->peer = src;
   req->tag = tag;
   req->dep_proxy = proxy;
+  const auto chunks = plan_chunks(rt_.spec(), src, len);
   if (giveup_watch_on()) watched_basic_.push_back(req);
   if (liveness_on()) {
     monitor(proxy);
-    if (failover_ready() && proxy_presumed_dead(proxy)) {
+    if (failover_ready() && proxy_presumed_dead(proxy) && chunks.empty()) {
+      // Striped ops skip this shortcut — see send_offload.
       co_await degrade_basic(req);
       co_return req;
     }
   }
+  // One IB registration of the whole receive buffer; striped RTRs all carry
+  // its rkey and per-segment offset addresses.
   auto mr = co_await ib_cache_.get(vctx, addr, len);
-  std::any rtr = RtrProxyMsg{src, rank_, tag, len, addr, mr.rkey, req->flag};
+  if (!chunks.empty()) {
+    // Receiver-side countdown: an independent done-bit view fed by the same
+    // delivery hooks (the proxy marks both sides' countdowns per chunk).
+    req->cd = std::make_shared<ChunkCountdown>();
+    req->cd->remaining = static_cast<int>(chunks.size());
+    req->cd->done.assign(chunks.size(), 0);
+    req->chunks.reserve(chunks.size());
+    for (const auto& ck : chunks) {
+      req->chunks.push_back(OffloadRequest::ChunkState{ck, false, {}});
+      if (liveness_on()) monitor(ck.owner_proxy);
+      const std::size_t clen =
+          chunk_len(len, rt_.spec().cost.chunk_bytes, ck.index, ck.count);
+      std::any rtr = RtrProxyMsg{src,     rank_,   tag, clen, addr + ck.offset,
+                                 mr.rkey, req->flag, ck,  req->cd};
+      co_await retx_.send(ck.owner_proxy, kProxyChannel, std::move(rtr), 0);
+      ++ctrl_sent_;
+    }
+    co_return req;
+  }
+  std::any rtr = RtrProxyMsg{src, rank_, tag, len, addr, mr.rkey, req->flag, {}, {}};
   co_await retx_.send(proxy, kProxyChannel, std::move(rtr), 0);
   ++ctrl_sent_;
   co_return req;
@@ -343,6 +409,77 @@ sim::Task<void> OffloadEndpoint::degrade_basic(const OffloadReqPtr& req) {
   }
 }
 
+sim::Task<bool> OffloadEndpoint::advance_striped(const OffloadReqPtr& req) {
+  // Newly-dead owners: replay ALL their chunks on the host path, regardless
+  // of done bits. Ownership is static, so both ends pick the same replay set
+  // without agreeing on which chunks landed (a crashed proxy's in-flight
+  // RDMA may deliver between the two hosts' detection times); a duplicate
+  // delivery writes the same bytes at the same offset and is harmless.
+  std::set<int> newly_dead;
+  for (const auto& cs : req->chunks) {
+    if (!cs.fb_posted && proxy_presumed_dead(cs.info.owner_proxy)) {
+      newly_dead.insert(cs.info.owner_proxy);
+    }
+  }
+  if (!newly_dead.empty()) {
+    if (!failover_ready()) {
+      req->unreachable = true;
+      req->flag->set();
+      co_return true;
+    }
+    req->degraded = true;
+    const int src = req->is_send ? rank_ : req->peer;
+    const int dst = req->is_send ? req->peer : rank_;
+    for (int owner : newly_dead) {
+      // Fence the dead owner (erase_pair matches every chunk index of the
+      // tag at that proxy only) and send the counterparty a certificate so
+      // it replays the same owner's chunks without its own detection wait.
+      std::any fence = FenceBasicMsg{src, dst, req->tag};
+      co_await vctx().post_ctrl(owner, kLivenessChannel, std::move(fence), 0);
+      std::any cert = DegradeMsg{rank_, owner, false, {}};
+      co_await vctx().post_ctrl(req->peer, kLivenessChannel, std::move(cert), 0);
+    }
+    auto& mc = rt_.mpi_world()->ctx(rank_);
+    for (auto& cs : req->chunks) {
+      if (cs.fb_posted || newly_dead.count(cs.info.owner_proxy) == 0) continue;
+      const std::size_t clen = chunk_len(req->len, rt_.spec().cost.chunk_bytes,
+                                         cs.info.index, cs.info.count);
+      const int t = chunk_tag(req->tag, cs.info.index);
+      if (req->is_send) {
+        cs.fb = co_await mc.isend(req->addr + cs.info.offset, clen, req->peer, t,
+                                  kFailoverBasicContext);
+      } else {
+        cs.fb = co_await mc.irecv(req->addr + cs.info.offset, clen, req->peer, t,
+                                  kFailoverBasicContext);
+      }
+      cs.fb_posted = true;
+      ++rt_.engine().metrics().counter("offload.failover.stripe_chunks_degraded");
+    }
+  }
+  // Completion: every chunk either fallback-finished or delivered by its
+  // (live) owner's RDMA. The aggregate FIN may also set the flag first; the
+  // caller checks that before coming here.
+  bool all = true;
+  for (auto& cs : req->chunks) {
+    if (cs.fb_posted) {
+      auto& mc = rt_.mpi_world()->ctx(rank_);
+      if (!co_await mc.test(cs.fb)) all = false;
+    } else if (!(req->cd && cs.info.index < req->cd->done.size() &&
+                 req->cd->done[cs.info.index])) {
+      all = false;
+    }
+  }
+  if (all) {
+    if (req->degraded) {
+      ++degraded_ops_;
+      ++rt_.engine().metrics().counter("offload.failover.completed_degraded");
+    }
+    req->flag->set();
+    co_return true;
+  }
+  co_return false;
+}
+
 sim::Task<Status> OffloadEndpoint::wait_many(std::vector<OffloadReqPtr> reqs) {
   auto& eng = rt_.engine();
   for (;;) {
@@ -352,6 +489,10 @@ sim::Task<Status> OffloadEndpoint::wait_many(std::vector<OffloadReqPtr> reqs) {
     bool all_done = true;
     for (auto& req : reqs) {
       if (req->flag->is_set()) continue;
+      if (!req->chunks.empty()) {
+        if (!co_await advance_striped(req)) all_done = false;
+        continue;
+      }
       if (req->fallback) {
         auto& mc = rt_.mpi_world()->ctx(rank_);
         const bool done = co_await mc.test(req->fallback);
@@ -370,6 +511,9 @@ sim::Task<Status> OffloadEndpoint::wait_many(std::vector<OffloadReqPtr> reqs) {
     }
     if (all_done) break;
     co_await eng.sleep(wait_tick());
+  }
+  for (const auto& req : reqs) {
+    if (req->unreachable) co_return Status::kUnreachable;
   }
   for (const auto& req : reqs) {
     if (req->degraded) co_return Status::kDegraded;
@@ -403,6 +547,20 @@ sim::Task<Status> OffloadEndpoint::waitall(std::span<const OffloadReqPtr> reqs) 
 
 sim::Task<Status> OffloadEndpoint::finalize() {
   const int my_proxy = rt_.spec().proxy_for_host(rank_);
+  if (rt_.spec().cost.stripe_enabled()) {
+    // Striping: every worker on the node may hold delegated chunk work from
+    // this host, so each expects a stop from every node-local host (see
+    // Proxy::run). Siblings first — they must stop even when the home proxy
+    // is dead and the home handling below bails out early.
+    const int node = rt_.spec().node_of(rank_);
+    for (int l = 0; l < rt_.spec().proxies_per_dpu; ++l) {
+      const int p = rt_.spec().proxy_id(node, l);
+      if (p == my_proxy) continue;
+      std::any stop = StopMsg{rank_};
+      co_await retx_.send(p, kProxyChannel, std::move(stop), 0);
+      ++ctrl_sent_;
+    }
+  }
   if (!liveness_on()) {
     std::any stop = StopMsg{rank_};
     co_await retx_.send(my_proxy, kProxyChannel, std::move(stop), 0);
@@ -449,6 +607,12 @@ sim::Task<void> OffloadEndpoint::invalidate(machine::Addr addr, std::size_t len)
 
 sim::Task<bool> OffloadEndpoint::test(const OffloadReqPtr& req) {
   co_await rt_.engine().sleep(from_us(rt_.spec().cost.mpi_call_us));
+  if (liveness_on() && !req->flag->is_set() && !req->chunks.empty()) {
+    co_await drain_liveness();
+    co_await pump_monitors();
+    (void)co_await advance_striped(req);
+    co_return req->flag->is_set();
+  }
   if (liveness_on() && !req->flag->is_set() && req->fallback) {
     auto& mc = rt_.mpi_world()->ctx(rank_);
     const bool done = co_await mc.test(req->fallback);
@@ -475,6 +639,26 @@ GroupReqPtr OffloadEndpoint::group_start() {
 void OffloadEndpoint::group_send(const GroupReqPtr& req, machine::Addr addr, std::size_t len,
                                  int dst, int tag) {
   require(!req->ended, "group_send after group_end");
+  // Record-time striping: a large entry becomes `count` contiguous chunk
+  // sub-entries with chunk-unique tags and offset addresses. Everything
+  // downstream — metadata counts, FIFO matching, credits, barriers, the
+  // failover ledgers — then works unchanged at chunk granularity. The plan
+  // is keyed by the SENDER's rank, which the receiver also knows.
+  const auto chunks = plan_chunks(rt_.spec(), rank_, len);
+  if (!chunks.empty()) {
+    bytes_striped_ += len;
+    for (const auto& ck : chunks) {
+      GroupEntryWire e;
+      e.type = GopType::kSend;
+      e.peer = dst;
+      e.tag = chunk_tag(tag, ck.index);
+      e.len = chunk_len(len, rt_.spec().cost.chunk_bytes, ck.index, ck.count);
+      e.src_addr = addr + ck.offset;
+      e.chunk = ck;
+      req->ops.push_back(e);
+    }
+    return;
+  }
   GroupEntryWire e;
   e.type = GopType::kSend;
   e.peer = dst;
@@ -487,6 +671,22 @@ void OffloadEndpoint::group_send(const GroupReqPtr& req, machine::Addr addr, std
 void OffloadEndpoint::group_recv(const GroupReqPtr& req, machine::Addr addr, std::size_t len,
                                  int src, int tag) {
   require(!req->ended, "group_recv after group_end");
+  // Mirror of group_send's record-time split, planned with the SENDER's
+  // rank so both sides cut identical segments.
+  const auto chunks = plan_chunks(rt_.spec(), src, len);
+  if (!chunks.empty()) {
+    for (const auto& ck : chunks) {
+      GroupEntryWire e;
+      e.type = GopType::kRecv;
+      e.peer = src;
+      e.tag = chunk_tag(tag, ck.index);
+      e.len = chunk_len(len, rt_.spec().cost.chunk_bytes, ck.index, ck.count);
+      e.dst_addr = addr + ck.offset;
+      e.chunk = ck;
+      req->ops.push_back(e);
+    }
+    return;
+  }
   GroupEntryWire e;
   e.type = GopType::kRecv;
   e.peer = src;
@@ -557,6 +757,12 @@ sim::Task<void> OffloadEndpoint::group_call(const GroupReqPtr& req) {
     for (const auto& g : live_groups_) tracked = tracked || g.get() == req.get();
     if (!tracked) live_groups_.push_back(req);
     monitor(current_target(*req));
+    // Delegated striped sends also depend on their owner workers' health.
+    for (const auto& op : req->ops) {
+      if (op.type == GopType::kSend && op.chunk.count > 1 && op.chunk.owner_proxy >= 0) {
+        monitor(op.chunk.owner_proxy);
+      }
+    }
     if (req->degraded) {
       // Permanently degraded: the peers of the first degraded run hold
       // matching certificates, so every re-call replays symmetrically on
@@ -597,9 +803,26 @@ sim::Task<void> OffloadEndpoint::group_call(const GroupReqPtr& req) {
   ++group_misses_;
 
   // 1. Register receive buffers (IB cache) and build per-source metadata.
+  // A striped entry set registers its WHOLE buffer exactly once (at its
+  // index-0 sub-entry; the set is contiguous in ops by construction) and
+  // every sub-entry reuses that rkey with its offset address — one cache
+  // entry per buffer, never one per chunk.
   std::map<int, std::vector<GroupRecvMeta>> meta_out;
-  for (auto& op : req->ops) {
+  for (std::size_t i = 0; i < req->ops.size(); ++i) {
+    auto& op = req->ops[i];
     if (op.type != GopType::kRecv) continue;
+    if (op.chunk.count > 1) {
+      if (op.chunk.index != 0) continue;  // covered by its set's first entry
+      std::size_t total = 0;
+      for (std::size_t j = i; j < i + op.chunk.count; ++j) total += req->ops[j].len;
+      auto mr = co_await ib_cache_.get(vctx, op.dst_addr, total);
+      for (std::size_t j = i; j < i + op.chunk.count; ++j) {
+        auto& cj = req->ops[j];
+        cj.dst_rkey = mr.rkey;
+        meta_out[cj.peer].push_back(GroupRecvMeta{cj.tag, cj.len, cj.dst_addr, mr.rkey});
+      }
+      continue;
+    }
     auto mr = co_await ib_cache_.get(vctx, op.dst_addr, op.len);
     op.dst_rkey = mr.rkey;
     meta_out[op.peer].push_back(GroupRecvMeta{op.tag, op.len, op.dst_addr, mr.rkey});
@@ -617,9 +840,21 @@ sim::Task<void> OffloadEndpoint::group_call(const GroupReqPtr& req) {
 
   // 3. Register send buffers (host GVMI cache, against my proxy's GVMI-ID).
   // Skipped when degrading at call time: the host path needs no GVMI keys.
+  // Striped sets: one whole-buffer registration at the index-0 sub-entry,
+  // shared by the whole set (same rule as step 1).
   if (!degrade_now) {
-    for (auto& op : req->ops) {
+    for (std::size_t i = 0; i < req->ops.size(); ++i) {
+      auto& op = req->ops[i];
       if (op.type != GopType::kSend) continue;
+      if (op.chunk.count > 1) {
+        if (op.chunk.index != 0) continue;
+        std::size_t total = 0;
+        for (std::size_t j = i; j < i + op.chunk.count; ++j) total += req->ops[j].len;
+        auto info = co_await gvmi_cache_.get(vctx, my_proxy, rt_.gvmi_of(my_proxy),
+                                             op.src_addr, total);
+        for (std::size_t j = i; j < i + op.chunk.count; ++j) req->ops[j].src_info = info;
+        continue;
+      }
       op.src_info =
           co_await gvmi_cache_.get(vctx, my_proxy, rt_.gvmi_of(my_proxy), op.src_addr, op.len);
     }
@@ -693,7 +928,17 @@ int OffloadEndpoint::group_dead_dep(const GroupRequest& req) const {
   // certificate scoped with our request id (apply_pending_degrades picks it
   // up). Deciding here on the peer's behalf would race its sibling recovery.
   const int own = current_target(req);
-  return proxy_presumed_dead(own) ? own : -1;
+  if (proxy_presumed_dead(own)) return own;
+  // A dead sibling that owns delegated chunks of MY sends stalls my job at
+  // the home proxy (the home waits on completions the sibling will never
+  // set) — that is this rank's call to make, not the peer's.
+  for (const auto& op : req.ops) {
+    if (op.type == GopType::kSend && op.chunk.count > 1 && op.chunk.owner_proxy >= 0 &&
+        op.chunk.owner_proxy != own && proxy_presumed_dead(op.chunk.owner_proxy)) {
+      return op.chunk.owner_proxy;
+    }
+  }
+  return -1;
 }
 
 int OffloadEndpoint::live_sibling_of(int proxy) const {
@@ -746,8 +991,22 @@ sim::Task<void> OffloadEndpoint::redispatch_to_sibling(const GroupReqPtr& req, i
   co_await vc.post_ctrl(old, kLivenessChannel, std::move(fence), 0);
   // Re-register the send buffers against the sibling's GVMI and ship the
   // full packet — the sibling has no recorded template for this request.
-  for (auto& op : req->ops) {
+  // Striped entries owned by dead workers move to the sibling too, and a
+  // chunk set re-registers its whole buffer once (as in group_call).
+  for (std::size_t i = 0; i < req->ops.size(); ++i) {
+    auto& op = req->ops[i];
     if (op.type != GopType::kSend) continue;
+    if (op.chunk.count > 1) {
+      if (op.chunk.owner_proxy >= 0 && proxy_presumed_dead(op.chunk.owner_proxy)) {
+        op.chunk.owner_proxy = sib;
+      }
+      if (op.chunk.index != 0) continue;
+      std::size_t total = 0;
+      for (std::size_t j = i; j < i + op.chunk.count; ++j) total += req->ops[j].len;
+      auto info = co_await gvmi_cache_.get(vc, sib, rt_.gvmi_of(sib), op.src_addr, total);
+      for (std::size_t j = i; j < i + op.chunk.count; ++j) req->ops[j].src_info = info;
+      continue;
+    }
     op.src_info = co_await gvmi_cache_.get(vc, sib, rt_.gvmi_of(sib), op.src_addr, op.len);
   }
   req->target_proxy = sib;

@@ -55,6 +55,21 @@ struct OffloadRequest {
   bool degraded = false;   ///< re-executed on the host-driven MPI path
   bool unreachable = false;  ///< control plane gave up; no failover available
   mpi::Request fallback;   ///< in-flight fallback op (null when none)
+
+  // ---- striped (segmented) state: populated only above stripe_threshold ----
+  /// Per-chunk failover bookkeeping. Replay is by *ownership*, not by done
+  /// bits: when an owner proxy dies, BOTH ends replay every chunk it owned
+  /// (ownership is static, so the two sides agree without agreeing on which
+  /// chunks landed — a crashed proxy's in-flight RDMA may deliver between
+  /// the two hosts' detection times). Duplicate delivery writes the same
+  /// bytes at the same offset, so the replay is idempotent.
+  struct ChunkState {
+    ChunkInfo info;
+    bool fb_posted = false;  ///< chunk replayed on the host fallback path
+    mpi::Request fb;         ///< in-flight fallback op for this chunk
+  };
+  std::vector<ChunkState> chunks;      ///< empty = monolithic
+  std::shared_ptr<ChunkCountdown> cd;  ///< this side's per-chunk delivery view
 };
 using OffloadReqPtr = std::shared_ptr<OffloadRequest>;
 
@@ -185,6 +200,10 @@ class OffloadEndpoint {
   sim::Task<Status> group_wait_live(GroupReqPtr req);
   // Basic-op failover.
   sim::Task<void> degrade_basic(const OffloadReqPtr& req);
+  /// Striped-op failover: replays the chunks of dead owner proxies on the
+  /// host path and fences those owners. Returns true once every chunk is
+  /// accounted for (delivered by a live owner or fallback-completed).
+  sim::Task<bool> advance_striped(const OffloadReqPtr& req);
   // Group failover.
   int current_target(const GroupRequest& req) const;
   int group_dead_dep(const GroupRequest& req) const;  ///< -1 when all healthy
@@ -209,6 +228,7 @@ class OffloadEndpoint {
   metrics::Counter group_misses_;
   metrics::Counter ctrl_sent_;
   metrics::Counter dup_dropped_;
+  metrics::Counter bytes_striped_;  ///< bytes this rank sent via chunked path
   bool group_cache_enabled_ = true;
 
   std::map<int, Monitor> monitors_;
@@ -269,11 +289,25 @@ class OffloadRuntime {
   const machine::ClusterSpec& spec() const { return vrt_.spec(); }
   sim::Engine& engine() { return vrt_.engine(); }
 
+  /// Cluster-wide chunk-RDMA-in-flight gauge feed. Only the striped paths
+  /// call these, so the gauge never appears in non-striping runs' JSON.
+  void note_chunk_issued() {
+    ++stripe_inflight_;
+    engine().metrics().set_gauge("stripe.chunks_in_flight",
+                                 static_cast<double>(stripe_inflight_));
+  }
+  void note_chunk_done() {
+    --stripe_inflight_;
+    engine().metrics().set_gauge("stripe.chunks_in_flight",
+                                 static_cast<double>(stripe_inflight_));
+  }
+
  private:
   verbs::Runtime& vrt_;
   mpi::MpiWorld* mpi_ = nullptr;  ///< host fallback path (optional)
   std::vector<std::unique_ptr<OffloadEndpoint>> endpoints_;
   std::vector<std::unique_ptr<Proxy>> proxies_;
+  int stripe_inflight_ = 0;  ///< currently posted chunk RDMAs (all proxies)
   bool started_ = false;
 };
 

@@ -15,6 +15,7 @@
 
 #include <any>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <set>
@@ -86,15 +87,39 @@ class DupFilter {
   std::map<int, Window> per_sender_;
 };
 
+/// Chunk descriptor for the segmented data path. A message above
+/// `CostModel::stripe_threshold` is split into `count` segments; each RTS/
+/// RTR/group-entry then describes one segment of the *whole-buffer*
+/// registration (offset arithmetic — there is exactly one GVMI registration
+/// per striped buffer, never one per chunk). `count == 1` means monolithic:
+/// the default, and the only shape that exists with striping off.
+struct ChunkInfo {
+  std::size_t offset = 0;     ///< byte offset of this segment in the message
+  std::uint32_t index = 0;    ///< segment index in [0, count)
+  std::uint32_t count = 1;    ///< total segments of the message
+  int owner_proxy = -1;       ///< proxy proc id that moves this segment (-1 = home)
+};
+
+/// Shared completion countdown for one striped request: the FIN fires (on
+/// both hosts) when the *last* chunk's RDMA lands, exactly once. `done[i]`
+/// records per-chunk delivery so failover can replay only the chunks a dead
+/// proxy still owed.
+struct ChunkCountdown {
+  int remaining = 0;
+  std::vector<char> done;  ///< per-chunk delivered bit (set by the NIC hook)
+};
+
 /// Ready-To-Send: host -> (its own) proxy. Carries the GVMI first
 /// registration so the proxy can cross-register.
 struct RtsProxyMsg {
   int src_rank = -1;
   int dst_rank = -1;
   int tag = 0;
-  std::size_t len = 0;
-  verbs::GvmiMrInfo src_info;
+  std::size_t len = 0;  ///< this segment's length (whole message when count==1)
+  verbs::GvmiMrInfo src_info;  ///< whole-buffer registration (chunks offset into it)
   verbs::Completion src_flag;  ///< host-side completion counter (FIN target)
+  ChunkInfo chunk;
+  std::shared_ptr<ChunkCountdown> countdown;  ///< shared across the chunk-set
 };
 
 /// Ready-To-Receive: destination host -> the *source-side* proxy.
@@ -103,9 +128,14 @@ struct RtrProxyMsg {
   int dst_rank = -1;
   int tag = 0;
   std::size_t len = 0;
-  machine::Addr dst_addr = 0;
-  verbs::RKey dst_rkey = 0;
+  machine::Addr dst_addr = 0;  ///< already offset for this segment
+  verbs::RKey dst_rkey = 0;    ///< whole-buffer rkey
   verbs::Completion dst_flag;
+  ChunkInfo chunk;
+  /// Receiver-side countdown: its done[] bits are the destination host's
+  /// view of per-chunk delivery (set by the same NIC hook that marks the
+  /// sender-side countdown). The FIN decision itself uses the RTS countdown.
+  std::shared_ptr<ChunkCountdown> countdown;
 };
 
 enum class GopType { kSend, kRecv, kBarrier };
@@ -123,6 +153,25 @@ struct GroupEntryWire {
   machine::Addr dst_addr = 0;   ///< matched destination buffer
   verbs::RKey dst_rkey = 0;
   std::uint64_t dst_req_id = 0;  ///< receiver-side request the buffer belongs to
+  ChunkInfo chunk;  ///< segment descriptor (count==1 unless the entry striped)
+};
+
+/// Home proxy -> sibling worker: move one striped group segment on the
+/// home's behalf. The sibling cross-registers the *whole* source buffer in
+/// its own cache (shared-PD: the node's workers share the DPU's HCA), posts
+/// the segment RDMA with the delivery hook the home built, and sets `done`
+/// so the home's barrier/FIN logic observes the completion.
+struct ChunkWorkMsg {
+  int home_proxy = -1;
+  int host_rank = -1;            ///< source host whose buffer this is
+  verbs::GvmiMrInfo src_info;    ///< whole-buffer registration
+  machine::Addr src_addr = 0;    ///< already offset for this segment
+  int dst_rank = -1;
+  verbs::RKey dst_rkey = 0;
+  machine::Addr dst_addr = 0;
+  std::size_t len = 0;
+  std::function<void()> on_delivered;  ///< imm/liveness hook built by the home
+  verbs::Completion done;        ///< home-side completion the sibling must set
 };
 
 /// Full group offload packet: host -> proxy (first call for a request).

@@ -13,6 +13,7 @@ Proxy::Proxy(OffloadRuntime& rt, int proc_id)
     : rt_(rt), proc_(proc_id), gvmi_cache_(rt.spec().total_procs()),
       retx_(rt.verbs().ctx(proc_id)) {
   gvmi_ = rt_.verbs().ctx(proc_).alloc_gvmi_id();
+  gvmi_cache_.set_capacity(rt_.spec().cost.reg_cache_capacity);
   auto& reg = rt_.engine().metrics();
   const std::string prefix = "offload.proxy" + std::to_string(proc_) + ".";
   reg.link(prefix + "basic_pairs_completed", &basic_done_);
@@ -26,6 +27,15 @@ Proxy::Proxy(OffloadRuntime& rt, int proc_id)
   reg.link(prefix + "gvmi_cache.hits", &gvmi_cache_.stats().hits);
   reg.link(prefix + "gvmi_cache.misses", &gvmi_cache_.stats().misses);
   reg.link(prefix + "gvmi_cache.coalesced", &gvmi_cache_.stats().coalesced);
+  // Gated links so the metrics JSON of existing configurations stays
+  // byte-identical: evictions only exist on bounded caches, chunk counters
+  // only on striping runs.
+  if (rt_.spec().cost.reg_cache_capacity > 0) {
+    reg.link(prefix + "gvmi_cache.evictions", &gvmi_cache_.stats().evictions);
+  }
+  if (rt_.spec().cost.stripe_enabled()) {
+    reg.link(prefix + "chunks_moved", &chunks_moved_);
+  }
   if (rt_.spec().fault.liveness_enabled()) {
     reg.link(prefix + "hb_replies", &hb_replies_);
     reg.link(prefix + "fenced_jobs", &fenced_jobs_);
@@ -72,10 +82,34 @@ int Proxy::mapped_hosts() const {
   return n;
 }
 
+bool Proxy::at_chunk_cap() const {
+  return inflight_ >= rt_.spec().cost.max_chunks_in_flight;
+}
+
+void Proxy::note_chunk_issued() {
+  ++inflight_;
+  if (inflight_ > inflight_hwm_) inflight_hwm_ = inflight_;
+  rt_.note_chunk_issued();
+}
+
+void Proxy::note_chunk_done() {
+  --inflight_;
+  rt_.note_chunk_done();
+  // The cap may just have opened; wake the loop in case it parked while
+  // chunk work was gated.
+  vctx().activity().notify_all();
+}
+
 sim::Task<void> Proxy::run() {
   auto& box = vctx().inbox(kProxyChannel);
   const bool liveness = rt_.spec().fault.liveness_enabled();
-  const int expected_stops = mapped_hosts();
+  // With striping on, EVERY host on the node may hand this worker delegated
+  // chunk work, so every one of them sends a stop here (not just the hosts
+  // of the §VII-A modulo mapping — a zero-mapped sibling would otherwise
+  // exit at startup and strand its queue).
+  const int expected_stops = rt_.spec().cost.stripe_enabled()
+                                 ? rt_.spec().host_procs_per_node
+                                 : mapped_hosts();
   for (;;) {
     // Process-level failure points. A crash ends the loop for good (the
     // process died; its inbox keeps accepting — and transport-acking —
@@ -106,10 +140,11 @@ sim::Task<void> Proxy::run() {
     }
     if (crashed_ || hung_) continue;
     if (co_await process_combined()) moved = true;
+    if (co_await process_chunk_work()) moved = true;
     if (co_await harvest_fins()) moved = true;
     if (co_await advance_jobs()) moved = true;
     if (stops_received_ >= expected_stops && jobs_.empty() && combined_.empty() &&
-        fins_.empty() && box.empty()) {
+        chunk_work_.empty() && fins_.empty() && box.empty()) {
       co_return;  // Finalize_Offload: all mapped hosts done, queues drained
     }
     if (!moved) {
@@ -212,6 +247,10 @@ sim::Task<void> Proxy::handle(verbs::CtrlMsg msg) {
       std::any ack = StopAckMsg{proc_};
       co_await vctx().post_ctrl(stop->host_rank, kLivenessChannel, std::move(ack), 0);
     }
+  } else if (auto* cw = std::any_cast<ChunkWorkMsg>(&msg.body)) {
+    // Delegated striped segment from the node's home proxy; queue it for the
+    // cap-bounded issue loop.
+    chunk_work_.push_back(std::move(*cw));
   } else if (auto* inv = std::any_cast<InvalidateMsg>(&msg.body)) {
     // Cache coherence: drop the cross-registration and un-memoize it from
     // every cached template of that host.
@@ -288,19 +327,76 @@ bool Proxy::match_arrival(const RecvArrivedMsg& a) {
 sim::Task<bool> Proxy::process_combined() {
   bool moved = false;
   while (!combined_.empty()) {
+    // In-flight cap for striped pairs. FIFO order is kept (head-of-line: a
+    // gated chunk also parks monolithic pairs queued behind it — the simple,
+    // deterministic rule; the cap reopens within one chunk's service time).
+    if (combined_.front().rts.chunk.count > 1 && at_chunk_cap()) break;
     BasicPair pair = std::move(combined_.front());
     combined_.pop_front();
     moved = true;
     co_await charge_entry();
     sim_expect(pair.rts.len <= pair.rtr.len, "offloaded send longer than receive buffer");
-    // Cross-register the host source buffer (cache-amortized), then move
-    // the data straight from host memory to the destination host buffer.
+    // Cross-register the host source buffer (cache-amortized; striped pairs
+    // all share the single whole-buffer registration and offset into it),
+    // then move the data straight from host memory to the destination host.
     auto entry = co_await gvmi_cache_.get(vctx(), pair.rts.src_rank, pair.rts.src_info);
+    if (pair.rts.chunk.count > 1) {
+      // Segment of a striped message: delivery hook marks the chunk done on
+      // both hosts' countdowns (same NIC event → both sides' views agree).
+      auto scd = pair.rts.countdown;
+      auto rcd = pair.rtr.countdown;
+      const std::uint32_t idx = pair.rts.chunk.index;
+      std::function<void()> hook = [scd, rcd, idx] {
+        if (scd && idx < scd->done.size()) scd->done[idx] = 1;
+        if (rcd && idx < rcd->done.size()) rcd->done[idx] = 1;
+      };
+      note_chunk_issued();
+      ++chunks_moved_;
+      auto c = co_await vctx().post_rdma_write_on_behalf_hooked(
+          entry.mkey2, pair.rts.src_info.addr + pair.rts.chunk.offset,
+          pair.rtr.dst_rank, pair.rtr.dst_rkey, pair.rtr.dst_addr, pair.rts.len,
+          std::move(hook));
+      c->subscribe([this] { note_chunk_done(); });
+      fins_.push_back(FinPending{std::move(c), pair.rts.src_flag, pair.rts.src_rank,
+                                 pair.rtr.dst_flag, pair.rtr.dst_rank,
+                                 pair.rts.countdown});
+      continue;
+    }
     auto c = co_await vctx().post_rdma_write_on_behalf(
         entry.mkey2, pair.rts.src_info.addr, pair.rtr.dst_rank, pair.rtr.dst_rkey,
         pair.rtr.dst_addr, pair.rts.len);
     fins_.push_back(FinPending{std::move(c), pair.rts.src_flag, pair.rts.src_rank,
                                pair.rtr.dst_flag, pair.rtr.dst_rank});
+  }
+  co_return moved;
+}
+
+sim::Task<bool> Proxy::process_chunk_work() {
+  bool moved = false;
+  while (!chunk_work_.empty()) {
+    if (at_chunk_cap()) break;
+    ChunkWorkMsg w = std::move(chunk_work_.front());
+    chunk_work_.pop_front();
+    moved = true;
+    co_await charge_entry();
+    // Shared-PD cross-registration of the WHOLE source buffer in this
+    // worker's own cache (the node's workers front the same DPU HCA), then
+    // the segment RDMA with the delivery hook the home built.
+    auto entry = co_await gvmi_cache_.get(vctx(), w.host_rank, w.src_info);
+    note_chunk_issued();
+    ++chunks_moved_;
+    auto c = co_await vctx().post_rdma_write_on_behalf_hooked(
+        entry.mkey2, w.src_addr, w.dst_rank, w.dst_rkey, w.dst_addr, w.len,
+        std::move(w.on_delivered));
+    auto done = w.done;
+    const int home = w.home_proxy;
+    c->subscribe([this, done, home] {
+      note_chunk_done();
+      if (done) done->set();
+      // The home's barrier/FIN logic observes `done`; wake its loop so the
+      // observation is not deferred to its next unrelated arrival.
+      rt_.verbs().ctx(home).activity().notify_all();
+    });
   }
   co_return moved;
 }
@@ -319,6 +415,12 @@ sim::Task<bool> Proxy::harvest_fins() {
     FinPending fin = std::move(fins_[i]);
     fins_.erase(fins_.begin() + static_cast<std::ptrdiff_t>(i));
     moved = true;
+    if (fin.countdown) {
+      // Striped pair: aggregate. Only the harvest that zeroes the shared
+      // countdown fires the FIN pair — exactly once per chunk-set.
+      if (--fin.countdown->remaining > 0) continue;
+      ++rt_.engine().metrics().counter("stripe.aggregations");
+    }
     // FIN packets: completion-counter updates RDMA-written into both hosts'
     // memory (fig. 8, final step).
     co_await retx_.flag_write(fin.src_rank, fin.src_flag, fin.src_rank);
@@ -328,21 +430,13 @@ sim::Task<bool> Proxy::harvest_fins() {
   co_return moved;
 }
 
-sim::Task<void> Proxy::post_group_send(JobInstance& job, std::size_t idx) {
-  auto& tmpl = *job.tmpl;
-  const auto& e = tmpl.entries[idx];
-  if (tmpl.mkey2[idx] == 0) {
-    // Resolve via the DPU GVMI cache and memoize in the template so cached
-    // re-runs skip even the cache search (§VII-D).
-    auto entry = co_await gvmi_cache_.get(vctx(), job.host_rank, e.src_info);
-    tmpl.mkey2[idx] = entry.mkey2;
-  }
+std::function<void()> Proxy::make_group_send_hook(const JobInstance& job,
+                                                  const GroupEntryWire& e) {
   const int dst_proxy = rt_.spec().proxy_for_host(e.peer);
   // The write's immediate is consumed by the destination-side proxy and
   // drives its receive tracking. Under faults the immediate becomes a
   // reliable ctrl message fired at delivery time — an immediate lost with
-  // its carrier has no hardware retry of its own. Hook bound to a named
-  // local first (GCC 12 temporary-argument bug, see sim/task.h).
+  // its carrier has no hardware retry of its own.
   std::function<void()> imm_hook = retx_.make_hook(
       dst_proxy, kProxyChannel, RecvArrivedMsg{job.host_rank, e.peer, e.tag, e.dst_req_id});
   if (rt_.spec().fault.liveness_enabled()) {
@@ -364,10 +458,55 @@ sim::Task<void> Proxy::post_group_send(JobInstance& job, std::size_t idx) {
       pctx->post_ctrl_raw(src_host, kLivenessChannel, std::any(sd), 0);
     };
   }
+  return imm_hook;
+}
+
+sim::Task<void> Proxy::post_group_send(JobInstance& job, std::size_t idx) {
+  auto& tmpl = *job.tmpl;
+  const auto& e = tmpl.entries[idx];
+  if (e.chunk.count > 1 && e.chunk.owner_proxy >= 0 && e.chunk.owner_proxy != proc_) {
+    // Striped entry owned by a sibling worker: delegate the byte movement,
+    // keep the bookkeeping here. The home stays the single writer of the
+    // job's barrier sets and FIN — the sibling only posts the RDMA and sets
+    // the completion the home subscribed.
+    ChunkWorkMsg w;
+    w.home_proxy = proc_;
+    w.host_rank = job.host_rank;
+    w.src_info = e.src_info;
+    w.src_addr = e.src_addr;
+    w.dst_rank = e.peer;
+    w.dst_rkey = e.dst_rkey;
+    w.dst_addr = e.dst_addr;
+    w.len = e.len;
+    w.on_delivered = make_group_send_hook(job, e);
+    auto done = std::make_shared<sim::Event>(rt_.engine());
+    done->subscribe([counter = job.sends_done] { ++*counter; });
+    w.done = done;
+    job.state[idx].posted = true;
+    job.state[idx].completion = std::move(done);
+    std::any body = std::move(w);
+    co_await retx_.send(e.chunk.owner_proxy, kProxyChannel, std::move(body), 64);
+    co_return;
+  }
+  if (tmpl.mkey2[idx] == 0) {
+    // Resolve via the DPU GVMI cache and memoize in the template so cached
+    // re-runs skip even the cache search (§VII-D).
+    auto entry = co_await gvmi_cache_.get(vctx(), job.host_rank, e.src_info);
+    tmpl.mkey2[idx] = entry.mkey2;
+  }
+  // Hook bound to a named local first (GCC 12 temporary-argument bug, see
+  // sim/task.h).
+  std::function<void()> imm_hook = make_group_send_hook(job, e);
+  const bool chunked = e.chunk.count > 1;
+  if (chunked) {
+    note_chunk_issued();
+    ++chunks_moved_;
+  }
   auto c = co_await vctx().post_rdma_write_on_behalf_hooked(
       tmpl.mkey2[idx], e.src_addr, e.peer, e.dst_rkey, e.dst_addr, e.len,
       std::move(imm_hook));
   job.state[idx].posted = true;
+  if (chunked) c->subscribe([this] { note_chunk_done(); });
   c->subscribe([counter = job.sends_done] { ++*counter; });
   job.state[idx].completion = std::move(c);
 }
@@ -378,6 +517,14 @@ sim::Task<bool> Proxy::advance_one(JobInstance& job) {
   while (job.next < entries.size()) {
     const auto& e = entries[job.next];
     if (e.type == GopType::kSend) {
+      // In-flight cap for striped segments this worker moves itself
+      // (delegated segments are capped at their owner). Checked before the
+      // credit so a gated chunk never consumes one.
+      if (e.chunk.count > 1 &&
+          (e.chunk.owner_proxy < 0 || e.chunk.owner_proxy == proc_) &&
+          at_chunk_cap()) {
+        break;
+      }
       // Receive-readiness flow control (re-calls only): block until the
       // destination proxy granted a credit for this (src, dst, tag).
       if (job.needs_credits) {

@@ -68,6 +68,10 @@ class Proxy {
   std::uint64_t retries() const { return retx_.retries().value(); }
   std::uint64_t dup_dropped() const { return dup_dropped_.value(); }
   std::uint64_t credit_gated() const { return credit_gated_.value(); }
+  std::uint64_t chunks_moved() const { return chunks_moved_.value(); }
+  /// Highest concurrent chunk-RDMA count this proxy ever reached — the
+  /// observable the max_chunks_in_flight cap bounds.
+  int chunks_inflight_hwm() const { return inflight_hwm_; }
   /// Lifetime run count of the recorded template for (host, req_id); 0 when
   /// none exists. A re-recorded template must keep its predecessor's count —
   /// that is what keeps re-call credit gating armed across re-records.
@@ -122,18 +126,26 @@ class Proxy {
     int src_rank = -1;
     verbs::Completion dst_flag;
     int dst_rank = -1;
+    /// Striped pairs: shared per-request countdown; the harvest that zeroes
+    /// it fires the FIN flag writes (once per chunk-set, not per chunk).
+    std::shared_ptr<ChunkCountdown> countdown;
   };
 
   sim::Task<void> handle(verbs::CtrlMsg msg);
   sim::Task<void> handle_liveness(verbs::CtrlMsg msg);
   sim::Task<bool> process_combined();
+  sim::Task<bool> process_chunk_work();
   sim::Task<bool> harvest_fins();
   sim::Task<bool> advance_jobs();
   sim::Task<bool> advance_one(JobInstance& job);
   sim::Task<void> post_group_send(JobInstance& job, std::size_t idx);
+  std::function<void()> make_group_send_hook(const JobInstance& job, const GroupEntryWire& e);
   void start_instance(int host_rank, std::uint64_t req_id, verbs::Completion flag);
   sim::Task<void> grant_credits(const JobInstance& job);
   bool match_arrival(const RecvArrivedMsg& a);
+  bool at_chunk_cap() const;
+  void note_chunk_issued();
+  void note_chunk_done();
 
   verbs::ProcCtx& vctx();
   sim::Task<void> charge_entry();
@@ -146,6 +158,7 @@ class Proxy {
   DupFilter dup_filter_;  ///< replay suppression for received ctrl msgs
   MatchQueues queues_;
   std::deque<BasicPair> combined_;
+  std::deque<ChunkWorkMsg> chunk_work_;  ///< delegated group segments (striping)
   std::vector<FinPending> fins_;
   std::map<std::pair<int, std::uint64_t>, std::shared_ptr<JobTemplate>> templates_;
   std::vector<std::unique_ptr<JobInstance>> jobs_;
@@ -169,6 +182,9 @@ class Proxy {
   metrics::Counter barrier_msgs_;
   metrics::Counter dup_dropped_;   ///< duplicate ctrl msgs suppressed
   metrics::Counter credit_gated_;  ///< sends that waited on a receive credit
+  metrics::Counter chunks_moved_;  ///< striped segments this worker RDMA'd
+  int inflight_ = 0;      ///< chunk RDMAs currently posted by this worker
+  int inflight_hwm_ = 0;  ///< lifetime high-water mark of inflight_
 };
 
 }  // namespace dpu::offload

@@ -1,0 +1,61 @@
+// Chunk planning for the segmented offload data path.
+//
+// A message longer than CostModel::stripe_threshold is cut into
+// chunk_bytes-sized segments and striped round-robin over the source node's
+// proxy workers, starting at the host's home proxy (so proxies_per_dpu == 1
+// degenerates to pipelined chunks on the one worker). The plan is a pure
+// function of (spec, source rank, length): sender and receiver compute it
+// independently and agree without any extra wire traffic.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "machine/spec.h"
+#include "offload/protocol.h"
+
+namespace dpu::offload {
+
+/// Segment plan for one message. Empty when the message does not stripe
+/// (feature off, or len <= threshold) — callers then take the monolithic
+/// path untouched.
+inline std::vector<ChunkInfo> plan_chunks(const machine::ClusterSpec& spec, int src_host_rank,
+                                          std::size_t len) {
+  const auto& c = spec.cost;
+  if (!c.stripe_enabled() || len <= c.stripe_threshold) return {};
+  const std::size_t csz = c.chunk_bytes > 0 ? c.chunk_bytes : len;
+  const std::size_t n = (len + csz - 1) / csz;
+  if (n < 2) return {};  // one segment == monolithic; don't pay the overhead
+  const int node = spec.node_of(src_host_rank);
+  const int pper = spec.proxies_per_dpu;
+  const int home_local = src_host_rank % pper;
+  std::vector<ChunkInfo> plan(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    plan[i].offset = i * csz;
+    plan[i].index = static_cast<std::uint32_t>(i);
+    plan[i].count = static_cast<std::uint32_t>(n);
+    plan[i].owner_proxy =
+        spec.proxy_id(node, (home_local + static_cast<int>(i)) % pper);
+  }
+  return plan;
+}
+
+/// Length of chunk `i` of an `len`-byte message in a `count`-chunk plan
+/// (every chunk is chunk_bytes except a possibly short tail).
+inline std::size_t chunk_len(std::size_t len, std::size_t chunk_bytes, std::uint32_t index,
+                             std::uint32_t count) {
+  const std::size_t off = static_cast<std::size_t>(index) * chunk_bytes;
+  return index + 1 == count ? len - off : chunk_bytes;
+}
+
+/// Derived per-chunk tag. Group entries split at record time need chunk-
+/// unique tags so FIFO matching, arrival counting, and the failover ledgers
+/// all key each segment independently; chunk 0 keeps the base tag's spirit
+/// but still gets a distinct value so a striped op can never FIFO-match a
+/// monolithic one. The encoding keeps user tags (< 2^14 in every test and
+/// bench here) collision-free.
+inline int chunk_tag(int base_tag, std::uint32_t index) {
+  return base_tag ^ static_cast<int>(0x40000000u | ((index + 1u) << 14));
+}
+
+}  // namespace dpu::offload

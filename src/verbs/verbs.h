@@ -216,6 +216,10 @@ class ProcCtx {
   std::map<LKey, Reg> lkeys_;
   std::map<RKey, Reg> rkeys_;
   std::map<int, std::unique_ptr<sim::Channel<CtrlMsg>>> inboxes_;
+  /// Busy-until clock of this process's data-path QP when the per-QP/
+  /// per-core issue-rate cap (CostModel::dpu_qp_GBps) is active; unused
+  /// (and untouched) when the cap is 0.
+  SimTime qp_free_at_ = 0;
 };
 
 /// Owns all per-process contexts plus the global key/GVMI tables (the

@@ -5,6 +5,7 @@
 // group-offload scenario.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -162,6 +163,109 @@ TEST(DeadlockDiagnostics, MessageNamesLiveProcesses) {
     EXPECT_NE(msg.find("rank0"), std::string::npos) << msg;
     EXPECT_NE(msg.find("live processes"), std::string::npos) << msg;
   }
+}
+
+// ---- Knob-gated exports ------------------------------------------------------
+
+/// One 256 KiB offloaded pair; striping knobs as given by `s`.
+std::unique_ptr<World> run_pair(const machine::ClusterSpec& s) {
+  auto w = std::make_unique<World>(s);
+  const std::size_t len = 256_KiB;
+  w->launch(0, [len](Rank& r) -> sim::Task<void> {
+    const auto buf = r.mem().alloc(len);
+    r.mem().write(buf, pattern_bytes(71, len));
+    auto req = co_await r.off->send_offload(buf, len, 1, 0);
+    co_await r.off->wait(req);
+  });
+  w->launch(1, [len](Rank& r) -> sim::Task<void> {
+    const auto buf = r.mem().alloc(len);
+    auto req = co_await r.off->recv_offload(buf, len, 0, 0);
+    co_await r.off->wait(req);
+  });
+  w->run();
+  return w;
+}
+
+TEST(Metrics, StripeCountersExportOnlyWhenTheKnobIsOn) {
+  machine::ClusterSpec s;
+  s.nodes = 2;
+  s.host_procs_per_node = 1;
+  s.proxies_per_dpu = 2;
+
+  // Knob off (paper default): none of the stripe names exist, so the JSON
+  // stays byte-identical to the pre-feature registry.
+  auto off_world = run_pair(s);
+  World& off = *off_world;
+  const std::string off_js = off.metrics_json();
+  EXPECT_EQ(off_js.find("chunks_moved"), std::string::npos);
+  EXPECT_EQ(off_js.find("bytes_striped"), std::string::npos);
+  EXPECT_EQ(off_js.find("stripe."), std::string::npos);
+  EXPECT_FALSE(off.metrics().has_counter("offload.host0.bytes_striped"));
+
+  // Knob on: every stripe series is present and accounted.
+  s.cost.stripe_threshold = 32_KiB;
+  s.cost.chunk_bytes = 64_KiB;
+  auto on_world = run_pair(s);
+  World& on = *on_world;
+  const std::string on_js = on.metrics_json();
+  EXPECT_NE(on_js.find("\"offload.proxy2.chunks_moved\""), std::string::npos);
+  EXPECT_NE(on_js.find("\"offload.host0.bytes_striped\""), std::string::npos);
+  EXPECT_NE(on_js.find("\"stripe.aggregations\""), std::string::npos);
+  EXPECT_NE(on_js.find("\"stripe.chunks_in_flight\""), std::string::npos);
+  EXPECT_EQ(on.metrics().counter_value("offload.host0.bytes_striped"), 256_KiB);
+  EXPECT_EQ(on.metrics().counter_value("offload.proxy2.chunks_moved") +
+                on.metrics().counter_value("offload.proxy3.chunks_moved"),
+            4u);
+  EXPECT_EQ(on.metrics().counter_value("stripe.aggregations"), 1u);
+}
+
+TEST(Metrics, BoundedRegCachesEvictAndExportEvictionCounters) {
+  machine::ClusterSpec s;
+  s.nodes = 2;
+  s.host_procs_per_node = 1;
+  s.proxies_per_dpu = 1;
+
+  // Unbounded (default): no eviction series at all.
+  auto clean_world = run_pair(s);
+  EXPECT_EQ(clean_world->metrics_json().find("evictions"), std::string::npos);
+
+  // Capacity 1: alternating between two buffers thrashes every layer's
+  // cache — host GVMI, proxy GVMI, and (via a rendezvous pt2pt) the mpi
+  // registration cache — and each layer exports its eviction count.
+  s.cost.reg_cache_capacity = 1;
+  World w(s);
+  const std::size_t len = 64_KiB;  // > eager_threshold: rendezvous registers
+  w.launch(0, [&](Rank& r) -> sim::Task<void> {
+    const auto a = r.mem().alloc(len);
+    const auto b = r.mem().alloc(len);
+    for (int i = 0; i < 3; ++i) {
+      auto req = co_await r.off->send_offload(i % 2 ? b : a, len, 1, i);
+      co_await r.off->wait(req);
+    }
+    const auto c = r.mem().alloc(len);
+    const auto d = r.mem().alloc(len);
+    for (int i = 0; i < 3; ++i) {
+      auto h = co_await r.mpi->isend(i % 2 ? d : c, len, 1, 9);
+      co_await r.mpi->wait(h);
+    }
+  });
+  w.launch(1, [&](Rank& r) -> sim::Task<void> {
+    const auto buf = r.mem().alloc(len);
+    for (int i = 0; i < 3; ++i) {
+      auto req = co_await r.off->recv_offload(buf, len, 0, i);
+      co_await r.off->wait(req);
+    }
+    const auto e = r.mem().alloc(len);
+    const auto f = r.mem().alloc(len);
+    for (int i = 0; i < 3; ++i) {
+      auto h = co_await r.mpi->irecv(i % 2 ? f : e, len, 0, 9);
+      co_await r.mpi->wait(h);
+    }
+  });
+  w.run();
+  EXPECT_GE(w.metrics().counter_value("offload.host0.gvmi_cache.evictions"), 2u);
+  EXPECT_GE(w.metrics().counter_value("offload.proxy2.gvmi_cache.evictions"), 2u);
+  EXPECT_GE(w.metrics().counter_value("mpi.rank1.reg_cache.evictions"), 2u);
 }
 
 // ---- Determinism regression --------------------------------------------------

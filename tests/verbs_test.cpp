@@ -214,17 +214,35 @@ TEST(Verbs, CrossRegisterRejectsForeignGvmi) {
   f.drive([](Fixture& f) -> sim::Task<void> {
     auto& host = f.rt->ctx(0);
     auto& dpu_a = f.rt->ctx(f.spec.proxy_id(0, 0));
-    auto& dpu_b = f.rt->ctx(f.spec.proxy_id(0, 1));
+    auto& dpu_remote = f.rt->ctx(f.spec.proxy_id(1, 0));
     const auto src = host.mem().alloc(4_KiB);
     const GvmiId gvmi = dpu_a.alloc_gvmi_id();
     auto ginfo = co_await host.reg_mr_gvmi(src, 4_KiB, gvmi);
     bool threw = false;
     try {
-      (void)co_await dpu_b.cross_register(ginfo);  // not the GVMI owner
+      // A worker on a DIFFERENT node fronts a different HCA: rejected.
+      (void)co_await dpu_remote.cross_register(ginfo);
     } catch (const SimError&) {
       threw = true;
     }
     EXPECT_TRUE(threw);
+  }(f));
+}
+
+TEST(Verbs, CrossRegisterAllowsSameNodeSibling) {
+  // Workers on one DPU share the device's protection domain, so a sibling
+  // of the GVMI-owning worker may cross-register the buffer — the striping
+  // path delegates segments on exactly this basis.
+  Fixture f(/*nodes=*/2, /*ppn=*/2, /*proxies=*/2);
+  f.drive([](Fixture& f) -> sim::Task<void> {
+    auto& host = f.rt->ctx(0);
+    auto& dpu_a = f.rt->ctx(f.spec.proxy_id(0, 0));
+    auto& dpu_b = f.rt->ctx(f.spec.proxy_id(0, 1));
+    const auto src = host.mem().alloc(4_KiB);
+    const GvmiId gvmi = dpu_a.alloc_gvmi_id();
+    auto ginfo = co_await host.reg_mr_gvmi(src, 4_KiB, gvmi);
+    const MKey mk = co_await dpu_b.cross_register(ginfo);
+    EXPECT_NE(mk, 0u);
   }(f));
 }
 
