@@ -4,6 +4,7 @@
 // on, (b) the group request cache disabled (metadata re-exchanged and
 // re-shipped every call). Quantifies how much of the steady-state win comes
 // from each cache layer; also reports the dual GVMI cache hit rates.
+#include "common/check.h"
 #include "bench/bench_common.h"
 #include "common/bytes.h"
 
@@ -45,7 +46,8 @@ Result run(bool group_cache_on, int nodes, int ppn, std::size_t bpr) {
       co_await r.mpi->barrier(*r.world->mpi().world());
       t0 = r.world->now();
       co_await r.off->group_call(greq);
-      co_await r.off->group_wait(greq);
+      require(co_await r.off->group_wait(greq) == offload::Status::kOk,
+              "offloaded op did not complete cleanly");
     }
     if (r.rank == 0) {
       res.warm_us = to_us(r.world->now() - t0);

@@ -4,6 +4,7 @@
 // fat-trees are often 2:1 or 4:1 oversubscribed. This ablation asks whether
 // the proposed framework's win over host MPI survives a congested core —
 // it should: overlap matters *more* when communication is slower.
+#include "common/check.h"
 #include "bench/bench_common.h"
 #include "common/bytes.h"
 #include "offload/coll.h"
@@ -40,7 +41,8 @@ Point run(double oversub, int nodes, int ppn, std::size_t bpr) {
         if (proposed) {
           auto q = co_await group.icall(sbuf, rbuf, bpr, r.world->mpi().world());
           if (compute > 0) co_await r.compute(compute);
-          co_await group.wait(q);
+          require(co_await group.wait(q) == offload::Status::kOk,
+                  "offloaded op did not complete cleanly");
         } else {
           auto q = co_await r.mpi->ialltoall(sbuf, rbuf, bpr, *r.world->mpi().world());
           if (compute > 0) co_await r.compute(compute);

@@ -8,6 +8,7 @@
 // data-path layout, not the cost model. Monolithic rows run with the
 // segmented path disabled (stripe_threshold=0, the paper-figure default);
 // striped rows arm it at 128 KiB and sweep chunk size x worker count.
+#include "common/check.h"
 #include "bench/bench_common.h"
 #include "common/bytes.h"
 #include "offload/coll.h"
@@ -47,7 +48,8 @@ double run_alltoall(int proxies, int nodes, std::size_t bpr, std::size_t chunk) 
         t0 = r.world->now();
       }
       auto q = co_await group.icall(sbuf, rbuf, bpr, r.world->mpi().world());
-      co_await group.wait(q);
+      require(co_await group.wait(q) == offload::Status::kOk,
+              "offloaded op did not complete cleanly");
     }
     if (r.rank == 0) out = to_us(r.world->now() - t0) / 2;
   };
@@ -74,9 +76,11 @@ double run_pingpong(std::size_t len, int proxies, std::size_t chunk) {
     for (int i = 0; i < warm + iters; ++i) {
       if (i == warm) t0 = r.world->now();
       auto sq = co_await r.off->send_offload(sbuf, len, 1, 2 * i);
-      co_await r.off->wait(sq);
+      require(co_await r.off->wait(sq) == offload::Status::kOk,
+              "offloaded op did not complete cleanly");
       auto rq = co_await r.off->recv_offload(rbuf, len, 1, 2 * i + 1);
-      co_await r.off->wait(rq);
+      require(co_await r.off->wait(rq) == offload::Status::kOk,
+              "offloaded op did not complete cleanly");
     }
     out = to_us(r.world->now() - t0) / iters;
   });
@@ -85,9 +89,11 @@ double run_pingpong(std::size_t len, int proxies, std::size_t chunk) {
     const auto rbuf = r.mem().alloc(len, false);
     for (int i = 0; i < warm + iters; ++i) {
       auto rq = co_await r.off->recv_offload(rbuf, len, 0, 2 * i);
-      co_await r.off->wait(rq);
+      require(co_await r.off->wait(rq) == offload::Status::kOk,
+              "offloaded op did not complete cleanly");
       auto sq = co_await r.off->send_offload(sbuf, len, 0, 2 * i + 1);
-      co_await r.off->wait(sq);
+      require(co_await r.off->wait(sq) == offload::Status::kOk,
+              "offloaded op did not complete cleanly");
     }
   });
   w.run();

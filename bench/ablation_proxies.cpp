@@ -3,6 +3,7 @@
 // The §VII-A mapping assigns hosts to proxies round-robin; with few proxies
 // each serializes more hosts' traffic on one ARM core. Sweeps
 // proxies_per_dpu for the group scatter-destination pattern.
+#include "common/check.h"
 #include "bench/bench_common.h"
 #include "common/bytes.h"
 #include "offload/coll.h"
@@ -28,7 +29,8 @@ double run(int proxies, int nodes, int ppn, std::size_t bpr) {
         t0 = r.world->now();
       }
       auto q = co_await group.icall(sbuf, rbuf, bpr, r.world->mpi().world());
-      co_await group.wait(q);
+      require(co_await group.wait(q) == offload::Status::kOk,
+              "offloaded op did not complete cleanly");
     }
     if (r.rank == 0) out = to_us(r.world->now() - t0) / 2;
   };

@@ -11,6 +11,7 @@
 // paper's case 1: the data is not usable earlier).
 #include <sstream>
 
+#include "common/check.h"
 #include "bench/bench_common.h"
 #include "common/bytes.h"
 #include "offload/coll.h"
@@ -94,7 +95,8 @@ Result run_proposed(std::ostream* timeline = nullptr) {
           [&res, &r] { res.data_at_last_us = to_us(r.world->now()); });
     }
     co_await r.compute(kCompute);
-    co_await ring.wait(req);
+    require(co_await ring.wait(req) == offload::Status::kOk,
+            "offloaded op did not complete cleanly");
     res.all_done_us = std::max(res.all_done_us, to_us(r.world->now()));
   });
   w.run();

@@ -8,6 +8,7 @@
 //
 // Paper observation: Proposed beats IntelMPI by up to 35/40/58% and
 // BluesMPI by up to 25/30/47% on 4/8/16 nodes.
+#include "common/check.h"
 #include "bench/bench_common.h"
 #include "common/bytes.h"
 #include "offload/coll.h"
@@ -54,7 +55,8 @@ Measure run(Lib lib, int nodes, int ppn, std::size_t bpr, SimDuration compute) {
       } else {
         auto q = co_await group.icall(sbuf, rbuf, bpr, r.world->mpi().world());
         if (compute > 0) co_await r.compute(compute);
-        co_await group.wait(q);
+        require(co_await group.wait(q) == offload::Status::kOk,
+                "offloaded op did not complete cleanly");
       }
     }
     if (r.rank == 0) m.overall_us = to_us(r.world->now() - t0) / iters;

@@ -4,6 +4,7 @@
 // Paper observation: both DPU-offloaded schemes reach close to 100% overlap
 // (the host is free after posting); IntelMPI cannot, because rendezvous
 // progress needs the host CPU.
+#include "common/check.h"
 #include "bench/bench_common.h"
 #include "common/bytes.h"
 #include "harness/measure.h"
@@ -45,7 +46,8 @@ double one_run(Lib lib, int nodes, int ppn, std::size_t bpr, SimDuration compute
       } else {
         auto q = co_await group.icall(sbuf, rbuf, bpr, r.world->mpi().world());
         if (compute > 0) co_await r.compute(compute);
-        co_await group.wait(q);
+        require(co_await group.wait(q) == offload::Status::kOk,
+                "offloaded op did not complete cleanly");
       }
     }
     if (r.rank == 0) out = to_us(r.world->now() - t0) / iters;

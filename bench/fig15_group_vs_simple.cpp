@@ -5,6 +5,7 @@
 // RTS/RTR/FIN control messages disappear into one gathered packet per host,
 // and after the first call the group caches remove metadata exchange
 // entirely (temporal locality of buffers).
+#include "common/check.h"
 #include "bench/bench_common.h"
 #include "common/bytes.h"
 
@@ -48,7 +49,8 @@ Result run(bool use_group, int nodes, int ppn, std::size_t bpr) {
           r.off->group_end(greq);
         }
         co_await r.off->group_call(greq);
-        co_await r.off->group_wait(greq);
+        require(co_await r.off->group_wait(greq) == offload::Status::kOk,
+                "offloaded op did not complete cleanly");
       } else {
         // Simple Primitives: one RTS/RTR per pair, four host<->DPU control
         // messages per transfer.
@@ -62,7 +64,9 @@ Result run(bool use_group, int nodes, int ppn, std::size_t bpr) {
           reqs.push_back(co_await r.off->send_offload(
               sbuf + static_cast<machine::Addr>(dst) * bpr, bpr, dst, 0));
         }
-        for (auto& q : reqs) co_await r.off->wait(q);
+        for (auto& q : reqs)
+          require(co_await r.off->wait(q) == offload::Status::kOk,
+                  "offloaded op did not complete cleanly");
       }
       if (r.rank == 0) {
         const double us = to_us(r.world->now() - t0);

@@ -11,6 +11,7 @@
 //   $ ./custom_pipeline
 #include <iostream>
 
+#include "common/check.h"
 #include "common/bytes.h"
 #include "common/units.h"
 #include "harness/world.h"
@@ -37,7 +38,8 @@ int main() {
     r.off->group_end(req);
     co_await r.off->group_call(req);
     co_await r.compute(4_ms);
-    co_await r.off->group_wait(req);
+    require(co_await r.off->group_wait(req) == offload::Status::kOk,
+            "offloaded op did not complete cleanly");
     std::cout << "[0] ack " << (check_pattern(r.mem().read(ack, kLen), 11) ? "ok" : "BAD")
               << " at t=" << to_us(r.world->now()) << " us\n";
   });
@@ -52,7 +54,8 @@ int main() {
     r.off->group_end(req);
     co_await r.off->group_call(req);
     co_await r.compute(4_ms);
-    co_await r.off->group_wait(req);
+    require(co_await r.off->group_wait(req) == offload::Status::kOk,
+            "offloaded op did not complete cleanly");
     std::cout << "[1] fan-out done\n";
   });
 
@@ -65,7 +68,8 @@ int main() {
     r.off->group_end(req);
     co_await r.off->group_call(req);
     co_await r.compute(4_ms);
-    co_await r.off->group_wait(req);
+    require(co_await r.off->group_wait(req) == offload::Status::kOk,
+            "offloaded op did not complete cleanly");
     std::cout << "[2] " << (check_pattern(r.mem().read(buf, kLen), 11) ? "ok" : "BAD")
               << "\n";
   });
@@ -77,7 +81,8 @@ int main() {
     r.off->group_end(req);
     co_await r.off->group_call(req);
     co_await r.compute(4_ms);
-    co_await r.off->group_wait(req);
+    require(co_await r.off->group_wait(req) == offload::Status::kOk,
+            "offloaded op did not complete cleanly");
     std::cout << "[3] " << (check_pattern(r.mem().read(buf, kLen), 11) ? "ok" : "BAD")
               << "\n";
   });

@@ -8,6 +8,7 @@
 //   $ ./quickstart
 #include <iostream>
 
+#include "common/check.h"
 #include "common/bytes.h"
 #include "common/units.h"
 #include "harness/world.h"
@@ -33,8 +34,10 @@ int main() {
 
     auto send = co_await r.off->send_offload(sbuf, kLen, /*dst=*/1, /*tag=*/3);
     auto recv = co_await r.off->recv_offload(rbuf, kLen, /*src=*/1, /*tag=*/4);
-    co_await r.off->wait(send);
-    co_await r.off->wait(recv);
+    require(co_await r.off->wait(send) == offload::Status::kOk,
+            "offloaded op did not complete cleanly");
+    require(co_await r.off->wait(recv) == offload::Status::kOk,
+            "offloaded op did not complete cleanly");
 
     std::cout << "[rank 0] round trip done at t=" << to_us(r.world->now())
               << " us, payload "
@@ -50,8 +53,10 @@ int main() {
 
     auto recv = co_await r.off->recv_offload(rbuf, kLen, /*src=*/0, /*tag=*/3);
     auto send = co_await r.off->send_offload(sbuf, kLen, /*dst=*/0, /*tag=*/4);
-    co_await r.off->wait(recv);
-    co_await r.off->wait(send);
+    require(co_await r.off->wait(recv) == offload::Status::kOk,
+            "offloaded op did not complete cleanly");
+    require(co_await r.off->wait(send) == offload::Status::kOk,
+            "offloaded op did not complete cleanly");
 
     std::cout << "[rank 1] payload "
               << (check_pattern(r.mem().read(rbuf, kLen), 1) ? "verified" : "CORRUPT")

@@ -9,6 +9,7 @@
 //   $ ./ring_broadcast
 #include <iostream>
 
+#include "common/check.h"
 #include "common/bytes.h"
 #include "common/units.h"
 #include "harness/world.h"
@@ -52,7 +53,8 @@ int main() {
     co_await r.off->group_call(req);
     co_await r.compute(5_ms);
     const SimTime before_wait = r.world->now();
-    co_await r.off->group_wait(req);
+    require(co_await r.off->group_wait(req) == offload::Status::kOk,
+            "offloaded op did not complete cleanly");
     const auto waited = to_us(r.world->now() - before_wait);
 
     std::cout << "[rank " << me << "] payload "

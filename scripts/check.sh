@@ -15,6 +15,22 @@ cd "$(dirname "$0")/.."
 BUILD_DIR=build-asan
 JOBS=$(nproc 2>/dev/null || echo 4)
 
+# Lint gate first: the repo-specific rules (scripts/lint.py) plus the
+# linter's own self-test run in seconds and catch whole bug classes
+# (wall-clock in the model, raw control-plane posts, dropped Status) before
+# the expensive sanitized build starts. clang-tidy rides along when the
+# binary exists; its curated checks are part of `cmake --build . -t lint`.
+echo "== lint gate =="
+python3 scripts/lint.py
+python3 scripts/lint.py --self-test
+if command -v clang-tidy > /dev/null 2>&1; then
+  echo "== clang-tidy (curated checks) =="
+  cmake -B build -S . > /dev/null   # lint-tidy needs a compile database
+  cmake --build build -t lint-tidy
+else
+  echo "== clang-tidy not installed; skipping tidy pass =="
+fi
+
 cmake -B "$BUILD_DIR" -S . -DDPU_SANITIZE=ON
 cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
@@ -40,6 +56,12 @@ echo "== stripe suite (sanitized) =="
 "$BUILD_DIR"/tests/stripe_test
 echo "== ablation_pipeline smoke (fast mode, sanitized) =="
 DPU_BENCH_FAST=1 "$BUILD_DIR"/bench/ablation_pipeline > /dev/null
+
+# Tie-shuffle smoke: replay the protocol regimes over a small seed matrix
+# (sanitized) so a schedule race — an outcome that depends on same-virtual-
+# time dispatch order — fails the gate, not just the nightly full matrix.
+echo "== tie-shuffle determinism smoke (fast mode, sanitized) =="
+DPU_BENCH_FAST=1 "$BUILD_DIR"/bench/ablation_determinism > /dev/null
 
 if [[ "${1:-}" == "--fast" ]]; then
   echo "== fig/ablation benches (fast mode, sanitized) =="

@@ -1,0 +1,230 @@
+#!/usr/bin/env python3
+"""Repo-specific lint gate (rules clang-tidy cannot express).
+
+Rules (each failure prints `file:line: [rule] message`):
+
+  wall-clock      No wall-clock time or libc randomness inside src/: the
+                  simulator must be a pure function of its inputs, so
+                  system_clock / steady_clock / std::rand / gettimeofday &co
+                  are determinism hazards. (Simulated time comes from the
+                  engine; randomness from common/rng.h's seeded SplitMix64.)
+
+  raw-post        `post_ctrl_raw` / `post_flag_write_raw` bypass the
+                  reliability layer (no retransmit, no dup-filter, no ack).
+                  Callers are restricted to src/verbs/ (the definitions) and
+                  src/offload/reliable.cpp (the reliability layer itself).
+                  Any other call site needs an inline justification comment
+                  `// lint: raw-post ok: <reason>` within the 5 lines above.
+
+  nodiscard       `enum class Status` in src/offload/protocol.h must carry
+                  `[[nodiscard]]` so the compiler flags every ignored
+                  completion status. (The compiler enforces call sites; this
+                  rule pins the attribute so it cannot silently regress.)
+
+  status-discard  Swallowed offload completion statuses. Two forms:
+                  (a) `(void)` casts that explicitly discard a co_await
+                  result, and (b) bare-statement `co_await ...off->wait(...)`
+                  family calls (GCC does not apply [[nodiscard]] to discarded
+                  co_await expressions, so the compiler cannot flag these).
+                  Both need a `// lint: status-discard ok: <reason>` comment
+                  within the 5 lines above — or better, check the Status.
+
+  metric-dup      Within one src/ source file, the same metric-name literal must
+                  not be passed to `MetricsRegistry::link(` twice: the second
+                  link of a taken name throws at runtime, but only on the
+                  code path that executes it — catch the copy-paste statically.
+
+Usage:
+  scripts/lint.py [--root DIR]      lint the repo (default: repo root)
+  scripts/lint.py --self-test       run the rules against the planted-violation
+                                    fixture and verify every violation is caught
+"""
+
+import argparse
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+CPP_EXTS = (".h", ".hpp", ".cc", ".cpp")
+
+# ---------------------------------------------------------------------------
+# rule: wall-clock
+WALL_CLOCK_PATTERNS = [
+    (re.compile(r"\bstd::chrono::(system|steady|high_resolution)_clock\b"),
+     "wall-clock time in simulator code"),
+    (re.compile(r"\bstd::rand\b|\bstd::srand\b|(?<![\w:])\bsrand\s*\("),
+     "libc randomness (use common/rng.h SplitMix64)"),
+    (re.compile(r"(?<![\w:])\brand\s*\(\s*\)"),
+     "libc randomness (use common/rng.h SplitMix64)"),
+    (re.compile(r"\bgettimeofday\s*\(|\bclock_gettime\s*\(|(?<![\w:_])\btime\s*\(\s*(NULL|nullptr|0)\s*\)"),
+     "wall-clock time in simulator code"),
+]
+
+# rule: raw-post
+RAW_POST = re.compile(r"\bpost_(ctrl|flag_write)_raw\b")
+RAW_POST_ALLOWED_FILES = (
+    os.path.join("src", "verbs") + os.sep,  # definitions + wire stage
+    os.path.join("src", "offload", "reliable.cpp"),
+    os.path.join("src", "offload", "reliable.h"),
+)
+RAW_POST_JUSTIFY = re.compile(r"//\s*lint:\s*raw-post ok:")
+
+# rule: status-discard
+STATUS_DISCARD = re.compile(r"\(void\)\s*co_await\b")
+# Bare-statement discard of an OffloadEndpoint Status-returning call. The
+# `off->` receiver makes this unambiguous: every wait-family method on the
+# endpoint returns offload::Status.
+STATUS_BARE_DISCARD = re.compile(
+    r"^\s*(?:for\s*\([^;]*\)\s*)?co_await\s+[\w.]*off->"
+    r"(?:wait|waitall|wait_many|group_wait|group_wait_live|finalize)\s*\(")
+STATUS_DISCARD_JUSTIFY = re.compile(r"//\s*lint:\s*status-discard ok:")
+
+# rule: metric-dup
+METRIC_LINK = re.compile(r"\.link\s*\(\s*(?:[A-Za-z_][\w.]*\s*\+\s*)?\"([^\"]+)\"")
+
+# rule: nodiscard
+NODISCARD_STATUS = re.compile(r"enum\s+class\s+\[\[nodiscard\]\]\s+Status\b")
+
+COMMENT_LOOKBACK = 5
+
+
+def strip_line_comment(line: str) -> str:
+    """Removes a trailing // comment so commented-out code doesn't trip rules."""
+    idx = line.find("//")
+    return line if idx < 0 else line[:idx]
+
+
+def has_justification(lines, i, justify_re) -> bool:
+    lo = max(0, i - COMMENT_LOOKBACK)
+    return any(justify_re.search(lines[j]) for j in range(lo, i + 1))
+
+
+def lint_file(path: str, rel: str, errors: list) -> None:
+    with open(path, encoding="utf-8", errors="replace") as f:
+        lines = f.read().splitlines()
+
+    in_src = rel.startswith("src" + os.sep)
+    raw_post_exempt = any(
+        rel.startswith(p) if p.endswith(os.sep) else rel == p
+        for p in RAW_POST_ALLOWED_FILES)
+
+    linked_names = {}
+    for i, raw in enumerate(lines):
+        line = strip_line_comment(raw)
+        lineno = i + 1
+
+        if in_src:
+            for pat, msg in WALL_CLOCK_PATTERNS:
+                if pat.search(line):
+                    errors.append(f"{rel}:{lineno}: [wall-clock] {msg}")
+
+            if not raw_post_exempt and RAW_POST.search(line):
+                if not has_justification(lines, i, RAW_POST_JUSTIFY):
+                    errors.append(
+                        f"{rel}:{lineno}: [raw-post] raw control-plane post "
+                        "outside verbs/reliable needs a "
+                        "'// lint: raw-post ok: <reason>' comment")
+
+        # The explicit-cast form is policed in src/ only (product code must
+        # document the why; in tests the cast itself is the documentation).
+        # The bare form applies everywhere: most wait sites live in tests
+        # and benches, and a bare statement shows no intent at all.
+        if (in_src and STATUS_DISCARD.search(line)) or STATUS_BARE_DISCARD.match(line):
+            if not has_justification(lines, i, STATUS_DISCARD_JUSTIFY):
+                errors.append(
+                    f"{rel}:{lineno}: [status-discard] swallowed offload "
+                    "Status: check it, or add a "
+                    "'// lint: status-discard ok: <reason>' comment")
+
+        # src/ only: tests deliberately exercise the registry's re-link paths.
+        m = METRIC_LINK.search(line) if in_src else None
+        if m:
+            name = m.group(1)
+            if name in linked_names:
+                errors.append(
+                    f"{rel}:{lineno}: [metric-dup] metric literal '{name}' "
+                    f"already linked at {rel}:{linked_names[name]}")
+            else:
+                linked_names[name] = lineno
+
+
+def lint_tree(root: str) -> list:
+    errors = []
+    scan_dirs = ("src", "tests", "bench", "examples")
+    for top in scan_dirs:
+        top_path = os.path.join(root, top)
+        if not os.path.isdir(top_path):
+            continue
+        for dirpath, dirnames, filenames in os.walk(top_path):
+            dirnames[:] = [d for d in dirnames if d != "lint_fixtures"]
+            for fn in sorted(filenames):
+                if fn.endswith(CPP_EXTS):
+                    path = os.path.join(dirpath, fn)
+                    lint_file(path, os.path.relpath(path, root), errors)
+
+    proto = os.path.join(root, "src", "offload", "protocol.h")
+    if os.path.isfile(proto):
+        with open(proto, encoding="utf-8") as f:
+            if not NODISCARD_STATUS.search(f.read()):
+                errors.append(
+                    "src/offload/protocol.h:1: [nodiscard] 'enum class "
+                    "[[nodiscard]] Status' attribute is missing")
+    else:
+        errors.append("src/offload/protocol.h:1: [nodiscard] file not found")
+    return errors
+
+
+def self_test(root: str) -> int:
+    """Lints the planted-violation fixture as if it lived in src/ and checks
+    every planted rule fires (and the justified sites do not)."""
+    fixture = os.path.join(root, "tests", "lint_fixtures", "planted_violations.cpp")
+    if not os.path.isfile(fixture):
+        print(f"self-test: fixture missing: {fixture}")
+        return 1
+    errors = []
+    lint_file(fixture, os.path.join("src", "planted_violations.cpp"), errors)
+
+    expected = ["wall-clock", "raw-post", "status-discard", "metric-dup"]
+    failed = False
+    for rule in expected:
+        hits = [e for e in errors if f"[{rule}]" in e]
+        if not hits:
+            print(f"self-test: planted [{rule}] violation was NOT detected")
+            failed = True
+    justified = [e for e in errors if "JUSTIFIED" in e]
+    if justified:
+        print("self-test: justified site was wrongly flagged:")
+        for e in justified:
+            print(f"  {e}")
+        failed = True
+    if failed:
+        print("self-test FAILED")
+        return 1
+    print(f"self-test OK: {len(errors)} planted violations detected, "
+          "justified sites clean")
+    return 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--root", default=REPO_ROOT)
+    ap.add_argument("--self-test", action="store_true")
+    args = ap.parse_args()
+
+    if args.self_test:
+        return self_test(args.root)
+
+    errors = lint_tree(args.root)
+    for e in errors:
+        print(e)
+    if errors:
+        print(f"lint: {len(errors)} error(s)")
+        return 1
+    print("lint: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

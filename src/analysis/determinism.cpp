@@ -1,0 +1,44 @@
+#include "analysis/determinism.h"
+
+#include <sstream>
+
+#include "common/rng.h"
+
+namespace dpu::analysis {
+
+std::string MatrixReport::summary() const {
+  std::ostringstream os;
+  os << "determinism matrix: " << replicas << " shuffled replica(s) vs baseline, "
+     << divergences.size() << " divergence(s)";
+  for (const auto& d : divergences) {
+    os << "\n  seed " << d.seed << ": " << d.detail;
+  }
+  return os.str();
+}
+
+MatrixReport run_matrix(const ReplicaFn& fn, std::span<const std::uint64_t> seeds) {
+  MatrixReport rep;
+  rep.baseline = fn(0);
+  for (const std::uint64_t seed : seeds) {
+    ++rep.replicas;
+    const RunRecord r = fn(seed);
+    const std::string diff = diff_records(rep.baseline, r);
+    if (!diff.empty()) {
+      rep.divergences.push_back(Divergence{seed, diff});
+    }
+  }
+  return rep;
+}
+
+std::vector<std::uint64_t> default_seeds(std::size_t n) {
+  std::vector<std::uint64_t> out;
+  out.reserve(n);
+  std::uint64_t state = 0xD15EA5E0FF10ADull;  // fixed root: the matrix is itself deterministic
+  while (out.size() < n) {
+    const std::uint64_t s = splitmix64(state);
+    if (s != 0) out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace dpu::analysis

@@ -1,0 +1,53 @@
+// Schedule-race detector harness (tie-shuffle determinism matrix).
+//
+// The engine's tie-shuffle mode (Engine::set_tie_shuffle_seed) dispatches
+// same-virtual-time events in a seed-permuted order instead of insertion
+// order. A simulation whose outcome is independent of same-time ordering —
+// the property every reproducibility claim in this repo rests on — produces
+// an identical RunRecord for every seed; any divergence is a real schedule
+// race, and this harness reports it with the first diverging trace event.
+//
+// The harness is generic over a ReplicaFn so drivers (tests, the
+// ablation_determinism bench) construct whatever workload they like; the
+// function must build a FRESH simulation per invocation, arm the given tie
+// seed before running, and capture the result (analysis::capture_run).
+// Seed 0 means "shuffle off" and is always the baseline.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "analysis/digest.h"
+
+namespace dpu::analysis {
+
+/// Builds, runs and snapshots one replica of the workload under `tie_seed`.
+using ReplicaFn = std::function<RunRecord(std::uint64_t tie_seed)>;
+
+/// One replica that diverged from the seed-0 baseline.
+struct Divergence {
+  std::uint64_t seed = 0;
+  std::string detail;  ///< diff_records output: first diverging event
+};
+
+struct MatrixReport {
+  RunRecord baseline;  ///< the seed-0 (shuffle-off) record
+  std::size_t replicas = 0;
+  std::vector<Divergence> divergences;
+
+  bool identical() const { return divergences.empty(); }
+  std::string summary() const;
+};
+
+/// Runs the workload once with shuffle off (seed 0, the baseline) and once
+/// per entry of `seeds`, comparing every record against the baseline.
+MatrixReport run_matrix(const ReplicaFn& fn, std::span<const std::uint64_t> seeds);
+
+/// `n` distinct nonzero tie seeds derived from a fixed root (SplitMix64
+/// stream), so every caller of the matrix uses the same default seed set.
+std::vector<std::uint64_t> default_seeds(std::size_t n);
+
+}  // namespace dpu::analysis

@@ -1,0 +1,295 @@
+#include "analysis/invariants.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "sim/engine.h"
+
+namespace dpu::analysis {
+
+ProtocolChecker::ProtocolChecker(sim::Engine& eng) : eng_(eng) { eng_.set_checker(this); }
+
+ProtocolChecker::~ProtocolChecker() {
+  if (eng_.checker() == this) eng_.set_checker(nullptr);
+}
+
+void ProtocolChecker::record(const std::string& rule, const std::string& detail) {
+  violations_.push_back(Violation{rule, detail, eng_.now()});
+  if (abort_on_violation_) {
+    throw InvariantViolation("protocol invariant [" + rule + "] violated at t=" +
+                             std::to_string(eng_.now()) + ": " + detail);
+  }
+}
+
+std::string ProtocolChecker::pair_name(const PairKey& k) {
+  std::ostringstream os;
+  os << "pair(src=" << std::get<0>(k) << ", dst=" << std::get<1>(k)
+     << ", tag=" << std::get<2>(k) << ", chunk=" << std::get<3>(k) << ")";
+  return os.str();
+}
+
+std::string ProtocolChecker::group_name(const GroupKey& k) {
+  std::ostringstream os;
+  os << "group(host=" << k.first << ", req=" << k.second << ")";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Basic-pair plane
+// ---------------------------------------------------------------------------
+
+void ProtocolChecker::on_rts(int src, int dst, int tag, std::uint32_t chunk_index,
+                             std::uint32_t chunk_count) {
+  (void)chunk_count;
+  ++pair({src, dst, tag, chunk_index}).rts;
+}
+
+void ProtocolChecker::on_rtr(int src, int dst, int tag, std::uint32_t chunk_index,
+                             std::uint32_t chunk_count) {
+  (void)chunk_count;
+  ++pair({src, dst, tag, chunk_index}).rtr;
+}
+
+void ProtocolChecker::on_pair_matched(int proxy, int src, int dst, int tag,
+                                      std::uint32_t chunk_index) {
+  const PairKey k{src, dst, tag, chunk_index};
+  auto& p = pair(k);
+  ++p.matched;
+  // Tags are legally reused by sequential operations, so the invariant is
+  // count-based: a proxy can never have combined more pairs than both sides
+  // posted envelopes for.
+  if (p.matched > std::min(p.rts, p.rtr)) {
+    record("rts-rtr-overmatch", pair_name(k) + " matched " + std::to_string(p.matched) +
+                                    " times at proxy " + std::to_string(proxy) + " with only " +
+                                    std::to_string(p.rts) + " RTS / " + std::to_string(p.rtr) +
+                                    " RTR posted");
+  }
+}
+
+void ProtocolChecker::on_fence_basic(int proxy, int src, int dst, int tag) {
+  (void)proxy;
+  // The fence names every chunk index of the tag; mark all known keys.
+  for (auto& [k, p] : pairs_) {
+    if (std::get<0>(k) == src && std::get<1>(k) == dst && std::get<2>(k) == tag) {
+      p.fenced = true;
+    }
+  }
+}
+
+void ProtocolChecker::on_basic_degraded(int src, int dst, int tag) {
+  for (auto& [k, p] : pairs_) {
+    if (std::get<0>(k) == src && std::get<1>(k) == dst && std::get<2>(k) == tag) {
+      p.degraded = true;
+    }
+  }
+  // Striped fallbacks also abandon the countdown aggregation for the op.
+  for (auto& [cd, st] : countdowns_) {
+    (void)cd;
+    if (st.src == src && st.dst == dst && st.tag == tag) st.degraded = true;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Completion flags
+// ---------------------------------------------------------------------------
+
+void ProtocolChecker::on_fin_pair(std::shared_ptr<sim::Event> src_flag,
+                                  std::shared_ptr<sim::Event> dst_flag, int src, int dst) {
+  const auto fire = [&](std::shared_ptr<sim::Event> flag, const char* side, int rank) {
+    if (!flag) return;
+    const sim::Event* key = flag.get();
+    if (!finned_flags_.emplace(key, std::move(flag)).second) {
+      record("duplicate-flag-write", std::string("second FIN flag-write into the ") + side +
+                                         "-side completion of rank " + std::to_string(rank));
+    }
+  };
+  fire(std::move(src_flag), "src", src);
+  fire(std::move(dst_flag), "dst", dst);
+}
+
+// ---------------------------------------------------------------------------
+// Striping
+// ---------------------------------------------------------------------------
+
+void ProtocolChecker::on_countdown(std::shared_ptr<void> cd, bool sender_side,
+                                   std::uint32_t total, int src, int dst, int tag) {
+  if (!cd) return;
+  const void* key = cd.get();
+  auto [it, fresh] = countdowns_.try_emplace(key);
+  if (!fresh) {
+    record("countdown-pairing", "countdown of " + pair_name({src, dst, tag, 0}) +
+                                    " registered twice");
+    return;
+  }
+  it->second.pin = std::move(cd);
+  it->second.sender_side = sender_side;
+  it->second.total = total;
+  it->second.src = src;
+  it->second.dst = dst;
+  it->second.tag = tag;
+  it->second.delivered.assign(total, 0);
+}
+
+void ProtocolChecker::on_chunk_delivered(const void* sender_cd, const void* receiver_cd,
+                                         std::uint32_t index) {
+  const auto mark = [&](const void* cd, const void* peer, bool expect_sender) {
+    if (cd == nullptr) return;
+    auto it = countdowns_.find(cd);
+    if (it == countdowns_.end()) return;  // op registered before checker attached
+    auto& st = it->second;
+    if (st.sender_side != expect_sender) {
+      record("countdown-pairing", "countdown of " + pair_name({st.src, st.dst, st.tag, index}) +
+                                      " used on the wrong side of the transfer");
+      return;
+    }
+    if (index >= st.total) {
+      record("countdown-pairing", "chunk index " + std::to_string(index) + " out of range for " +
+                                      pair_name({st.src, st.dst, st.tag, index}) + " (total " +
+                                      std::to_string(st.total) + ")");
+      return;
+    }
+    if (st.delivered[index]) {
+      record("duplicate-chunk-delivery", "chunk " + std::to_string(index) + " of " +
+                                             pair_name({st.src, st.dst, st.tag, index}) +
+                                             " delivered twice");
+      return;
+    }
+    st.delivered[index] = 1;
+    if (peer != nullptr) {
+      if (st.peer == nullptr) {
+        st.peer = peer;
+        // Sender/receiver symmetry: the two ends plan the same chunking, so
+        // their countdown totals must agree.
+        auto pit = countdowns_.find(peer);
+        if (pit != countdowns_.end() && pit->second.total != st.total) {
+          record("countdown-pairing",
+                 "countdown totals disagree for " + pair_name({st.src, st.dst, st.tag, index}) +
+                     ": " + std::to_string(st.total) + " vs " +
+                     std::to_string(pit->second.total));
+        }
+      } else if (st.peer != peer) {
+        record("countdown-pairing", "countdown of " + pair_name({st.src, st.dst, st.tag, index}) +
+                                        " paired with two different peer countdowns");
+      }
+    }
+  };
+  mark(sender_cd, receiver_cd, /*expect_sender=*/true);
+  mark(receiver_cd, sender_cd, /*expect_sender=*/false);
+}
+
+// ---------------------------------------------------------------------------
+// Group plane
+// ---------------------------------------------------------------------------
+
+void ProtocolChecker::on_group_call(int host, std::uint64_t req_id,
+                                    std::shared_ptr<sim::Event> flag) {
+  auto& g = groups_[{host, req_id}];
+  ++g.calls;
+  if (flag) g.open_flags.push_back(std::move(flag));
+}
+
+void ProtocolChecker::on_group_fin(int proxy, int host, std::uint64_t req_id,
+                                   std::shared_ptr<sim::Event> flag) {
+  const GroupKey k{host, req_id};
+  auto it = groups_.find(k);
+  if (it == groups_.end()) {
+    record("group-fin-unannounced", group_name(k) + " FIN'd at proxy " + std::to_string(proxy) +
+                                        " but no group_call announced it");
+    return;
+  }
+  auto& g = it->second;
+  auto fit = std::find_if(g.open_flags.begin(), g.open_flags.end(),
+                          [&](const std::shared_ptr<sim::Event>& f) { return f == flag; });
+  if (fit == g.open_flags.end()) {
+    record("group-fin-unannounced", group_name(k) + " FIN'd at proxy " + std::to_string(proxy) +
+                                        " with a flag no open call of it carries (double FIN?)");
+    return;
+  }
+  g.open_flags.erase(fit);
+  ++g.fins;
+  if (g.fenced_at.count(proxy) > 0) {
+    record("fin-after-fence", group_name(k) + " FIN'd at proxy " + std::to_string(proxy) +
+                                  " after that proxy accepted a fence for it");
+  }
+}
+
+void ProtocolChecker::on_group_degraded(int host, std::uint64_t req_id) {
+  groups_[{host, req_id}].degraded = true;
+}
+
+void ProtocolChecker::on_fence_group(int proxy, int host, std::uint64_t req_id) {
+  const GroupKey k{host, req_id};
+  auto& g = groups_[k];
+  g.fenced_at.insert(proxy);
+  if (!g.degraded) {
+    record("fence-without-degrade", group_name(k) + " fenced at proxy " + std::to_string(proxy) +
+                                        " but its host never degraded or redispatched it");
+  }
+}
+
+void ProtocolChecker::on_fenced_arrival(int proxy, int host, std::uint64_t req_id) {
+  const GroupKey k{host, req_id};
+  auto it = groups_.find(k);
+  if (it == groups_.end() || !it->second.degraded) {
+    record("fence-without-degrade", "arrival for " + group_name(k) + " swallowed at proxy " +
+                                        std::to_string(proxy) +
+                                        " as fenced, but the request was never degraded");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Reliable plane
+// ---------------------------------------------------------------------------
+
+void ProtocolChecker::on_reliable_delivery(int receiver, int sender, std::uint64_t seq,
+                                           bool accepted) {
+  auto& seen = accepted_seqs_[{receiver, sender}];
+  const std::string name = "reliable(sender=" + std::to_string(sender) + ", seq=" +
+                           std::to_string(seq) + ", receiver=" + std::to_string(receiver) + ")";
+  if (accepted) {
+    if (!seen.insert(seq).second) {
+      record("dup-filter", name + " accepted twice");
+    }
+  } else if (seen.count(seq) == 0) {
+    record("dup-filter", name + " dropped as a replay but was never accepted");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Final pass / reporting
+// ---------------------------------------------------------------------------
+
+void ProtocolChecker::check_final() {
+  for (const auto& [k, p] : pairs_) {
+    if (p.fenced || p.degraded) continue;
+    if (p.rts != p.rtr || p.matched != p.rts) {
+      record("unmatched-pair", pair_name(k) + " ended with " + std::to_string(p.rts) +
+                                   " RTS / " + std::to_string(p.rtr) + " RTR / " +
+                                   std::to_string(p.matched) + " matched");
+    }
+  }
+  for (const auto& [cd, st] : countdowns_) {
+    (void)cd;
+    if (st.degraded) continue;
+    const auto done = static_cast<std::uint32_t>(
+        std::count(st.delivered.begin(), st.delivered.end(), char{1}));
+    if (done != st.total) {
+      record("incomplete-stripe", pair_name({st.src, st.dst, st.tag, 0}) + " " +
+                                      (st.sender_side ? "sender" : "receiver") +
+                                      "-side countdown saw " + std::to_string(done) + " of " +
+                                      std::to_string(st.total) + " chunks");
+    }
+  }
+}
+
+std::string ProtocolChecker::report() const {
+  if (violations_.empty()) return "protocol checker: no violations";
+  std::ostringstream os;
+  os << "protocol checker: " << violations_.size() << " violation(s)\n";
+  for (const auto& v : violations_) {
+    os << "  [" << v.rule << "] t=" << v.at << " " << v.detail << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace dpu::analysis

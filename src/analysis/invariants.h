@@ -1,0 +1,177 @@
+// Online protocol-invariant checker for the offload control plane.
+//
+// A ProtocolChecker is an optional observer the offload/proxy/reliable
+// layers report their protocol steps to (via the Engine rendezvous pointer,
+// see Engine::set_checker — the layers never depend on this library's
+// types beyond the forward declaration). It validates the control-plane
+// state machine while the simulation runs:
+//
+//   rts-rtr-overmatch        a proxy combined more (src,dst,tag,chunk)
+//                            pairs than the hosts posted RTS/RTR for
+//   duplicate-flag-write     a completion flag received a second FIN
+//                            flag-write pair (striped aggregation must fire
+//                            exactly once per chunk-set)
+//   duplicate-chunk-delivery one striped segment delivered twice into the
+//                            same countdown
+//   countdown-pairing        a sender-side countdown was paired with two
+//                            different receiver-side countdowns (or totals
+//                            disagree between the two ends)
+//   group-fin-unannounced    a proxy FIN'd a group flag no group_call ever
+//                            announced (or FIN'd the same call twice)
+//   fin-after-fence          a proxy FIN'd a group job a host had fenced
+//   fence-without-degrade    a proxy was fenced for (host, req) — or
+//                            swallowed an arrival as fenced — without the
+//                            owning host having degraded/redispatched it
+//   dup-filter               a reliable (sender, seq) was accepted twice,
+//                            or a replay was dropped that was never
+//                            accepted in the first place
+//
+// plus, via check_final() on runs expected to quiesce cleanly:
+//
+//   unmatched-pair           leftover RTS/RTR counts disagree for a key
+//                            that was never fenced or degraded
+//   incomplete-stripe        a chunk countdown never saw all its segments
+//
+// Violations are recorded as structured errors naming the request and the
+// event; ok()/violations() expose them, and set_abort_on_violation(true)
+// turns the first one into a thrown InvariantViolation for debugging.
+//
+// The checker deliberately PINS every flag and countdown it is handed
+// (shared_ptr copies), so identity-by-address can never alias a freed
+// object with a later allocation at the same address.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/check.h"
+#include "common/units.h"
+
+namespace dpu::sim {
+class Engine;
+class Event;
+}  // namespace dpu::sim
+
+namespace dpu::analysis {
+
+/// A protocol-invariant breach, thrown when abort-on-violation is armed.
+class InvariantViolation : public SimError {
+ public:
+  explicit InvariantViolation(const std::string& what) : SimError(what) {}
+};
+
+class ProtocolChecker {
+ public:
+  struct Violation {
+    std::string rule;    ///< one of the rule names above
+    std::string detail;  ///< names the request / event involved
+    SimTime at = 0;      ///< virtual time the violation was observed
+  };
+
+  /// Attaches to `eng` (Engine::set_checker); detaches on destruction.
+  explicit ProtocolChecker(sim::Engine& eng);
+  ~ProtocolChecker();
+  ProtocolChecker(const ProtocolChecker&) = delete;
+  ProtocolChecker& operator=(const ProtocolChecker&) = delete;
+
+  /// Throw InvariantViolation at the first recorded violation (default:
+  /// record and continue, so one run reports every breach).
+  void set_abort_on_violation(bool on) { abort_on_violation_ = on; }
+
+  // ---- basic-pair plane (RTS/RTR matching) --------------------------------
+  void on_rts(int src, int dst, int tag, std::uint32_t chunk_index, std::uint32_t chunk_count);
+  void on_rtr(int src, int dst, int tag, std::uint32_t chunk_index, std::uint32_t chunk_count);
+  void on_pair_matched(int proxy, int src, int dst, int tag, std::uint32_t chunk_index);
+  void on_fence_basic(int proxy, int src, int dst, int tag);
+  void on_basic_degraded(int src, int dst, int tag);
+
+  // ---- completion flags (FIN flag-write pairs) ----------------------------
+  void on_fin_pair(std::shared_ptr<sim::Event> src_flag, std::shared_ptr<sim::Event> dst_flag,
+                   int src, int dst);
+
+  // ---- striping (chunk countdowns) ----------------------------------------
+  void on_countdown(std::shared_ptr<void> cd, bool sender_side, std::uint32_t total, int src,
+                    int dst, int tag);
+  void on_chunk_delivered(const void* sender_cd, const void* receiver_cd, std::uint32_t index);
+
+  // ---- group plane --------------------------------------------------------
+  void on_group_call(int host, std::uint64_t req_id, std::shared_ptr<sim::Event> flag);
+  void on_group_fin(int proxy, int host, std::uint64_t req_id,
+                    std::shared_ptr<sim::Event> flag);
+  /// Host committed (host, req_id) to the fallback path or a sibling proxy —
+  /// the only states that authorize fences and fenced-arrival swallows.
+  void on_group_degraded(int host, std::uint64_t req_id);
+  void on_fence_group(int proxy, int host, std::uint64_t req_id);
+  void on_fenced_arrival(int proxy, int host, std::uint64_t req_id);
+
+  // ---- reliable plane (DupFilter decisions) -------------------------------
+  void on_reliable_delivery(int receiver, int sender, std::uint64_t seq, bool accepted);
+
+  // ---- results ------------------------------------------------------------
+  bool ok() const { return violations_.empty(); }
+  const std::vector<Violation>& violations() const { return violations_; }
+
+  /// Completeness pass for runs expected to quiesce with no faults pending:
+  /// every non-fenced, non-degraded pair fully matched, every countdown
+  /// drained. Appends to violations(); not called automatically because
+  /// fault-injected runs legitimately end with abandoned protocol state.
+  void check_final();
+
+  /// Multi-line human-readable summary of every recorded violation.
+  std::string report() const;
+
+ private:
+  using PairKey = std::tuple<int, int, int, std::uint32_t>;  // src,dst,tag,chunk
+  using GroupKey = std::pair<int, std::uint64_t>;            // host,req_id
+
+  struct PairState {
+    std::uint64_t rts = 0;
+    std::uint64_t rtr = 0;
+    std::uint64_t matched = 0;
+    bool fenced = false;
+    bool degraded = false;
+  };
+
+  struct CountdownState {
+    std::shared_ptr<void> pin;
+    bool sender_side = false;
+    std::uint32_t total = 0;
+    int src = -1, dst = -1, tag = 0;
+    const void* peer = nullptr;  ///< the other side's countdown, once seen
+    std::vector<char> delivered;
+    bool degraded = false;
+  };
+
+  struct GroupState {
+    /// Announced-but-not-yet-FIN'd call flags (pinned), in call order.
+    std::vector<std::shared_ptr<sim::Event>> open_flags;
+    std::uint64_t calls = 0;
+    std::uint64_t fins = 0;
+    bool degraded = false;
+    std::set<int> fenced_at;  ///< proxies that accepted a fence for this key
+  };
+
+  void record(const std::string& rule, const std::string& detail);
+  static std::string pair_name(const PairKey& k);
+  static std::string group_name(const GroupKey& k);
+  PairState& pair(const PairKey& k) { return pairs_[k]; }
+
+  sim::Engine& eng_;
+  bool abort_on_violation_ = false;
+  std::vector<Violation> violations_;
+
+  std::map<PairKey, PairState> pairs_;
+  std::map<const void*, CountdownState> countdowns_;
+  std::map<GroupKey, GroupState> groups_;
+  /// Flags already FIN'd, pinned so addresses stay unique for the run.
+  std::map<const sim::Event*, std::shared_ptr<sim::Event>> finned_flags_;
+  /// (receiver, sender) -> every seq ever accepted by its DupFilter.
+  std::map<std::pair<int, int>, std::set<std::uint64_t>> accepted_seqs_;
+};
+
+}  // namespace dpu::analysis

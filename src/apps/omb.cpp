@@ -1,3 +1,4 @@
+#include "common/check.h"
 #include "apps/omb.h"
 
 #include <vector>
@@ -41,9 +42,11 @@ std::vector<SizeSample> p2p_latency(const machine::ClusterSpec& spec, P2pBackend
           co_await r.mpi->recv(d, len, peer_of_0, 1);
         } else {
           auto qs = co_await r.off->send_offload(s, len, peer_of_0, 0);
-          co_await r.off->wait(qs);
+          require(co_await r.off->wait(qs) == offload::Status::kOk,
+                  "offloaded op did not complete cleanly");
           auto qr = co_await r.off->recv_offload(d, len, peer_of_0, 1);
-          co_await r.off->wait(qr);
+          require(co_await r.off->wait(qr) == offload::Status::kOk,
+                  "offloaded op did not complete cleanly");
         }
       }
       us = to_us(r.world->now() - t0) / (2.0 * iters);  // one-way latency
@@ -57,9 +60,11 @@ std::vector<SizeSample> p2p_latency(const machine::ClusterSpec& spec, P2pBackend
           co_await r.mpi->send(s, len, 0, 1);
         } else {
           auto qr = co_await r.off->recv_offload(d, len, 0, 0);
-          co_await r.off->wait(qr);
+          require(co_await r.off->wait(qr) == offload::Status::kOk,
+                  "offloaded op did not complete cleanly");
           auto qs = co_await r.off->send_offload(s, len, 0, 1);
-          co_await r.off->wait(qs);
+          require(co_await r.off->wait(qs) == offload::Status::kOk,
+                  "offloaded op did not complete cleanly");
         }
       }
     };
@@ -94,9 +99,11 @@ std::vector<SizeSample> p2p_bandwidth(const machine::ClusterSpec& spec, P2pBacke
           for (int k = 0; k < window; ++k) {
             reqs.push_back(co_await r.off->send_offload(s, len, peer_of_0, k));
           }
-          co_await r.off->waitall(reqs);
+          require(co_await r.off->waitall(reqs) == offload::Status::kOk,
+                  "offloaded op did not complete cleanly");
           auto a = co_await r.off->recv_offload(ack, 8, peer_of_0, 999);
-          co_await r.off->wait(a);
+          require(co_await r.off->wait(a) == offload::Status::kOk,
+                  "offloaded op did not complete cleanly");
         }
       }
       const double secs = to_sec(r.world->now() - t0);
@@ -118,9 +125,11 @@ std::vector<SizeSample> p2p_bandwidth(const machine::ClusterSpec& spec, P2pBacke
           for (int k = 0; k < window; ++k) {
             reqs.push_back(co_await r.off->recv_offload(d, len, 0, k));
           }
-          co_await r.off->waitall(reqs);
+          require(co_await r.off->waitall(reqs) == offload::Status::kOk,
+                  "offloaded op did not complete cleanly");
           auto a = co_await r.off->send_offload(ack, 8, 0, 999);
-          co_await r.off->wait(a);
+          require(co_await r.off->wait(a) == offload::Status::kOk,
+                  "offloaded op did not complete cleanly");
         }
       }
     };
@@ -158,7 +167,8 @@ double one_ialltoall(const machine::ClusterSpec& spec, CollLib lib, std::size_t 
       } else {
         auto q = co_await group.icall(sbuf, rbuf, bpr, r.world->mpi().world());
         if (compute > 0) co_await r.compute(compute);
-        co_await group.wait(q);
+        require(co_await group.wait(q) == offload::Status::kOk,
+                "offloaded op did not complete cleanly");
       }
     }
     if (r.rank == 0) out = to_us(r.world->now() - t0) / iters;

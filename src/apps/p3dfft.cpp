@@ -57,7 +57,8 @@ struct A2aEngine {
     } else if (backend == FftBackend::kBlues) {
       co_await r.blues->wait(h.breq);
     } else {
-      co_await group->wait(h.ghandle);
+      require(co_await group->wait(h.ghandle) == offload::Status::kOk,
+              "offloaded op did not complete cleanly");
     }
   }
 };

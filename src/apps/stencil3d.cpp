@@ -102,7 +102,9 @@ sim::Task<void> stencil_rank(StencilConfig cfg, StencilStats* stats, Rank& r) {
     }
     if (compute > 0) co_await r.compute(compute);
     co_await r.mpi->waitall(mreqs);
-    for (auto& q : oreqs) co_await r.off->wait(q);
+    for (auto& q : oreqs)
+      require(co_await r.off->wait(q) == offload::Status::kOk,
+              "offloaded op did not complete cleanly");
     // A lightweight neighbour sync per iteration keeps ranks in lockstep
     // (as the implicit data dependency of a real stencil would).
   }

@@ -71,6 +71,30 @@ class MetricsRegistry {
 
   std::size_t counter_count() const { return owned_.size() + linked_.size(); }
 
+  /// Visits every counter (owned and linked) in sorted-name order — the
+  /// same two-pointer merge the JSON export uses, so visitation order is
+  /// deterministic and matches the export.
+  template <typename Fn>
+  void for_each_counter(Fn&& fn) const {
+    auto o = owned_.begin();
+    auto l = linked_.begin();
+    while (o != owned_.end() || l != linked_.end()) {
+      if (l == linked_.end() || (o != owned_.end() && o->first < l->first)) {
+        fn(o->first, o->second->value());
+        ++o;
+      } else {
+        fn(l->first, l->second->value());
+        ++l;
+      }
+    }
+  }
+
+  /// Visits every gauge in sorted-name order.
+  template <typename Fn>
+  void for_each_gauge(Fn&& fn) const {
+    for (const auto& [name, v] : gauges_) fn(name, v);
+  }
+
   /// One JSON object: {"counters": {...}, "gauges": {...}}, keys sorted, so
   /// exports are deterministic and diffable.
   void write_json(std::ostream& os) const;

@@ -97,17 +97,67 @@ SimTime Fabric::plan_transfer(int src_node, int dst_node, std::size_t bytes, boo
   return rx_end;
 }
 
-SimTime Fabric::transfer(int src_node, int dst_node, std::size_t bytes,
-                         std::function<void()> on_delivered, bool to_host) {
-  const SimTime end = plan_transfer(src_node, dst_node, bytes, to_host);
-  eng_.schedule_at(end, std::move(on_delivered));
-  return end;
+void Fabric::enqueue(PendingXfer p) {
+  pending_.push_back(std::move(p));
+  if (!settle_armed_) {
+    settle_armed_ = true;
+    eng_.at_instant_end([this] { settle(); });
+  }
+}
+
+void Fabric::settle() {
+  settle_armed_ = false;
+  std::vector<PendingXfer> batch;
+  batch.swap(pending_);
+  // Canonical grant order: by requester process id, call order within one
+  // requester (and for requester-less callers, e.g. unit tests driving the
+  // fabric directly). A stable sort is essential — same-requester requests
+  // are program-ordered and must stay that way.
+  std::stable_sort(batch.begin(), batch.end(),
+                   [](const PendingXfer& a, const PendingXfer& b) {
+                     return a.requester < b.requester;
+                   });
+  for (auto& p : batch) {
+    const SimTime end = plan_transfer(p.src_node, p.dst_node, p.bytes, p.to_host);
+    if (p.waiter) {
+      eng_.resume_at(end, p.waiter);
+    } else {
+      eng_.schedule_at(end, std::move(p.on_delivered));
+    }
+  }
+}
+
+void Fabric::transfer(int src_node, int dst_node, std::size_t bytes,
+                      std::function<void()> on_delivered, bool to_host, int requester) {
+  PendingXfer p;
+  p.src_node = src_node;
+  p.dst_node = dst_node;
+  p.bytes = bytes;
+  p.to_host = to_host;
+  p.requester = requester;
+  p.on_delivered = std::move(on_delivered);
+  enqueue(std::move(p));
 }
 
 sim::Task<void> Fabric::transfer_await(int src_node, int dst_node, std::size_t bytes,
-                                       bool to_host) {
-  const SimTime end = plan_transfer(src_node, dst_node, bytes, to_host);
-  co_await eng_.sleep(end - eng_.now());
+                                       bool to_host, int requester) {
+  struct Awaiter {
+    Fabric& fab;
+    PendingXfer p;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      p.waiter = h;
+      fab.enqueue(std::move(p));
+    }
+    void await_resume() const noexcept {}
+  };
+  PendingXfer p;
+  p.src_node = src_node;
+  p.dst_node = dst_node;
+  p.bytes = bytes;
+  p.to_host = to_host;
+  p.requester = requester;
+  co_await Awaiter{*this, std::move(p)};
 }
 
 SimDuration Fabric::uncontended_time(int src_node, int dst_node, std::size_t bytes) const {

@@ -17,8 +17,20 @@
 // The callback flavour exists for initiators that must run side-effects at
 // delivery on behalf of another process (the verbs layer) and routes
 // through the same core.
+//
+// Link arbitration: requests are not booked at call time. They are
+// collected per virtual instant and granted at the end of that instant in
+// a canonical order — stable-sorted by requester process id (ties keep
+// call order). Two processes contending for the same lane in the same
+// picosecond therefore serialize by *who they are*, not by the incidental
+// order the scheduler ran their coroutines — which is what makes outcomes
+// independent of same-time event ordering (see tests/determinism_test.cpp;
+// tie-shuffle mode perturbs exactly that incidental order). This mirrors a
+// real arbiter: PCIe and NIC ports grant same-cycle requestors by fixed
+// priority, not by software call order.
 #pragma once
 
+#include <coroutine>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -48,14 +60,17 @@ class Fabric {
   /// Schedules a wire transfer of `bytes` from `src_node`'s NIC to
   /// `dst_node`'s NIC; `on_delivered` runs when the last byte lands.
   /// For same-node (PCIe) transfers, `to_host` selects the DMA direction
-  /// (the lane pair is full duplex). Returns the delivery time.
-  SimTime transfer(int src_node, int dst_node, std::size_t bytes,
-                   std::function<void()> on_delivered, bool to_host = false);
+  /// (the lane pair is full duplex). `requester` is the posting process id,
+  /// the canonical arbitration key for same-instant contention (-1 keeps
+  /// plain call order).
+  void transfer(int src_node, int dst_node, std::size_t bytes,
+                std::function<void()> on_delivered, bool to_host = false,
+                int requester = -1);
 
   /// Coroutine flavour (primary path): completes at delivery time without
   /// allocating.
   sim::Task<void> transfer_await(int src_node, int dst_node, std::size_t bytes,
-                                 bool to_host = false);
+                                 bool to_host = false, int requester = -1);
 
   /// Latency-only estimate of an uncontended transfer (used by tests and
   /// calibration, never by protocol logic).
@@ -68,10 +83,27 @@ class Fabric {
     SimTime free_at = 0;
   };
 
+  /// A transfer request awaiting end-of-instant arbitration. Exactly one of
+  /// `on_delivered` / `waiter` is set (callback vs coroutine flavour).
+  struct PendingXfer {
+    int src_node = 0;
+    int dst_node = 0;
+    std::size_t bytes = 0;
+    bool to_host = false;
+    int requester = -1;
+    std::function<void()> on_delivered;
+    std::coroutine_handle<> waiter;
+  };
+
   /// Advances the port/lane clocks for one transfer, updates stats and
   /// trace spans, and returns the delivery time. Does not schedule
   /// anything — callers decide how completion is observed.
   SimTime plan_transfer(int src_node, int dst_node, std::size_t bytes, bool to_host);
+
+  /// Queues a request and arms the end-of-instant arbitration pass.
+  void enqueue(PendingXfer p);
+  /// Books the instant's cohort in canonical order (stable by requester).
+  void settle();
 
   sim::Engine& eng_;
   machine::CostModel cost_;
@@ -82,6 +114,8 @@ class Fabric {
   std::vector<Port> pcie_down_;  // toward the DPU
   std::vector<Port> pcie_up_;    // toward host memory
   std::vector<NicStats> stats_;
+  std::vector<PendingXfer> pending_;  // this instant's unarbitrated requests
+  bool settle_armed_ = false;
 };
 
 }  // namespace dpu::fabric

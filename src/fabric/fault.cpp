@@ -29,7 +29,8 @@ FaultPlan::FaultPlan(const machine::FaultSpec& spec, const machine::ClusterSpec&
   }
 }
 
-FaultPlan::Decision FaultPlan::decide(int channel, int dst_proc, bool dst_is_proxy) {
+FaultPlan::Decision FaultPlan::decide(int channel, int src_proc, int dst_proc,
+                                      bool dst_is_proxy) {
   Decision d;
   if (!spec_.enabled) return d;
   if (channel == kFlagWriteChannel) {
@@ -37,7 +38,25 @@ FaultPlan::Decision FaultPlan::decide(int channel, int dst_proc, bool dst_is_pro
   } else if (!spec_.faults_channel(channel)) {
     return d;
   }
-  const double u = rng_.uniform();
+  double u;
+  double delay_u = 0.0;
+  if (spec_.content_keyed) {
+    // Fate = pure function of the message's identity, not of global draw
+    // order: same traffic => same fault pattern under any tie scheduling.
+    const std::uint64_t k = stream_pos_[{src_proc, dst_proc, channel}]++;
+    std::uint64_t st = spec_.seed;
+    const auto fold = [&st](std::uint64_t v) {
+      st ^= v + 0x9E3779B97f4A7C15ull + (st << 6) + (st >> 2);
+    };
+    fold(static_cast<std::uint64_t>(src_proc));
+    fold(static_cast<std::uint64_t>(dst_proc));
+    fold(static_cast<std::uint64_t>(channel + 8));  // kFlagWriteChannel == -2
+    fold(k);
+    u = static_cast<double>(splitmix64(st) >> 11) * 0x1.0p-53;
+    delay_u = static_cast<double>(splitmix64(st) >> 11) * 0x1.0p-53;
+  } else {
+    u = rng_.uniform();
+  }
   if (u < spec_.drop_prob) {
     d.drop = true;
     ++drops_;
@@ -45,7 +64,8 @@ FaultPlan::Decision FaultPlan::decide(int channel, int dst_proc, bool dst_is_pro
     d.duplicate = true;
     ++dups_;
   } else if (u < spec_.drop_prob + spec_.dup_prob + spec_.delay_prob) {
-    d.extra_delay = from_us(rng_.uniform() * spec_.max_delay_us);
+    d.extra_delay =
+        from_us((spec_.content_keyed ? delay_u : rng_.uniform()) * spec_.max_delay_us);
     ++delays_;
   } else {
     return d;

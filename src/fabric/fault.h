@@ -16,7 +16,9 @@
 // retransmit with exponential backoff.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <map>
 
 #include "common/metrics.h"
 #include "common/rng.h"
@@ -56,9 +58,13 @@ class FaultPlan {
 
   /// Draws the fate of one message. Consumes RNG only for eligible messages
   /// of an enabled plan, keeping the schedule independent of ineligible
-  /// traffic. `dst_is_proxy` routes the per-destination faults_injected
-  /// counter under the destination proxy's metric prefix.
-  Decision decide(int channel, int dst_proc, bool dst_is_proxy);
+  /// traffic. `src_proc` identifies the sender: with `spec.content_keyed`
+  /// the fate is a pure hash of (seed, src, dst, channel, per-stream index)
+  /// instead of the next draw of one global stream, so the fault pattern is
+  /// invariant under same-virtual-time tie reordering (see FaultSpec).
+  /// `dst_is_proxy` routes the per-destination faults_injected counter
+  /// under the destination proxy's metric prefix.
+  Decision decide(int channel, int src_proc, int dst_proc, bool dst_is_proxy);
 
   std::uint64_t faults_injected() const { return injected_.value(); }
 
@@ -66,6 +72,11 @@ class FaultPlan {
   machine::FaultSpec spec_;
   metrics::MetricsRegistry& reg_;
   Rng rng_;
+  /// content_keyed mode: next per-(src,dst,channel) message index. Message
+  /// order within one such stream comes from a single sender coroutine in
+  /// program order, so the index — unlike the global draw order — does not
+  /// depend on cross-actor tie scheduling.
+  std::map<std::array<int, 3>, std::uint64_t> stream_pos_;
   metrics::Counter injected_;  // total (also split below)
   metrics::Counter drops_;
   metrics::Counter dups_;

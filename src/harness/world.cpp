@@ -1,5 +1,6 @@
 #include "harness/world.h"
 
+#include <cstdlib>
 #include <sstream>
 #include <utility>
 
@@ -8,6 +9,11 @@
 namespace dpu::harness {
 
 World::World(machine::ClusterSpec spec, bool with_offload) : spec_(spec) {
+  // DPU_CHECK=1 arms the protocol-invariant checker on every World — the
+  // whole existing test suite then runs under online validation for free.
+  if (const char* e = std::getenv("DPU_CHECK"); e != nullptr && *e != '\0') {
+    enable_checker();
+  }
   fab_ = std::make_unique<fabric::Fabric>(eng_, spec_);
   vrt_ = std::make_unique<verbs::Runtime>(eng_, spec_, *fab_);
   mpi_ = std::make_unique<mpi::MpiWorld>(*vrt_);
@@ -86,6 +92,12 @@ void World::run() {
                           (result == sim::RunResult::kDeadlock
                                ? "; live processes: " + live
                                : ""));
+  }
+  // Online invariant violations fail the run loudly (they indicate protocol
+  // bugs even when every rank program "finished"). check_final() is NOT run
+  // here: fault-injected workloads legitimately end with abandoned state.
+  if (checker_ && !checker_->ok()) {
+    throw analysis::InvariantViolation(checker_->report());
   }
 }
 

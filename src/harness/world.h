@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/invariants.h"
 #include "baselines/bluesmpi.h"
 #include "common/metrics.h"
 #include "fabric/fabric.h"
@@ -88,6 +89,17 @@ class World {
     return *trace_;
   }
 
+  /// Attaches the online protocol-invariant checker (src/analysis) to this
+  /// world's engine; the offload/proxy/reliable layers then report their
+  /// protocol steps to it. Also armed automatically when the DPU_CHECK
+  /// environment variable is set non-empty (run() then fails loudly on any
+  /// recorded violation). The checker lives as long as the World.
+  analysis::ProtocolChecker& enable_checker() {
+    if (!checker_) checker_ = std::make_unique<analysis::ProtocolChecker>(eng_);
+    return *checker_;
+  }
+  analysis::ProtocolChecker* checker() { return checker_.get(); }
+
  private:
   static sim::Task<void> invoke(RankProgram prog, Rank rank_ctx);
 
@@ -99,6 +111,7 @@ class World {
   std::unique_ptr<offload::OffloadRuntime> off_;
   std::unique_ptr<baselines::BluesMpi> blues_;
   std::unique_ptr<sim::Trace> trace_;
+  std::unique_ptr<analysis::ProtocolChecker> checker_;
   std::vector<sim::ProcHandle> launched_;
 };
 

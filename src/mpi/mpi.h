@@ -182,7 +182,7 @@ class MpiWorld {
   CommPtr create_comm(const std::vector<int>& world_ranks);
 
   /// Intra-node (shared-memory) delivery, bypassing the NIC.
-  void deliver_local(int dst_rank, std::any body, SimDuration delay);
+  void deliver_local(int src_rank, int dst_rank, std::any body, SimDuration delay);
 
  private:
   verbs::Runtime& rt_;
@@ -190,6 +190,9 @@ class MpiWorld {
   std::vector<std::unique_ptr<MpiCtx>> ctxs_;
   std::map<std::vector<int>, CommPtr> comm_cache_;
   int next_context_ = 1;
+  /// Per-sender program-order counters for the shared-memory mailbox path
+  /// (see deliver_local's stamp).
+  std::vector<std::uint64_t> shm_stamp_;
 };
 
 /// Collective schedule: stages of sends/receives; a stage starts only after

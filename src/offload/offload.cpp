@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "analysis/invariants.h"
 #include "common/check.h"
 #include "offload/stripe.h"
 
@@ -313,11 +314,16 @@ sim::Task<OffloadReqPtr> OffloadEndpoint::send_offload(machine::Addr addr, std::
     req->cd->done.assign(chunks.size(), 0);
     req->chunks.reserve(chunks.size());
     bytes_striped_ += len;
+    if (auto* chk = rt_.engine().checker()) {
+      chk->on_countdown(req->cd, /*sender_side=*/true,
+                        static_cast<std::uint32_t>(chunks.size()), rank_, dst, tag);
+    }
     for (const auto& ck : chunks) {
       req->chunks.push_back(OffloadRequest::ChunkState{ck, false, {}});
       if (liveness_on()) monitor(ck.owner_proxy);
       const std::size_t clen =
           chunk_len(len, rt_.spec().cost.chunk_bytes, ck.index, ck.count);
+      if (auto* chk = rt_.engine().checker()) chk->on_rts(rank_, dst, tag, ck.index, ck.count);
       std::any rts = RtsProxyMsg{rank_, dst, tag, clen, info, req->flag, ck, req->cd};
       co_await retx_.send(ck.owner_proxy, kProxyChannel, std::move(rts), 0);
       ++ctrl_sent_;
@@ -325,6 +331,7 @@ sim::Task<OffloadReqPtr> OffloadEndpoint::send_offload(machine::Addr addr, std::
     co_return req;
   }
   // NB: named locals, not temporaries — see the GCC 12 note in sim/task.h.
+  if (auto* chk = rt_.engine().checker()) chk->on_rts(rank_, dst, tag, 0, 1);
   std::any rts = RtsProxyMsg{rank_, dst, tag, len, info, req->flag, {}, {}};
   co_await retx_.send(proxy, kProxyChannel, std::move(rts), 0);
   ++ctrl_sent_;
@@ -365,11 +372,16 @@ sim::Task<OffloadReqPtr> OffloadEndpoint::recv_offload(machine::Addr addr, std::
     req->cd->remaining = static_cast<int>(chunks.size());
     req->cd->done.assign(chunks.size(), 0);
     req->chunks.reserve(chunks.size());
+    if (auto* chk = rt_.engine().checker()) {
+      chk->on_countdown(req->cd, /*sender_side=*/false,
+                        static_cast<std::uint32_t>(chunks.size()), src, rank_, tag);
+    }
     for (const auto& ck : chunks) {
       req->chunks.push_back(OffloadRequest::ChunkState{ck, false, {}});
       if (liveness_on()) monitor(ck.owner_proxy);
       const std::size_t clen =
           chunk_len(len, rt_.spec().cost.chunk_bytes, ck.index, ck.count);
+      if (auto* chk = rt_.engine().checker()) chk->on_rtr(src, rank_, tag, ck.index, ck.count);
       std::any rtr = RtrProxyMsg{src,     rank_,   tag, clen, addr + ck.offset,
                                  mr.rkey, req->flag, ck,  req->cd};
       co_await retx_.send(ck.owner_proxy, kProxyChannel, std::move(rtr), 0);
@@ -377,6 +389,7 @@ sim::Task<OffloadReqPtr> OffloadEndpoint::recv_offload(machine::Addr addr, std::
     }
     co_return req;
   }
+  if (auto* chk = rt_.engine().checker()) chk->on_rtr(src, rank_, tag, 0, 1);
   std::any rtr = RtrProxyMsg{src, rank_, tag, len, addr, mr.rkey, req->flag, {}, {}};
   co_await retx_.send(proxy, kProxyChannel, std::move(rtr), 0);
   ++ctrl_sent_;
@@ -390,6 +403,7 @@ sim::Task<void> OffloadEndpoint::degrade_basic(const OffloadReqPtr& req) {
   // pair the hosts already completed on the fallback path.
   const int src = req->is_send ? rank_ : req->peer;
   const int dst = req->is_send ? req->peer : rank_;
+  if (auto* chk = rt_.engine().checker()) chk->on_basic_degraded(src, dst, req->tag);
   std::any fence = FenceBasicMsg{src, dst, req->tag};
   co_await vctx().post_ctrl(req->dep_proxy, kLivenessChannel, std::move(fence), 0);
   // Death certificate to the counterparty so it degrades without waiting
@@ -430,6 +444,7 @@ sim::Task<bool> OffloadEndpoint::advance_striped(const OffloadReqPtr& req) {
     req->degraded = true;
     const int src = req->is_send ? rank_ : req->peer;
     const int dst = req->is_send ? req->peer : rank_;
+    if (auto* chk = rt_.engine().checker()) chk->on_basic_degraded(src, dst, req->tag);
     for (int owner : newly_dead) {
       // Fence the dead owner (erase_pair matches every chunk index of the
       // tag at that proxy only) and send the counterparty a certificate so
@@ -610,6 +625,8 @@ sim::Task<bool> OffloadEndpoint::test(const OffloadReqPtr& req) {
   if (liveness_on() && !req->flag->is_set() && !req->chunks.empty()) {
     co_await drain_liveness();
     co_await pump_monitors();
+    // lint: status-discard ok: advance_striped is invoked for its side
+    // effects (failover of dead chunks); completion is re-read from the flag.
     (void)co_await advance_striped(req);
     co_return req->flag->is_set();
   }
@@ -719,7 +736,11 @@ sim::Task<GroupMetaMsg> OffloadEndpoint::await_meta_from(int peer) {
       // Under faults the metadata travels in a reliable envelope (the
       // transport acked it at delivery): drop replays, then unwrap.
       if (auto* rel = std::any_cast<ReliableMsg>(&msg->body)) {
-        if (!dup_filter_.accept(rel->sender, rel->seq)) {
+        const bool fresh = dup_filter_.accept(rel->sender, rel->seq);
+        if (auto* chk = rt_.engine().checker()) {
+          chk->on_reliable_delivery(rank_, rel->sender, rel->seq, fresh);
+        }
+        if (!fresh) {
           ++dup_dropped_;
           continue;
         }
@@ -744,6 +765,7 @@ sim::Task<void> OffloadEndpoint::group_call(const GroupReqPtr& req) {
   co_await rt_.engine().sleep(from_us(cost.mpi_call_us));
 
   req->current_flag = std::make_shared<sim::Event>(rt_.engine());
+  if (auto* chk = rt_.engine().checker()) chk->on_group_call(rank_, req->id, req->current_flag);
 
   if (giveup_watch_on()) {
     bool tracked = false;
@@ -987,6 +1009,9 @@ sim::Task<void> OffloadEndpoint::redispatch_to_sibling(const GroupReqPtr& req, i
   // template (receivers would swallow duplicate arrivals, but the fence
   // keeps the dead proxy from burning cycles and credits on it).
   const int old = current_target(*req);
+  // The checker treats a sibling re-dispatch like a degrade: it authorizes
+  // the fence on the old home (and any fenced-arrival swallows there).
+  if (auto* chk = rt_.engine().checker()) chk->on_group_degraded(rank_, req->id);
   std::any fence = FenceGroupMsg{rank_, req->id};
   co_await vc.post_ctrl(old, kLivenessChannel, std::move(fence), 0);
   // Re-register the send buffers against the sibling's GVMI and ship the
@@ -1025,6 +1050,7 @@ sim::Task<void> OffloadEndpoint::redispatch_to_sibling(const GroupReqPtr& req, i
 sim::Task<void> OffloadEndpoint::degrade_group(const GroupReqPtr& req, int dead_proxy) {
   if (req->degraded) co_return;
   req->degraded = true;
+  if (auto* chk = rt_.engine().checker()) chk->on_group_degraded(rank_, req->id);
   req->fb_active = true;
   req->fb_next = 0;
   req->fb_inflight.clear();

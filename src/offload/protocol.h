@@ -39,7 +39,7 @@ inline constexpr int kLivenessChannel = 6;
 /// behaviour — aborting the whole simulation when the control plane gave up
 /// on a peer — made failover impossible; callers now observe how the
 /// operation completed and the endpoint handles degradation internally.
-enum class Status {
+enum class [[nodiscard]] Status {
   kOk,           ///< completed on the offloaded (proxy) path
   kDegraded,     ///< completed, but via host fallback or sibling re-dispatch
   kUnreachable,  ///< peer unreachable and no failover path available

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <string>
+#include <tuple>
 #include <utility>
 
+#include "analysis/invariants.h"
 #include "common/check.h"
 #include "offload/offload.h"
 
@@ -162,6 +164,9 @@ sim::Task<void> Proxy::handle_liveness(verbs::CtrlMsg msg) {
     std::any ack = HeartbeatAckMsg{proc_, hb->seq};
     co_await vctx().post_ctrl(hb->from_rank, kLivenessChannel, std::move(ack), 0);
   } else if (auto* fb = std::any_cast<FenceBasicMsg>(&msg.body)) {
+    if (auto* chk = rt_.engine().checker()) {
+      chk->on_fence_basic(proc_, fb->src_rank, fb->dst_rank, fb->tag);
+    }
     (void)queues_.erase_pair(fb->src_rank, fb->dst_rank, fb->tag);
     for (auto it = combined_.begin(); it != combined_.end();) {
       if (it->rts.src_rank == fb->src_rank && it->rts.dst_rank == fb->dst_rank &&
@@ -172,6 +177,9 @@ sim::Task<void> Proxy::handle_liveness(verbs::CtrlMsg msg) {
       }
     }
   } else if (auto* fg = std::any_cast<FenceGroupMsg>(&msg.body)) {
+    if (auto* chk = rt_.engine().checker()) {
+      chk->on_fence_group(proc_, fg->host_rank, fg->req_id);
+    }
     fenced_.insert({fg->host_rank, fg->req_id});
     ++fenced_jobs_;
     for (auto it = jobs_.begin(); it != jobs_.end();) {
@@ -199,7 +207,11 @@ sim::Task<void> Proxy::handle(verbs::CtrlMsg msg) {
   // envelope; the transport acked each delivered copy already, so here we
   // only drop replays, then dispatch the inner body as usual.
   if (auto* rel = std::any_cast<ReliableMsg>(&msg.body)) {
-    if (!dup_filter_.accept(rel->sender, rel->seq)) {
+    const bool fresh = dup_filter_.accept(rel->sender, rel->seq);
+    if (auto* chk = rt_.engine().checker()) {
+      chk->on_reliable_delivery(proc_, rel->sender, rel->seq, fresh);
+    }
+    if (!fresh) {
       ++dup_dropped_;
       co_return;
     }
@@ -210,10 +222,16 @@ sim::Task<void> Proxy::handle(verbs::CtrlMsg msg) {
   }
   if (auto* rts = std::any_cast<RtsProxyMsg>(&msg.body)) {
     if (auto rtr = queues_.on_rts(*rts)) {
+      if (auto* chk = rt_.engine().checker()) {
+        chk->on_pair_matched(proc_, rts->src_rank, rts->dst_rank, rts->tag, rts->chunk.index);
+      }
       combined_.push_back(BasicPair{*rts, std::move(*rtr)});
     }
   } else if (auto* rtr = std::any_cast<RtrProxyMsg>(&msg.body)) {
     if (auto rts = queues_.on_rtr(*rtr)) {
+      if (auto* chk = rt_.engine().checker()) {
+        chk->on_pair_matched(proc_, rtr->src_rank, rtr->dst_rank, rtr->tag, rtr->chunk.index);
+      }
       combined_.push_back(BasicPair{std::move(*rts), *rtr});
     }
   } else if (auto* pkt = std::any_cast<GroupPacketMsg>(&msg.body)) {
@@ -229,10 +247,10 @@ sim::Task<void> Proxy::handle(verbs::CtrlMsg msg) {
     // every run after the first — must survive the template swap.
     if (slot) tmpl->runs = slot->runs;
     slot = std::move(tmpl);
-    start_instance(pkt->host_rank, pkt->req_id, pkt->flag);
+    start_instance(pkt->host_rank, pkt->req_id, pkt->flag, msg.delivered_at);
   } else if (auto* cc = std::any_cast<GroupCachedCallMsg>(&msg.body)) {
     ++tmpl_hits_;
-    start_instance(cc->host_rank, cc->req_id, cc->flag);
+    start_instance(cc->host_rank, cc->req_id, cc->flag, msg.delivered_at);
   } else if (auto* arr = std::any_cast<RecvArrivedMsg>(&msg.body)) {
     if (!match_arrival(*arr)) pending_arrivals_.push_back(*arr);
   } else if (auto* cb = std::any_cast<CreditBatchMsg>(&msg.body)) {
@@ -269,7 +287,8 @@ sim::Task<void> Proxy::handle(verbs::CtrlMsg msg) {
   }
 }
 
-void Proxy::start_instance(int host_rank, std::uint64_t req_id, verbs::Completion flag) {
+void Proxy::start_instance(int host_rank, std::uint64_t req_id, verbs::Completion flag,
+                           SimTime arrived_at) {
   auto it = templates_.find({host_rank, req_id});
   sim_expect(it != templates_.end(), "cached group call for unknown request");
   auto job = std::make_unique<JobInstance>();
@@ -288,9 +307,19 @@ void Proxy::start_instance(int host_rank, std::uint64_t req_id, verbs::Completio
     }
   }
   job->flag = std::move(flag);
+  job->arrived_at = arrived_at;
   const int run_index = it->second->runs++;
   job->needs_credits = run_index > 0;
-  jobs_.push_back(std::move(job));
+  // Sorted insert (see JobInstance::arrived_at): calls that genuinely
+  // arrived earlier stay ahead; same-instant calls take a canonical order
+  // independent of the drain interleaving that handled them.
+  auto pos = std::upper_bound(
+      jobs_.begin(), jobs_.end(), job,
+      [](const std::unique_ptr<JobInstance>& a, const std::unique_ptr<JobInstance>& b) {
+        return std::make_tuple(a->arrived_at, a->host_rank, a->req_id) <
+               std::make_tuple(b->arrived_at, b->host_rank, b->req_id);
+      });
+  jobs_.insert(pos, std::move(job));
   // Arrivals that raced ahead of this call may already be buffered.
   for (auto a = pending_arrivals_.begin(); a != pending_arrivals_.end();) {
     if (match_arrival(*a)) {
@@ -306,7 +335,12 @@ bool Proxy::match_arrival(const RecvArrivedMsg& a) {
   // swallow its arrivals (consumed, never re-queued) so a late or duplicate
   // delivery from a recovering peer proxy cannot resurrect the job. Keyed
   // by dst_req_id, the same identity the PR-2 matching fix introduced.
-  if (!fenced_.empty() && fenced_.count({a.dst_rank, a.dst_req_id}) > 0) return true;
+  if (!fenced_.empty() && fenced_.count({a.dst_rank, a.dst_req_id}) > 0) {
+    if (auto* chk = rt_.engine().checker()) {
+      chk->on_fenced_arrival(proc_, a.dst_rank, a.dst_req_id);
+    }
+    return true;
+  }
   // The arrival names the receiver-side request it belongs to: match only
   // that job, never whichever instance happens to be first with the same
   // (src, tag) — two concurrent groups may legally share both. Within the
@@ -346,7 +380,9 @@ sim::Task<bool> Proxy::process_combined() {
       auto scd = pair.rts.countdown;
       auto rcd = pair.rtr.countdown;
       const std::uint32_t idx = pair.rts.chunk.index;
-      std::function<void()> hook = [scd, rcd, idx] {
+      sim::Engine* eng = &rt_.engine();
+      std::function<void()> hook = [scd, rcd, idx, eng] {
+        if (auto* chk = eng->checker()) chk->on_chunk_delivered(scd.get(), rcd.get(), idx);
         if (scd && idx < scd->done.size()) scd->done[idx] = 1;
         if (rcd && idx < rcd->done.size()) rcd->done[idx] = 1;
       };
@@ -421,6 +457,9 @@ sim::Task<bool> Proxy::harvest_fins() {
       if (--fin.countdown->remaining > 0) continue;
       ++rt_.engine().metrics().counter("stripe.aggregations");
     }
+    if (auto* chk = rt_.engine().checker()) {
+      chk->on_fin_pair(fin.src_flag, fin.dst_flag, fin.src_rank, fin.dst_rank);
+    }
     // FIN packets: completion-counter updates RDMA-written into both hosts'
     // memory (fig. 8, final step).
     co_await retx_.flag_write(fin.src_rank, fin.src_flag, fin.src_rank);
@@ -454,6 +493,9 @@ std::function<void()> Proxy::make_group_send_hook(const JobInstance& job,
     std::function<void()> inner = std::move(imm_hook);
     imm_hook = [pctx, inner = std::move(inner), arr, sd, src_host, dst_host] {
       inner();
+      // lint: raw-post ok: liveness notices model NIC-generated events that
+      // must fire even after this proxy dies; routing them through the
+      // retransmitter would tie their delivery to proxy-CPU liveness.
       pctx->post_ctrl_raw(dst_host, kLivenessChannel, std::any(arr), 0);
       pctx->post_ctrl_raw(src_host, kLivenessChannel, std::any(sd), 0);
     };
@@ -588,6 +630,9 @@ sim::Task<bool> Proxy::advance_one(JobInstance& job) {
     // arrived; then update the completion counter in host memory.
     if (*job.sends_done < job.sends_total || job.arrivals < job.recvs_total)
       co_return moved;
+    if (auto* chk = rt_.engine().checker()) {
+      chk->on_group_fin(proc_, job.host_rank, job.req_id, job.flag);
+    }
     co_await retx_.flag_write(job.host_rank, job.flag, job.host_rank);
     job.fin_sent = true;
     ++jobs_done_;

@@ -98,6 +98,13 @@ class Proxy {
   struct JobInstance {
     int host_rank = -1;
     std::uint64_t req_id = 0;
+    /// Delivery time of the call message that started this instance. Jobs
+    /// are kept sorted by (arrived_at, host_rank, req_id): real arrival
+    /// order is preserved, but two calls landing at the same instant get a
+    /// canonical order even when the drain loop observed them across a
+    /// same-time scheduling tie (the advance order — and with it every
+    /// downstream RDMA issue time — must not depend on that tie).
+    SimTime arrived_at = 0;
     bool needs_credits = false;  // re-calls gate sends on receive readiness
     std::shared_ptr<JobTemplate> tmpl;
     std::vector<JobEntryState> state;
@@ -140,7 +147,8 @@ class Proxy {
   sim::Task<bool> advance_one(JobInstance& job);
   sim::Task<void> post_group_send(JobInstance& job, std::size_t idx);
   std::function<void()> make_group_send_hook(const JobInstance& job, const GroupEntryWire& e);
-  void start_instance(int host_rank, std::uint64_t req_id, verbs::Completion flag);
+  void start_instance(int host_rank, std::uint64_t req_id, verbs::Completion flag,
+                      SimTime arrived_at);
   sim::Task<void> grant_credits(const JobInstance& job);
   bool match_arrival(const RecvArrivedMsg& a);
   bool at_chunk_cap() const;

@@ -82,7 +82,8 @@ ProcHandle Engine::spawn(Task<void> task, std::string name) {
 }
 
 RunResult Engine::run(SimTime until) {
-  while (!queue_.empty() || !now_fifo_.empty()) {
+  while (true) {
+    const bool have = !queue_.empty() || !now_fifo_.empty();
     // Two-way merge on (time, seq): the FIFO holds current-timestamp events
     // in seq order, so comparing its front against the heap top recovers the
     // exact global dispatch order of a single queue.
@@ -91,7 +92,25 @@ RunResult Engine::run(SimTime until) {
         (queue_.empty() || now_fifo_.front().time < queue_.top().time ||
          (now_fifo_.front().time == queue_.top().time &&
           now_fifo_.front().seq < queue_.top().seq));
-    if ((from_fifo ? now_fifo_.front().time : queue_.top().time) > until) {
+    const SimTime next_t = have ? (from_fifo ? now_fifo_.front().time : queue_.top().time)
+                                : kTimeInfinity;
+    if (!settle_.empty() && next_t > now_) {
+      // End of the current instant: run the settle hooks before the clock
+      // advances (or the run ends). Hooks may queue events at now_ and
+      // register further hooks, so loop back and re-merge.
+      std::vector<std::function<void()>> batch;
+      batch.swap(settle_);
+      for (auto& fn : batch) {
+        fn();
+        if (pending_error_) {
+          auto err = std::exchange(pending_error_, nullptr);
+          std::rethrow_exception(err);
+        }
+      }
+      continue;
+    }
+    if (!have) break;
+    if (next_t > until) {
       now_ = until;
       return RunResult::kTimeLimit;
     }

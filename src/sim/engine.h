@@ -24,6 +24,13 @@
 // the FIFO is (time, seq)-sorted by construction, and run() merges it with
 // the heap by comparing front against top — the dispatch order is provably
 // identical to a single heap.
+//
+// Tie-shuffle mode (race detection): set_tie_shuffle_seed(s != 0) replaces
+// the seq tie-break with a seeded bijective permutation of seq, so events
+// tied at the same virtual time dispatch in a deterministic but shuffled
+// order. A simulation whose outcome is independent of same-time ordering
+// produces identical results for every seed; a divergence pinpoints a
+// schedule race (see src/analysis/ and tests/determinism_test.cpp).
 #pragma once
 
 #include <coroutine>
@@ -35,7 +42,12 @@
 
 #include "common/check.h"
 #include "common/metrics.h"
+#include "common/rng.h"
 #include "common/units.h"
+
+namespace dpu::analysis {
+class ProtocolChecker;
+}
 
 namespace dpu::sim {
 
@@ -104,6 +116,19 @@ class Engine {
     schedule_at(now_ + d, std::move(fn));
   }
 
+  /// Registers `fn` to run at the *current* timestamp after every event
+  /// queued at this timestamp has dispatched — an end-of-instant hook. The
+  /// clock never advances past a pending hook. Hooks run in registration
+  /// order; a hook may schedule new events (including at the current time,
+  /// which dispatch before the clock moves) and may register further hooks.
+  ///
+  /// This exists for deterministic arbitration of shared resources: a model
+  /// that must grant same-instant requests in a canonical order (rather
+  /// than in scheduler tie order, which tie-shuffle mode perturbs) collects
+  /// the requests and resolves them here, once the instant's cohort is
+  /// complete. See fabric::Fabric's link arbiter.
+  void at_instant_end(std::function<void()> fn) { settle_.push_back(std::move(fn)); }
+
   /// Schedules a coroutine resumption (allocation-free fast path).
   void resume_at(SimTime t, std::coroutine_handle<> h) {
     require(t >= now_, "scheduling into the past");
@@ -139,6 +164,30 @@ class Engine {
   /// Optional span recorder; null disables tracing (the default).
   void set_trace(Trace* t) { trace_ = t; }
   Trace* trace() const { return trace_; }
+
+  /// Optional protocol-invariant observer (src/analysis/invariants.h); null
+  /// disables checking (the default). The engine never calls it — it is the
+  /// rendezvous point through which the offload/proxy/reliable layers find
+  /// the checker without a dependency on the analysis library.
+  void set_checker(analysis::ProtocolChecker* c) { checker_ = c; }
+  analysis::ProtocolChecker* checker() const { return checker_; }
+
+  /// Arms (seed != 0) or disarms (seed == 0) tie-shuffle mode: events tied
+  /// at the same virtual time dispatch in a seed-permuted instead of
+  /// insertion order. Deterministic for a given seed. Already-queued events
+  /// are re-keyed, so this may be called after spawns; calling it mid-run
+  /// (between events) is legal but the usual place is before run().
+  void set_tie_shuffle_seed(std::uint64_t seed) {
+    if (seed == tie_shuffle_seed_) return;
+    std::vector<EvNode> pending;
+    pending.reserve(queue_.size());
+    while (!queue_.empty()) pending.push_back(queue_.pop());
+    while (!now_fifo_.empty()) pending.push_back(now_fifo_.pop());
+    tie_shuffle_seed_ = seed;
+    queue_.set_tie_seed(seed);
+    for (const auto& n : pending) queue_.push(n);
+  }
+  std::uint64_t tie_shuffle_seed() const { return tie_shuffle_seed_; }
 
   /// Awaitable: suspends the calling coroutine for `d` simulated time.
   auto sleep(SimDuration d) {
@@ -211,10 +260,27 @@ class Engine {
       return out;
     }
 
-   private:
-    static bool less(const EvNode& a, const EvNode& b) {
-      return a.time != b.time ? a.time < b.time : a.seq < b.seq;
+    /// Arms tie-shuffling. Only legal while the heap is empty: changing the
+    /// key function under live nodes would corrupt the heap order.
+    void set_tie_seed(std::uint64_t seed) {
+      require(v_.empty(), "tie seed change with queued events");
+      tie_seed_ = seed;
     }
+
+   private:
+    /// Tie-break key. Seed 0 (default) preserves insertion order; otherwise
+    /// the seq is passed through the SplitMix64 finalizer, a bijection on
+    /// 64-bit values, so distinct seqs still map to distinct keys and the
+    /// order stays a strict total order — merely a permuted one.
+    std::uint64_t tie_key(std::uint64_t seq) const {
+      if (tie_seed_ == 0) return seq;
+      std::uint64_t s = seq ^ tie_seed_;
+      return splitmix64(s);
+    }
+    bool less(const EvNode& a, const EvNode& b) const {
+      return a.time != b.time ? a.time < b.time : tie_key(a.seq) < tie_key(b.seq);
+    }
+    std::uint64_t tie_seed_ = 0;
     std::vector<EvNode> v_;
   };
 
@@ -249,8 +315,11 @@ class Engine {
 
   void push_node(const EvNode& n) {
     // The FIFO stays (time, seq)-sorted only while every entry carries the
-    // current timestamp; anything else takes the general-purpose heap.
-    if (n.time == now_ && (now_fifo_.empty() || now_fifo_.front().time == now_)) {
+    // current timestamp; anything else takes the general-purpose heap. With
+    // tie-shuffling armed the FIFO's insertion order would defeat the
+    // permuted tie-break, so everything routes through the heap.
+    if (tie_shuffle_seed_ == 0 && n.time == now_ &&
+        (now_fifo_.empty() || now_fifo_.front().time == now_)) {
       now_fifo_.push(n);
     } else {
       queue_.push(n);
@@ -259,11 +328,14 @@ class Engine {
 
   SimTime now_ = 0;
   Trace* trace_ = nullptr;
+  analysis::ProtocolChecker* checker_ = nullptr;
   std::uint64_t next_seq_ = 0;
+  std::uint64_t tie_shuffle_seed_ = 0;
   metrics::MetricsRegistry metrics_;
   metrics::Counter events_executed_;
   EventHeap queue_;
   NowFifo now_fifo_;
+  std::vector<std::function<void()>> settle_;  // end-of-instant hooks (FIFO)
   std::vector<std::function<void()>> callback_slots_;  // slow-arm storage
   std::vector<std::size_t> free_slots_;                // recycled slot indices
   std::vector<std::shared_ptr<ProcState>> procs_;

@@ -175,6 +175,22 @@ class Channel {
     }
   }
 
+  /// FIFO send with a caller-supplied tiebreak: `value` is inserted before
+  /// every trailing queued item for which `before(value, item)` holds
+  /// (stable — equal keys keep arrival order). The verbs inboxes use this
+  /// to give same-virtual-time deliveries a schedule-invariant order, so a
+  /// receiver's processing sequence cannot depend on how the engine broke
+  /// a dispatch tie between the delivery events.
+  template <typename Before>
+  void send_before(T value, Before&& before) {
+    auto it = items_.end();
+    while (it != items_.begin() && before(value, *std::prev(it))) --it;
+    items_.insert(it, std::move(value));
+    if (!receivers_.empty()) {
+      eng_->resume_at(eng_->now(), receivers_.pop_front());
+    }
+  }
+
   bool empty() const { return items_.empty(); }
   std::size_t size() const { return items_.size(); }
 

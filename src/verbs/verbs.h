@@ -72,7 +72,22 @@ struct CtrlMsg {
   int channel = 0;
   std::size_t wire_bytes = 0;
   std::any body;
+  /// Sender-side program-order stamp, assigned when the message (or the
+  /// delivery hook carrying it) is created — i.e. in the sender coroutine's
+  /// own order, which no same-time dispatch permutation can change.
+  std::uint64_t post_stamp = 0;
+  /// Virtual time the message landed in the inbox (set at delivery).
+  SimTime delivered_at = 0;
 };
+
+/// Inbox insertion tiebreak: messages landing at the SAME virtual time are
+/// kept in (src, post_stamp) order instead of delivery-event order, so the
+/// receiver's processing sequence is invariant under tie-shuffled
+/// scheduling. Messages from distinct times never reorder (FIFO).
+inline bool inbox_before(const CtrlMsg& a, const CtrlMsg& b) {
+  return a.delivered_at == b.delivered_at &&
+         (a.src < b.src || (a.src == b.src && a.post_stamp < b.post_stamp));
+}
 
 class Runtime;
 
@@ -181,6 +196,10 @@ class ProcCtx {
   /// Inbox for a logical channel (created on demand).
   sim::Channel<CtrlMsg>& inbox(int channel);
 
+  /// Lands `msg` in this process's inbox: stamps the delivery time and
+  /// inserts with the inbox_before tiebreak (see CtrlMsg).
+  void deliver_to_inbox(CtrlMsg msg);
+
   /// Convenience: blocks (simulated) until a posted op completes.
   sim::Task<void> wait(const Completion& c);
 
@@ -220,6 +239,8 @@ class ProcCtx {
   /// per-core issue-rate cap (CostModel::dpu_qp_GBps) is active; unused
   /// (and untouched) when the cap is 0.
   SimTime qp_free_at_ = 0;
+  /// Program-order stamp source for outgoing ctrl messages / imm hooks.
+  std::uint64_t ctrl_stamp_ = 0;
 };
 
 /// Owns all per-process contexts plus the global key/GVMI tables (the

@@ -163,7 +163,7 @@ TEST(BluesMpi, StagingSlowerThanProposedGvmiPath) {
       for (int i = 0; i < 3; ++i) {
         t0 = r.world->now();
         co_await r.off->group_call(req);
-        co_await r.off->group_wait(req);
+        EXPECT_EQ(co_await r.off->group_wait(req), offload::Status::kOk);
       }
       if (r.rank == 0) comm = r.world->now() - t0;
     });

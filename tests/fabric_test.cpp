@@ -166,6 +166,54 @@ TEST(Fabric, OversubscriptionThrottlesCrossLeafAggregate) {
   EXPECT_GT(last_delivery(4.0), last_delivery(1.0));
 }
 
+TEST(Fabric, ArbiterGrantsSameInstantRequestsByRequesterId) {
+  sim::Engine eng;
+  auto spec = two_nodes();
+  Fabric fab(eng, spec);
+  std::vector<int> order;
+  // Adversarial call order: the higher-id requester posts first within the
+  // instant. The link arbiter must still grant the lower id the early slot —
+  // same-instant grant order is a property of the requesters, not of the
+  // incidental order the scheduler ran their posts (the race class
+  // tests/determinism_test.cpp's tie-shuffle matrix exposes).
+  fab.transfer(0, 1, 1_MiB, [&] { order.push_back(5); }, false, 5);
+  fab.transfer(0, 1, 1_MiB, [&] { order.push_back(2); }, false, 2);
+  eng.run();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 2);
+  EXPECT_EQ(order[1], 5);
+}
+
+TEST(Fabric, ArbiterKeepsProgramOrderWithinOneRequester) {
+  sim::Engine eng;
+  auto spec = two_nodes();
+  Fabric fab(eng, spec);
+  std::vector<int> order;
+  fab.transfer(0, 1, 1_MiB, [&] { order.push_back(1); }, false, 7);
+  fab.transfer(0, 1, 1_MiB, [&] { order.push_back(2); }, false, 7);
+  eng.run();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 2);
+}
+
+TEST(Fabric, ArbiterOnlyReordersWithinOneInstant) {
+  sim::Engine eng;
+  auto spec = two_nodes();
+  Fabric fab(eng, spec);
+  std::vector<int> order;
+  // A high-id requester that posts at an *earlier instant* keeps the early
+  // slot: arbitration is per-picosecond cohort, never across time.
+  fab.transfer(0, 1, 1_MiB, [&] { order.push_back(9); }, false, 9);
+  eng.schedule_at(from_us(1), [&] {
+    fab.transfer(0, 1, 1_MiB, [&] { order.push_back(1); }, false, 1);
+  });
+  eng.run();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 9);
+  EXPECT_EQ(order[1], 1);
+}
+
 TEST(Fabric, SameLeafTrafficIgnoresOversubscription) {
   machine::ClusterSpec s;
   s.nodes = 4;

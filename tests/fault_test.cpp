@@ -91,7 +91,7 @@ sim::Task<void> ring_bcast_group(Rank& r, machine::Addr buf, std::size_t len, in
   }
   r.off->group_end(req);
   co_await r.off->group_call(req);
-  co_await r.off->group_wait(req);
+  EXPECT_EQ(co_await r.off->group_wait(req), Status::kOk);
 }
 
 // ---------------------------------------------------------------------------
@@ -127,14 +127,14 @@ TEST(FaultInjection, Pt2PtOffloadSurvivesDropDupDelay) {
         const auto buf = r.mem().alloc(8_KiB);
         r.mem().write(buf, pattern_bytes(seed * 100 + static_cast<std::uint64_t>(i), 8_KiB));
         auto req = co_await r.off->send_offload(buf, 8_KiB, 2, i);
-        co_await r.off->wait(req);
+        EXPECT_EQ(co_await r.off->wait(req), Status::kOk);
       }
     });
     w.launch(2, [&](Rank& r) -> sim::Task<void> {
       for (int i = 0; i < iters; ++i) {
         const auto buf = r.mem().alloc(8_KiB);
         auto req = co_await r.off->recv_offload(buf, 8_KiB, 0, i);
-        co_await r.off->wait(req);
+        EXPECT_EQ(co_await r.off->wait(req), Status::kOk);
         EXPECT_TRUE(check_pattern(r.mem().read(buf, 8_KiB),
                                   seed * 100 + static_cast<std::uint64_t>(i)))
             << "seed " << seed << " iter " << i;
@@ -193,7 +193,7 @@ TEST(FaultInjection, CachedReCallsAndCreditsSurviveFaults) {
         r.mem().write(sbuf,
                       pattern_bytes(static_cast<std::uint64_t>(100 + 10 * r.rank + i), len));
         co_await r.off->group_call(req);
-        co_await r.off->group_wait(req);
+        EXPECT_EQ(co_await r.off->group_wait(req), Status::kOk);
         EXPECT_TRUE(check_pattern(r.mem().read(rbuf, len),
                                   static_cast<std::uint64_t>(100 + 10 * peer + i)))
             << "rank " << r.rank << " iter " << i << " seed " << seed;
@@ -268,8 +268,8 @@ TEST(ProxyMatching, ConcurrentGroupsSharingTagMatchByRequestId) {
     r.off->group_end(req_b);
     co_await r.off->group_call(req_a);
     co_await r.off->group_call(req_b);
-    co_await r.off->group_wait(req_a);
-    co_await r.off->group_wait(req_b);
+    EXPECT_EQ(co_await r.off->group_wait(req_a), Status::kOk);
+    EXPECT_EQ(co_await r.off->group_wait(req_b), Status::kOk);
     EXPECT_TRUE(check_pattern(r.mem().read(dep, len), 200));
   });
   w.launch(1, [&](Rank& r) -> sim::Task<void> {
@@ -285,9 +285,9 @@ TEST(ProxyMatching, ConcurrentGroupsSharingTagMatchByRequestId) {
     co_await r.off->group_call(req_b);
     // A must not complete off B's early arrival: when its wait returns, its
     // own (delayed) payload has to be in place.
-    co_await r.off->group_wait(req_a);
+    EXPECT_EQ(co_await r.off->group_wait(req_a), Status::kOk);
     EXPECT_TRUE(check_pattern(r.mem().read(in_a, len), 127));
-    co_await r.off->group_wait(req_b);
+    EXPECT_EQ(co_await r.off->group_wait(req_b), Status::kOk);
     EXPECT_TRUE(check_pattern(r.mem().read(in_b, len), 31));
   });
   w.launch(2, [&](Rank& r) -> sim::Task<void> {
@@ -298,7 +298,7 @@ TEST(ProxyMatching, ConcurrentGroupsSharingTagMatchByRequestId) {
     r.off->group_send(req, out, len, 0, 9);
     r.off->group_end(req);
     co_await r.off->group_call(req);
-    co_await r.off->group_wait(req);
+    EXPECT_EQ(co_await r.off->group_wait(req), Status::kOk);
   });
   w.run();
 }
@@ -394,7 +394,7 @@ TEST(GroupReRecord, ReRecordedTemplateKeepsRunCount) {
     for (int i = 0; i < iters; ++i) {
       r.mem().write(sbuf, pattern_bytes(static_cast<std::uint64_t>(r.rank + i), len));
       co_await r.off->group_call(req);
-      co_await r.off->group_wait(req);
+      EXPECT_EQ(co_await r.off->group_wait(req), Status::kOk);
       EXPECT_TRUE(
           check_pattern(r.mem().read(rbuf, len), static_cast<std::uint64_t>(peer + i)));
     }

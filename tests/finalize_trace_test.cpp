@@ -33,10 +33,10 @@ TEST(Finalize, ProxiesExitAfterAllHostsFinalize) {
     r.mem().write(s, pattern_bytes(static_cast<std::uint64_t>(r.rank), len));
     auto qs = co_await r.off->send_offload(s, len, peer, 0);
     auto qr = co_await r.off->recv_offload(d, len, peer, 0);
-    co_await r.off->wait(qs);
-    co_await r.off->wait(qr);
+    EXPECT_EQ(co_await r.off->wait(qs), offload::Status::kOk);
+    EXPECT_EQ(co_await r.off->wait(qr), offload::Status::kOk);
     EXPECT_TRUE(check_pattern(r.mem().read(d, len), static_cast<std::uint64_t>(peer)));
-    co_await r.off->finalize();
+    EXPECT_EQ(co_await r.off->finalize(), offload::Status::kOk);
   });
   w.run();
   // Offload proxies ended; only the (never-finalized) BluesMPI workers may
@@ -58,9 +58,9 @@ TEST(Finalize, ProxyWaitsForSlowestMappedHost) {
     if (r.rank % 2 == 1) co_await r.compute(2_ms);  // odd ranks start late
     auto qs = co_await r.off->send_offload(s, len, peer, 0);
     auto qr = co_await r.off->recv_offload(d, len, peer, 0);
-    co_await r.off->wait(qs);
-    co_await r.off->wait(qr);
-    co_await r.off->finalize();
+    EXPECT_EQ(co_await r.off->wait(qs), offload::Status::kOk);
+    EXPECT_EQ(co_await r.off->wait(qr), offload::Status::kOk);
+    EXPECT_EQ(co_await r.off->finalize(), offload::Status::kOk);
   });
   EXPECT_NO_THROW(w.run());
 }

@@ -89,8 +89,8 @@ TEST(World, StatsSummaryReflectsActivity) {
     const auto d = r.mem().alloc(4_KiB, false);
     auto qs = co_await r.off->send_offload(s, 4_KiB, peer, 0);
     auto qr = co_await r.off->recv_offload(d, 4_KiB, peer, 0);
-    co_await r.off->wait(qs);
-    co_await r.off->wait(qr);
+    EXPECT_EQ(co_await r.off->wait(qs), offload::Status::kOk);
+    EXPECT_EQ(co_await r.off->wait(qr), offload::Status::kOk);
   });
   w.run();
   const std::string s = w.stats_summary();

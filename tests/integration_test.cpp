@@ -41,8 +41,8 @@ SimTime run_mixed_workload() {
     auto qs = co_await r.off->send_offload(s, len, peer, 0);
     auto qr = co_await r.off->recv_offload(d, len, peer, 0);
     co_await r.compute(100_us);
-    co_await r.off->wait(qs);
-    co_await r.off->wait(qr);
+    EXPECT_EQ(co_await r.off->wait(qs), offload::Status::kOk);
+    EXPECT_EQ(co_await r.off->wait(qr), offload::Status::kOk);
     // Then an MPI collective on top.
     co_await r.mpi->barrier(*r.world->mpi().world());
     const auto bbuf = r.mem().alloc(4_KiB);
@@ -225,7 +225,7 @@ TEST(Integration, ProposedCommBeatsStagedCommWhenWarm) {
         for (int i = 0; i < 3; ++i) {
           t0 = r.world->now();
           auto q = co_await a2a.icall(s, d, bpr, r.world->mpi().world());
-          co_await a2a.wait(q);
+          EXPECT_EQ(co_await a2a.wait(q), offload::Status::kOk);
         }
         if (r.rank == 0) prop_t = r.world->now() - t0;
       });
@@ -267,8 +267,8 @@ TEST(Integration, OffloadOverlapSuperiorToHostMpiRendezvous) {
       auto qs = co_await r.off->send_offload(s, len, peer, 0);
       auto qr = co_await r.off->recv_offload(d, len, peer, 0);
       co_await r.compute(compute);
-      co_await r.off->wait(qs);
-      co_await r.off->wait(qr);
+      EXPECT_EQ(co_await r.off->wait(qs), offload::Status::kOk);
+      EXPECT_EQ(co_await r.off->wait(qr), offload::Status::kOk);
       if (r.rank == 0) off_total = r.world->now();
     });
     w.run();

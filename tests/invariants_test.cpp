@@ -1,0 +1,353 @@
+// Protocol-invariant checker suite (src/analysis online observer).
+//
+// Two halves:
+//
+//  * Conformance — the real offload stack, run with the checker armed, must
+//    come out clean across every protocol regime it has (basic rendezvous,
+//    cached group collectives, wire faults + retransmit, proxy crash with
+//    degraded completion). Clean quiescent runs additionally pass the
+//    check_final() completeness sweep.
+//
+//  * Rejection — planted violations of each invariant class must be caught,
+//    with the right rule name and a detail string naming the event. A
+//    checker that never fires proves nothing.
+//
+// The rejection half drives the checker hooks directly against a bare
+// Engine: the invariants are defined on the observer's event language, so
+// unit-level planting exercises exactly the same code path the offload
+// layers hit via the Engine rendezvous pointer.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "analysis/invariants.h"
+#include "common/bytes.h"
+#include "common/check.h"
+#include "common/units.h"
+#include "harness/world.h"
+#include "offload/coll.h"
+#include "offload/protocol.h"
+#include "sim/engine.h"
+#include "sim/sync.h"
+
+namespace dpu::analysis {
+namespace {
+
+using harness::Rank;
+using harness::World;
+
+bool has_rule(const ProtocolChecker& chk, const std::string& rule) {
+  for (const auto& v : chk.violations()) {
+    if (v.rule == rule) return true;
+  }
+  return false;
+}
+
+std::string rules_seen(const ProtocolChecker& chk) {
+  std::string out;
+  for (const auto& v : chk.violations()) out += v.rule + "; ";
+  return out.empty() ? "(none)" : out;
+}
+
+// ---------------------------------------------------------------------------
+// Conformance: the real stack is clean under the checker.
+// ---------------------------------------------------------------------------
+
+void run_alltoall_checked(machine::ClusterSpec s, bool expect_quiescent) {
+  World w(s);
+  auto& chk = w.enable_checker();
+  const int n = w.spec().total_host_ranks();
+  const std::size_t b = 4_KiB;
+  w.launch_all([n, b](Rank& r) -> sim::Task<void> {
+    const int me = r.rank;
+    const auto nn = static_cast<std::size_t>(n);
+    const auto sbuf = r.mem().alloc(b * nn);
+    const auto rbuf = r.mem().alloc(b * nn);
+    offload::GroupAlltoall a2a(*r.off, *r.mpi);
+    for (int it = 0; it < 2; ++it) {  // second pass replays the template cache
+      for (int d = 0; d < n; ++d) {
+        r.mem().write(sbuf + static_cast<machine::Addr>(d) * b,
+                      pattern_bytes(static_cast<std::uint64_t>(1000 * it + me * n + d), b));
+      }
+      auto req = co_await a2a.icall(sbuf, rbuf, b, r.world->mpi().world());
+      require(co_await a2a.wait(req) == offload::Status::kOk, "alltoall wait");
+      for (int src = 0; src < n; ++src) {
+        require(check_pattern(r.mem().read(rbuf + static_cast<machine::Addr>(src) * b, b),
+                              static_cast<std::uint64_t>(1000 * it + src * n + me)),
+                "alltoall payload");
+      }
+    }
+  });
+  w.run();
+  EXPECT_TRUE(chk.ok()) << chk.report();
+  if (expect_quiescent) {
+    chk.check_final();
+    EXPECT_TRUE(chk.ok()) << chk.report();
+  }
+}
+
+TEST(InvariantConformance, PingpongRendezvousIsClean) {
+  machine::ClusterSpec s;
+  s.nodes = 2;
+  s.host_procs_per_node = 1;
+  s.proxies_per_dpu = 1;
+  World w(s);
+  auto& chk = w.enable_checker();
+  const std::size_t len = 32_KiB;  // above eager: full RTS/RTR rendezvous
+  w.launch(0, [len](Rank& r) -> sim::Task<void> {
+    const auto buf = r.mem().alloc(len);
+    for (int i = 0; i < 2; ++i) {
+      r.mem().write(buf, pattern_bytes(static_cast<std::uint64_t>(100 + i), len));
+      auto qs = co_await r.off->send_offload(buf, len, 1, i);
+      require(co_await r.off->wait(qs) == offload::Status::kOk, "pingpong send");
+      auto qr = co_await r.off->recv_offload(buf, len, 1, 1000 + i);
+      require(co_await r.off->wait(qr) == offload::Status::kOk, "pingpong recv");
+      require(check_pattern(r.mem().read(buf, len), static_cast<std::uint64_t>(200 + i)),
+              "pingpong payload");
+    }
+  });
+  w.launch(1, [len](Rank& r) -> sim::Task<void> {
+    const auto buf = r.mem().alloc(len);
+    for (int i = 0; i < 2; ++i) {
+      auto qr = co_await r.off->recv_offload(buf, len, 0, i);
+      require(co_await r.off->wait(qr) == offload::Status::kOk, "pingpong recv");
+      require(check_pattern(r.mem().read(buf, len), static_cast<std::uint64_t>(100 + i)),
+              "pingpong payload");
+      r.mem().write(buf, pattern_bytes(static_cast<std::uint64_t>(200 + i), len));
+      auto qs = co_await r.off->send_offload(buf, len, 0, 1000 + i);
+      require(co_await r.off->wait(qs) == offload::Status::kOk, "pingpong send");
+    }
+  });
+  w.run();
+  EXPECT_TRUE(chk.ok()) << chk.report();
+  chk.check_final();
+  EXPECT_TRUE(chk.ok()) << chk.report();
+}
+
+TEST(InvariantConformance, GroupAlltoallIsClean) {
+  machine::ClusterSpec s;
+  s.nodes = 2;
+  s.host_procs_per_node = 2;
+  s.proxies_per_dpu = 1;
+  run_alltoall_checked(s, /*expect_quiescent=*/true);
+}
+
+TEST(InvariantConformance, FaultSweepIsClean) {
+  // Drops force retransmits, dups hit the DupFilter, delays reorder — the
+  // reliable plane must still present a clean protocol to the checker. No
+  // check_final(): a fault run may legitimately abandon in-flight state.
+  machine::ClusterSpec s;
+  s.nodes = 2;
+  s.host_procs_per_node = 2;
+  s.proxies_per_dpu = 1;
+  s.fault.enabled = true;
+  s.fault.seed = 77;
+  s.fault.drop_prob = 0.10;
+  s.fault.dup_prob = 0.08;
+  s.fault.delay_prob = 0.10;
+  s.fault.channels = {offload::kProxyChannel, offload::kGroupMetaChannel};
+  run_alltoall_checked(s, /*expect_quiescent=*/false);
+}
+
+TEST(InvariantConformance, CrashMidStripeIsClean) {
+  // Crash path: fences must be preceded by a degrade announcement, FINs from
+  // the dead proxy must never land, and the surviving stripe worker plus the
+  // host fallback must between them deliver the payload exactly once.
+  machine::ClusterSpec s;
+  s.nodes = 2;
+  s.host_procs_per_node = 1;
+  s.proxies_per_dpu = 2;
+  s.cost.stripe_threshold = 32_KiB;
+  s.cost.chunk_bytes = 32_KiB;
+  s.cost.dpu_qp_GBps = 1.0;
+  s.fault.proxy_failures.push_back({/*proxy=*/3, /*at_us=*/30.0, /*hang=*/false, -1.0});
+  World w(s);
+  auto& chk = w.enable_checker();
+  const std::size_t len = 512_KiB;
+  w.launch(0, [len](Rank& r) -> sim::Task<void> {
+    const auto buf = r.mem().alloc(len);
+    r.mem().write(buf, pattern_bytes(13, len));
+    auto req = co_await r.off->send_offload(buf, len, 1, 4);
+    require(co_await r.off->wait(req) == offload::Status::kDegraded, "crash send degrades");
+  });
+  w.launch(1, [len](Rank& r) -> sim::Task<void> {
+    const auto buf = r.mem().alloc(len);
+    auto req = co_await r.off->recv_offload(buf, len, 0, 4);
+    require(co_await r.off->wait(req) == offload::Status::kDegraded, "crash recv degrades");
+    require(check_pattern(r.mem().read(buf, len), 13), "crash-mid-stripe payload");
+  });
+  w.run();
+  EXPECT_TRUE(chk.ok()) << chk.report();
+}
+
+// ---------------------------------------------------------------------------
+// Rejection: every planted violation class is caught by name.
+// ---------------------------------------------------------------------------
+
+TEST(InvariantRejection, DuplicateFlagWritePairIsRejected) {
+  sim::Engine eng;
+  ProtocolChecker chk(eng);
+  auto src_flag = std::make_shared<sim::Event>(eng);
+  auto dst_flag = std::make_shared<sim::Event>(eng);
+  chk.on_fin_pair(src_flag, dst_flag, /*src=*/0, /*dst=*/1);
+  EXPECT_TRUE(chk.ok()) << chk.report();
+  // Second FIN pair against the same completion flags: the exactly-once
+  // flag-write invariant (striped aggregation must collapse to ONE pair).
+  chk.on_fin_pair(src_flag, dst_flag, /*src=*/0, /*dst=*/1);
+  EXPECT_FALSE(chk.ok());
+  EXPECT_TRUE(has_rule(chk, "duplicate-flag-write")) << rules_seen(chk);
+}
+
+TEST(InvariantRejection, AbortOnViolationThrows) {
+  sim::Engine eng;
+  ProtocolChecker chk(eng);
+  chk.set_abort_on_violation(true);
+  auto src_flag = std::make_shared<sim::Event>(eng);
+  auto dst_flag = std::make_shared<sim::Event>(eng);
+  chk.on_fin_pair(src_flag, dst_flag, 0, 1);
+  EXPECT_THROW(chk.on_fin_pair(src_flag, dst_flag, 0, 1), InvariantViolation);
+}
+
+TEST(InvariantRejection, FenceWithoutDegradeIsRejected) {
+  sim::Engine eng;
+  ProtocolChecker chk(eng);
+  auto flag = std::make_shared<sim::Event>(eng);
+  chk.on_group_call(/*host=*/0, /*req_id=*/7, flag);
+  // A proxy fencing (host 0, req 7) before the host announced a degrade is
+  // a proxy inventing failure handling on its own authority.
+  chk.on_fence_group(/*proxy=*/2, /*host=*/0, /*req_id=*/7);
+  EXPECT_FALSE(chk.ok());
+  EXPECT_TRUE(has_rule(chk, "fence-without-degrade")) << rules_seen(chk);
+}
+
+TEST(InvariantRejection, FencedArrivalWithoutDegradeIsRejected) {
+  sim::Engine eng;
+  ProtocolChecker chk(eng);
+  auto flag = std::make_shared<sim::Event>(eng);
+  chk.on_group_call(0, 9, flag);
+  chk.on_group_degraded(0, 9);
+  chk.on_fence_group(2, 0, 9);
+  EXPECT_TRUE(chk.ok()) << chk.report();  // degrade first: authorized
+  // ...but swallowing an arrival for a key nobody degraded is not.
+  chk.on_fenced_arrival(/*proxy=*/3, /*host=*/1, /*req_id=*/9);
+  EXPECT_FALSE(chk.ok());
+  EXPECT_TRUE(has_rule(chk, "fence-without-degrade")) << rules_seen(chk);
+}
+
+TEST(InvariantRejection, UnannouncedGroupFinIsRejected) {
+  sim::Engine eng;
+  ProtocolChecker chk(eng);
+  auto flag = std::make_shared<sim::Event>(eng);
+  chk.on_group_fin(/*proxy=*/2, /*host=*/0, /*req_id=*/42, flag);
+  EXPECT_FALSE(chk.ok());
+  EXPECT_TRUE(has_rule(chk, "group-fin-unannounced")) << rules_seen(chk);
+}
+
+TEST(InvariantRejection, FinAfterFenceIsRejected) {
+  sim::Engine eng;
+  ProtocolChecker chk(eng);
+  auto flag = std::make_shared<sim::Event>(eng);
+  chk.on_group_call(0, 5, flag);
+  chk.on_group_degraded(0, 5);
+  chk.on_fence_group(/*proxy=*/2, 0, 5);
+  chk.on_group_fin(/*proxy=*/2, 0, 5, flag);
+  EXPECT_FALSE(chk.ok());
+  EXPECT_TRUE(has_rule(chk, "fin-after-fence")) << rules_seen(chk);
+}
+
+TEST(InvariantRejection, RtsRtrOvermatchIsRejected) {
+  sim::Engine eng;
+  ProtocolChecker chk(eng);
+  chk.on_rts(/*src=*/0, /*dst=*/1, /*tag=*/3, /*chunk_index=*/0, /*chunk_count=*/1);
+  chk.on_rtr(0, 1, 3, 0, 1);
+  chk.on_pair_matched(/*proxy=*/2, 0, 1, 3, 0);
+  EXPECT_TRUE(chk.ok()) << chk.report();
+  // One more match than the hosts ever posted control messages for.
+  chk.on_pair_matched(2, 0, 1, 3, 0);
+  EXPECT_FALSE(chk.ok());
+  EXPECT_TRUE(has_rule(chk, "rts-rtr-overmatch")) << rules_seen(chk);
+}
+
+TEST(InvariantRejection, DuplicateChunkDeliveryIsRejected) {
+  sim::Engine eng;
+  ProtocolChecker chk(eng);
+  auto scd = std::make_shared<int>(0);
+  auto rcd = std::make_shared<int>(0);
+  chk.on_countdown(scd, /*sender_side=*/true, /*total=*/2, 0, 1, 3);
+  chk.on_countdown(rcd, /*sender_side=*/false, /*total=*/2, 0, 1, 3);
+  chk.on_chunk_delivered(scd.get(), rcd.get(), /*index=*/0);
+  chk.on_chunk_delivered(scd.get(), rcd.get(), /*index=*/1);
+  EXPECT_TRUE(chk.ok()) << chk.report();
+  chk.check_final();
+  EXPECT_TRUE(chk.ok()) << chk.report();  // fully drained stripe
+  chk.on_chunk_delivered(scd.get(), rcd.get(), /*index=*/1);
+  EXPECT_FALSE(chk.ok());
+  EXPECT_TRUE(has_rule(chk, "duplicate-chunk-delivery")) << rules_seen(chk);
+}
+
+TEST(InvariantRejection, DupFilterDoubleAcceptIsRejected) {
+  sim::Engine eng;
+  ProtocolChecker chk(eng);
+  chk.on_reliable_delivery(/*receiver=*/1, /*sender=*/0, /*seq=*/12, /*accepted=*/true);
+  chk.on_reliable_delivery(1, 0, 12, /*accepted=*/false);  // replay dropped: fine
+  EXPECT_TRUE(chk.ok()) << chk.report();
+  chk.on_reliable_delivery(1, 0, 12, /*accepted=*/true);  // accepted twice
+  EXPECT_FALSE(chk.ok());
+  EXPECT_TRUE(has_rule(chk, "dup-filter")) << rules_seen(chk);
+}
+
+TEST(InvariantRejection, CheckFinalFlagsUnmatchedPairAndIncompleteStripe) {
+  sim::Engine eng;
+  ProtocolChecker chk(eng);
+  chk.on_rts(0, 1, 3, 0, 1);  // RTS with no RTR and no fence/degrade
+  auto rcd = std::make_shared<int>(0);
+  chk.on_countdown(rcd, /*sender_side=*/false, /*total=*/4, 0, 1, 3);
+  EXPECT_TRUE(chk.ok()) << chk.report();  // online rules can't see omissions
+  chk.check_final();
+  EXPECT_FALSE(chk.ok());
+  EXPECT_TRUE(has_rule(chk, "unmatched-pair")) << rules_seen(chk);
+  EXPECT_TRUE(has_rule(chk, "incomplete-stripe")) << rules_seen(chk);
+}
+
+// ---------------------------------------------------------------------------
+// Wiring: env auto-arm and the loud failure path through World::run().
+// ---------------------------------------------------------------------------
+
+TEST(InvariantWiring, DpuCheckEnvAutoArmsChecker) {
+  machine::ClusterSpec s;
+  s.nodes = 2;
+  s.host_procs_per_node = 1;
+  s.proxies_per_dpu = 1;
+  ::unsetenv("DPU_CHECK");
+  {
+    World w(s);
+    EXPECT_EQ(w.checker(), nullptr);
+  }
+  ::setenv("DPU_CHECK", "1", /*overwrite=*/1);
+  {
+    World w(s);
+    EXPECT_NE(w.checker(), nullptr);
+  }
+  ::unsetenv("DPU_CHECK");
+}
+
+TEST(InvariantWiring, WorldRunThrowsOnRecordedViolation) {
+  machine::ClusterSpec s;
+  s.nodes = 2;
+  s.host_procs_per_node = 1;
+  s.proxies_per_dpu = 1;
+  World w(s);
+  auto& chk = w.enable_checker();
+  // Plant a violation through the observer interface, then run a clean
+  // program: run() must refuse to report success over a dirty checker.
+  chk.on_group_fin(/*proxy=*/2, /*host=*/0, /*req_id=*/42,
+                   std::make_shared<sim::Event>(w.engine()));
+  w.launch(0, [](Rank&) -> sim::Task<void> { co_return; });
+  w.launch(1, [](Rank&) -> sim::Task<void> { co_return; });
+  EXPECT_THROW(w.run(), InvariantViolation);
+}
+
+}  // namespace
+}  // namespace dpu::analysis

@@ -1,0 +1,71 @@
+// Planted-violation fixture for scripts/lint.py --self-test.
+//
+// This file is NEVER compiled (tests/CMakeLists.txt does not reference it,
+// and lint_tree skips tests/lint_fixtures/). Every block below plants one
+// violation the linter must catch; the JUSTIFIED blocks carry the inline
+// waiver comment and must NOT be flagged. The self-test lints this file as
+// if it lived under src/ so the src-only rules apply.
+#include <chrono>
+#include <cstdlib>
+
+namespace fixture {
+
+// --- [wall-clock]: real time in simulator code -----------------------------
+inline long planted_wall_clock() {
+  auto t = std::chrono::steady_clock::now();  // planted
+  return t.time_since_epoch().count();
+}
+
+// --- [wall-clock]: libc randomness -----------------------------------------
+inline int planted_rand() { return std::rand(); }  // planted
+
+// --- [raw-post]: raw control-plane post without a waiver --------------------
+struct Ctx {
+  void post_ctrl_raw(int, int) {}
+  void post_flag_write_raw(int, int) {}
+};
+inline void planted_raw_post(Ctx& c) {
+  c.post_ctrl_raw(0, 0);  // planted: no justification comment
+}
+
+// --- [raw-post] JUSTIFIED: carries the waiver, must not be flagged ----------
+inline void justified_raw_post(Ctx& c) {
+  // lint: raw-post ok: fixture demonstrating the waiver syntax (JUSTIFIED)
+  c.post_flag_write_raw(0, 0);
+}
+
+// --- [status-discard]: swallowed co_await result without a waiver -----------
+// (Textual rule only; never compiled, so the fake awaitable is fine.)
+struct FakeAwait {};
+inline void planted_status_discard() {
+  // The linter must flag the next line:
+  // clang-format off
+  // (void)co_await below is the planted violation
+  // clang-format on
+}
+#define PLANTED_DISCARD (void)co_await FakeAwait {}  // planted
+
+// --- [status-discard] JUSTIFIED ---------------------------------------------
+// lint: status-discard ok: fixture demonstrating the waiver syntax (JUSTIFIED)
+#define JUSTIFIED_DISCARD (void)co_await FakeAwait {}
+
+// --- [status-discard]: bare-statement discard of an endpoint Status ---------
+// (The `off->` receiver is what the rule keys on; never compiled.)
+struct FakeOff {
+  FakeAwait wait(int) { return {}; }
+};
+// The next macro body plants the bare-discard form:
+#define PLANTED_BARE_DISCARD(r, q) \
+  co_await r.off->wait(q)  // planted: bare statement, result unused
+
+// --- [metric-dup]: same literal linked twice in one file --------------------
+struct Reg {
+  void link(const char*, const int*) {}
+};
+inline void planted_metric_dup(Reg& reg, const int* slot) {
+  reg.link("fixture.hits", slot);
+  reg.link("fixture.misses", slot);
+  reg.link("fixture.hits", slot);  // planted: duplicate literal
+}
+
+}  // namespace fixture

@@ -175,12 +175,12 @@ std::unique_ptr<World> run_pair(const machine::ClusterSpec& s) {
     const auto buf = r.mem().alloc(len);
     r.mem().write(buf, pattern_bytes(71, len));
     auto req = co_await r.off->send_offload(buf, len, 1, 0);
-    co_await r.off->wait(req);
+    EXPECT_EQ(co_await r.off->wait(req), offload::Status::kOk);
   });
   w->launch(1, [len](Rank& r) -> sim::Task<void> {
     const auto buf = r.mem().alloc(len);
     auto req = co_await r.off->recv_offload(buf, len, 0, 0);
-    co_await r.off->wait(req);
+    EXPECT_EQ(co_await r.off->wait(req), offload::Status::kOk);
   });
   w->run();
   return w;
@@ -240,7 +240,7 @@ TEST(Metrics, BoundedRegCachesEvictAndExportEvictionCounters) {
     const auto b = r.mem().alloc(len);
     for (int i = 0; i < 3; ++i) {
       auto req = co_await r.off->send_offload(i % 2 ? b : a, len, 1, i);
-      co_await r.off->wait(req);
+      EXPECT_EQ(co_await r.off->wait(req), offload::Status::kOk);
     }
     const auto c = r.mem().alloc(len);
     const auto d = r.mem().alloc(len);
@@ -253,7 +253,7 @@ TEST(Metrics, BoundedRegCachesEvictAndExportEvictionCounters) {
     const auto buf = r.mem().alloc(len);
     for (int i = 0; i < 3; ++i) {
       auto req = co_await r.off->recv_offload(buf, len, 0, i);
-      co_await r.off->wait(req);
+      EXPECT_EQ(co_await r.off->wait(req), offload::Status::kOk);
     }
     const auto e = r.mem().alloc(len);
     const auto f = r.mem().alloc(len);
@@ -301,7 +301,7 @@ RunFingerprint group_offload_fingerprint() {
     r.off->group_end(req);
     for (int it = 0; it < 2; ++it) {
       co_await r.off->group_call(req);
-      co_await r.off->group_wait(req);
+      EXPECT_EQ(co_await r.off->group_wait(req), offload::Status::kOk);
     }
   });
   w.run();

@@ -29,12 +29,12 @@ TEST(OffloadBasic, SendRecvMovesBytesEndToEnd) {
     const auto buf = r.mem().alloc(8_KiB);
     r.mem().write(buf, pattern_bytes(21, 8_KiB));
     auto req = co_await r.off->send_offload(buf, 8_KiB, 2, 3);
-    co_await r.off->wait(req);
+    EXPECT_EQ(co_await r.off->wait(req), Status::kOk);
   });
   w.launch(2, [&](Rank& r) -> sim::Task<void> {
     const auto buf = r.mem().alloc(8_KiB);
     auto req = co_await r.off->recv_offload(buf, 8_KiB, 0, 3);
-    co_await r.off->wait(req);
+    EXPECT_EQ(co_await r.off->wait(req), Status::kOk);
     EXPECT_TRUE(check_pattern(r.mem().read(buf, 8_KiB), 21));
     checked = true;
   });
@@ -56,12 +56,12 @@ TEST_P(OffloadSizes, DataIntegrityAcrossSizes) {
     const auto buf = r.mem().alloc(len);
     r.mem().write(buf, pattern_bytes(len, len));
     auto req = co_await r.off->send_offload(buf, len, 2, 0);
-    co_await r.off->wait(req);
+    EXPECT_EQ(co_await r.off->wait(req), Status::kOk);
   });
   w.launch(2, [&](Rank& r) -> sim::Task<void> {
     const auto buf = r.mem().alloc(len);
     auto req = co_await r.off->recv_offload(buf, len, 0, 0);
-    co_await r.off->wait(req);
+    EXPECT_EQ(co_await r.off->wait(req), Status::kOk);
     EXPECT_TRUE(check_pattern(r.mem().read(buf, len), len));
     checked = true;
   });
@@ -84,12 +84,12 @@ TEST(OffloadBasic, RtrBeforeRtsMatches) {
     const auto buf = r.mem().alloc(4_KiB);
     r.mem().write(buf, pattern_bytes(9, 4_KiB));
     auto req = co_await r.off->send_offload(buf, 4_KiB, 2, 1);
-    co_await r.off->wait(req);
+    EXPECT_EQ(co_await r.off->wait(req), Status::kOk);
   });
   w.launch(2, [&](Rank& r) -> sim::Task<void> {
     const auto buf = r.mem().alloc(4_KiB);
     auto req = co_await r.off->recv_offload(buf, 4_KiB, 0, 1);
-    co_await r.off->wait(req);
+    EXPECT_EQ(co_await r.off->wait(req), Status::kOk);
     EXPECT_TRUE(check_pattern(r.mem().read(buf, 4_KiB), 9));
   });
   w.run();
@@ -104,16 +104,16 @@ TEST(OffloadBasic, TagsDisambiguateOnProxy) {
     r.mem().write(b, pattern_bytes(2, 1_KiB));
     auto q1 = co_await r.off->send_offload(a, 1_KiB, 2, 10);
     auto q2 = co_await r.off->send_offload(b, 1_KiB, 2, 20);
-    co_await r.off->wait(q1);
-    co_await r.off->wait(q2);
+    EXPECT_EQ(co_await r.off->wait(q1), Status::kOk);
+    EXPECT_EQ(co_await r.off->wait(q2), Status::kOk);
   });
   w.launch(2, [&](Rank& r) -> sim::Task<void> {
     const auto b = r.mem().alloc(1_KiB);
     const auto a = r.mem().alloc(1_KiB);
     auto q2 = co_await r.off->recv_offload(b, 1_KiB, 0, 20);
     auto q1 = co_await r.off->recv_offload(a, 1_KiB, 0, 10);
-    co_await r.off->wait(q1);
-    co_await r.off->wait(q2);
+    EXPECT_EQ(co_await r.off->wait(q1), Status::kOk);
+    EXPECT_EQ(co_await r.off->wait(q2), Status::kOk);
     EXPECT_TRUE(check_pattern(r.mem().read(a, 1_KiB), 1));
     EXPECT_TRUE(check_pattern(r.mem().read(b, 1_KiB), 2));
   });
@@ -131,7 +131,7 @@ TEST(OffloadBasic, TransferProgressesWhileBothHostsCompute) {
     auto req = co_await r.off->send_offload(buf, 256_KiB, 2, 0);
     co_await r.compute(10_ms);
     const SimTime before_wait = r.world->now();
-    co_await r.off->wait(req);
+    EXPECT_EQ(co_await r.off->wait(req), Status::kOk);
     send_done = r.world->now();
     // Wait returned (almost) immediately: the proxy finished long ago.
     EXPECT_LT(send_done - before_wait, 100_us);
@@ -140,7 +140,7 @@ TEST(OffloadBasic, TransferProgressesWhileBothHostsCompute) {
     const auto buf = r.mem().alloc(256_KiB);
     auto req = co_await r.off->recv_offload(buf, 256_KiB, 0, 0);
     co_await r.compute(10_ms);
-    co_await r.off->wait(req);
+    EXPECT_EQ(co_await r.off->wait(req), Status::kOk);
   });
   w.run();
 }
@@ -151,13 +151,13 @@ TEST(OffloadBasic, TestPollsCompletionFlag) {
     const auto buf = r.mem().alloc(64_KiB);
     auto req = co_await r.off->send_offload(buf, 64_KiB, 2, 0);
     EXPECT_FALSE(co_await r.off->test(req));  // cannot be done instantly
-    co_await r.off->wait(req);
+    EXPECT_EQ(co_await r.off->wait(req), Status::kOk);
     EXPECT_TRUE(co_await r.off->test(req));
   });
   w.launch(2, [&](Rank& r) -> sim::Task<void> {
     const auto buf = r.mem().alloc(64_KiB);
     auto req = co_await r.off->recv_offload(buf, 64_KiB, 0, 0);
-    co_await r.off->wait(req);
+    EXPECT_EQ(co_await r.off->wait(req), Status::kOk);
   });
   w.run();
 }
@@ -168,7 +168,7 @@ TEST(OffloadBasic, GvmiCachesAmortizeRepeatedBuffers) {
     const auto buf = r.mem().alloc(128_KiB);
     for (int i = 0; i < 6; ++i) {
       auto req = co_await r.off->send_offload(buf, 128_KiB, 2, i);
-      co_await r.off->wait(req);
+      EXPECT_EQ(co_await r.off->wait(req), Status::kOk);
     }
     // Host-side GVMI cache: one miss, five hits.
     EXPECT_EQ(r.off->gvmi_cache().stats().misses, 1u);
@@ -182,7 +182,7 @@ TEST(OffloadBasic, GvmiCachesAmortizeRepeatedBuffers) {
     const auto buf = r.mem().alloc(128_KiB);
     for (int i = 0; i < 6; ++i) {
       auto req = co_await r.off->recv_offload(buf, 128_KiB, 0, i);
-      co_await r.off->wait(req);
+      EXPECT_EQ(co_await r.off->wait(req), Status::kOk);
     }
     EXPECT_EQ(r.off->ib_cache().stats().misses, 1u);
   });
@@ -195,12 +195,12 @@ TEST(OffloadBasic, IntraNodePairWorksThroughLoopback) {
     const auto buf = r.mem().alloc(16_KiB);
     r.mem().write(buf, pattern_bytes(4, 16_KiB));
     auto req = co_await r.off->send_offload(buf, 16_KiB, 1, 0);
-    co_await r.off->wait(req);
+    EXPECT_EQ(co_await r.off->wait(req), Status::kOk);
   });
   w.launch(1, [&](Rank& r) -> sim::Task<void> {
     const auto buf = r.mem().alloc(16_KiB);
     auto req = co_await r.off->recv_offload(buf, 16_KiB, 0, 0);
-    co_await r.off->wait(req);
+    EXPECT_EQ(co_await r.off->wait(req), Status::kOk);
     EXPECT_TRUE(check_pattern(r.mem().read(buf, 16_KiB), 4));
   });
   w.run();
@@ -220,8 +220,8 @@ TEST(OffloadBasic, ProxyMappingDistributesHosts) {
       r.mem().write(s, pattern_bytes(static_cast<std::uint64_t>(r0), 2_KiB));
       auto qs = co_await r.off->send_offload(s, 2_KiB, peer, 0);
       auto qr = co_await r.off->recv_offload(d, 2_KiB, peer, 1);
-      co_await r.off->wait(qs);
-      co_await r.off->wait(qr);
+      EXPECT_EQ(co_await r.off->wait(qs), Status::kOk);
+      EXPECT_EQ(co_await r.off->wait(qr), Status::kOk);
       EXPECT_TRUE(check_pattern(r.mem().read(d, 2_KiB), static_cast<std::uint64_t>(peer)));
       ++done;
     });
@@ -234,8 +234,8 @@ TEST(OffloadBasic, ProxyMappingDistributesHosts) {
       r.mem().write(s, pattern_bytes(static_cast<std::uint64_t>(r1), 2_KiB));
       auto qr = co_await r.off->recv_offload(d, 2_KiB, peer, 0);
       auto qs = co_await r.off->send_offload(s, 2_KiB, peer, 1);
-      co_await r.off->wait(qr);
-      co_await r.off->wait(qs);
+      EXPECT_EQ(co_await r.off->wait(qr), Status::kOk);
+      EXPECT_EQ(co_await r.off->wait(qs), Status::kOk);
       EXPECT_TRUE(check_pattern(r.mem().read(d, 2_KiB), static_cast<std::uint64_t>(peer)));
       ++done;
     });
@@ -249,12 +249,12 @@ TEST(OffloadBasic, ReceiveBufferTooSmallFaults) {
   w.launch(0, [&](Rank& r) -> sim::Task<void> {
     const auto buf = r.mem().alloc(8_KiB);
     auto req = co_await r.off->send_offload(buf, 8_KiB, 2, 0);
-    co_await r.off->wait(req);
+    EXPECT_EQ(co_await r.off->wait(req), Status::kOk);
   });
   w.launch(2, [&](Rank& r) -> sim::Task<void> {
     const auto buf = r.mem().alloc(4_KiB);
     auto req = co_await r.off->recv_offload(buf, 4_KiB, 0, 0);
-    co_await r.off->wait(req);
+    EXPECT_EQ(co_await r.off->wait(req), Status::kOk);
   });
   EXPECT_THROW(w.run(), SimError);
 }

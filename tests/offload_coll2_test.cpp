@@ -40,7 +40,7 @@ TEST(OffloadWaitall, CompletesManyRequestsAtOnce) {
       reqs.push_back(co_await r.off->recv_offload(d, len, src, i));
       reqs.push_back(co_await r.off->send_offload(s, len, dst, i));
     }
-    co_await r.off->waitall(reqs);
+    EXPECT_EQ(co_await r.off->waitall(reqs), Status::kOk);
     for (int i = 1; i < n; ++i) {
       const int src = (r.rank - i + n) % n;
       EXPECT_TRUE(check_pattern(r.mem().read(rbufs[static_cast<std::size_t>(i - 1)], len),
@@ -58,14 +58,14 @@ TEST(OffloadInvalidate, ForcesReRegistrationOnBothSides) {
     // Warm both caches.
     r.mem().write(buf, pattern_bytes(1, len));
     auto q1 = co_await r.off->send_offload(buf, len, 1, 0);
-    co_await r.off->wait(q1);
+    EXPECT_EQ(co_await r.off->wait(q1), Status::kOk);
     EXPECT_EQ(r.off->gvmi_cache().stats().misses, 1u);
     // Invalidate, then reuse: a fresh miss on the host...
     co_await r.off->invalidate(buf, len);
     co_await r.compute(50_us);  // let the proxy-side eviction land
     r.mem().write(buf, pattern_bytes(2, len));
     auto q2 = co_await r.off->send_offload(buf, len, 1, 1);
-    co_await r.off->wait(q2);
+    EXPECT_EQ(co_await r.off->wait(q2), Status::kOk);
     EXPECT_EQ(r.off->gvmi_cache().stats().misses, 2u);
     // ...and on the proxy.
     auto& proxy = r.world->offload().proxy(r.world->spec().proxy_for_host(0));
@@ -75,10 +75,10 @@ TEST(OffloadInvalidate, ForcesReRegistrationOnBothSides) {
     const std::size_t len = 32_KiB;
     const auto buf = r.mem().alloc(len);
     auto q1 = co_await r.off->recv_offload(buf, len, 0, 0);
-    co_await r.off->wait(q1);
+    EXPECT_EQ(co_await r.off->wait(q1), Status::kOk);
     EXPECT_TRUE(check_pattern(r.mem().read(buf, len), 1));
     auto q2 = co_await r.off->recv_offload(buf, len, 0, 1);
-    co_await r.off->wait(q2);
+    EXPECT_EQ(co_await r.off->wait(q2), Status::kOk);
     EXPECT_TRUE(check_pattern(r.mem().read(buf, len), 2));
   });
   w.run();
@@ -95,7 +95,7 @@ TEST(GroupAllgatherTest, EveryRankAssemblesAllBlocks) {
     r.mem().write(sbuf, pattern_bytes(static_cast<std::uint64_t>(r.rank), b));
     GroupAllgather ag(*r.off);
     auto req = co_await ag.icall(sbuf, rbuf, b, r.world->mpi().world());
-    co_await ag.wait(req);
+    EXPECT_EQ(co_await ag.wait(req), Status::kOk);
     for (int s = 0; s < n; ++s) {
       EXPECT_TRUE(check_pattern(r.mem().read(rbuf + static_cast<machine::Addr>(s) * b, b),
                                 static_cast<std::uint64_t>(s)))
@@ -120,7 +120,7 @@ TEST(GroupAllgatherTest, RepeatsThroughCachesAndOverlapsCompute) {
       auto req = co_await ag.icall(sbuf, rbuf, b, r.world->mpi().world());
       co_await r.compute(5_ms);
       const SimTime before = r.world->now();
-      co_await ag.wait(req);
+      EXPECT_EQ(co_await ag.wait(req), Status::kOk);
       EXPECT_LT(to_us(r.world->now() - before), 50.0);  // hidden in compute
       for (int s = 0; s < n; ++s) {
         EXPECT_TRUE(
@@ -144,7 +144,7 @@ TEST(GroupBcastBinomialTest, DeliversFromEveryRoot) {
       if (r.rank == root) r.mem().write(buf, pattern_bytes(static_cast<std::uint64_t>(root), len));
       GroupBcastBinomial bc(*r.off);
       auto req = co_await bc.icall(buf, len, root, r.world->mpi().world());
-      co_await bc.wait(req);
+      EXPECT_EQ(co_await bc.wait(req), Status::kOk);
       EXPECT_TRUE(check_pattern(r.mem().read(buf, len), static_cast<std::uint64_t>(root)))
           << "rank " << r.rank << " root " << root << " n " << n;
     });
@@ -164,11 +164,11 @@ TEST(GroupBcastBinomialTest, FasterThanGroupRingForWideComms) {
       if (binomial) {
         GroupBcastBinomial bc(*r.off);
         auto req = co_await bc.icall(buf, len, 0, r.world->mpi().world());
-        co_await bc.wait(req);
+        EXPECT_EQ(co_await bc.wait(req), Status::kOk);
       } else {
         GroupRingBcast bc(*r.off);
         auto req = co_await bc.icall(buf, len, 0, r.world->mpi().world());
-        co_await bc.wait(req);
+        EXPECT_EQ(co_await bc.wait(req), Status::kOk);
       }
       last_us = std::max(last_us, to_us(r.world->now()));
     });

@@ -48,7 +48,7 @@ TEST_P(GroupAlltoallSweep, DeliversAllBlocksRepeatedly) {
                       pattern_bytes(static_cast<std::uint64_t>(1000 * it + me * n + d), b));
       }
       auto req = co_await a2a.icall(sbuf, rbuf, b, r.world->mpi().world());
-      co_await a2a.wait(req);
+      EXPECT_EQ(co_await a2a.wait(req), Status::kOk);
       for (int s = 0; s < n; ++s) {
         EXPECT_TRUE(
             check_pattern(r.mem().read(rbuf + static_cast<machine::Addr>(s) * b, b),
@@ -97,8 +97,8 @@ TEST(GroupColl, TwoConcurrentAlltoallsOnDistinctBuffers) {
     auto q1 = co_await a2a.icall(s1, r1, b, r.world->mpi().world());
     auto q2 = co_await a2a.icall(s2, r2, b, r.world->mpi().world());
     co_await r.compute(50_us);
-    co_await a2a.wait(q1);
-    co_await a2a.wait(q2);
+    EXPECT_EQ(co_await a2a.wait(q1), Status::kOk);
+    EXPECT_EQ(co_await a2a.wait(q2), Status::kOk);
     for (int s = 0; s < n; ++s) {
       EXPECT_TRUE(check_pattern(r.mem().read(r1 + static_cast<machine::Addr>(s) * b, b),
                                 static_cast<std::uint64_t>(1000 + s * n + me)));
@@ -118,7 +118,7 @@ TEST(GroupColl, RingBcastAllRootsAllSizes) {
       if (r.rank == root) r.mem().write(buf, pattern_bytes(static_cast<std::uint64_t>(root), len));
       GroupRingBcast ring(*r.off);
       auto req = co_await ring.icall(buf, len, root, r.world->mpi().world());
-      co_await ring.wait(req);
+      EXPECT_EQ(co_await ring.wait(req), Status::kOk);
       EXPECT_TRUE(check_pattern(r.mem().read(buf, len), static_cast<std::uint64_t>(root)))
           << "rank " << r.rank << " root " << root;
     });
@@ -135,7 +135,7 @@ TEST(GroupColl, RingBcastRepeatHitsCaches) {
     for (int it = 0; it < 4; ++it) {
       if (r.rank == 0) r.mem().write(buf, pattern_bytes(static_cast<std::uint64_t>(it), len));
       auto req = co_await ring.icall(buf, len, 0, r.world->mpi().world());
-      co_await ring.wait(req);
+      EXPECT_EQ(co_await ring.wait(req), Status::kOk);
       EXPECT_TRUE(check_pattern(r.mem().read(buf, len), static_cast<std::uint64_t>(it)));
     }
     EXPECT_EQ(r.off->group_cache_misses(), 1u);
@@ -160,7 +160,7 @@ TEST(GroupColl, SubCommunicatorAlltoall) {
     }
     GroupAlltoall a2a(*r.off, *r.mpi);
     auto req = co_await a2a.icall(sbuf, rbuf, b, comm);
-    co_await a2a.wait(req);
+    EXPECT_EQ(co_await a2a.wait(req), Status::kOk);
     const int my_local = comm->rank_of_world(me);
     for (int s = 0; s < 2; ++s) {
       const int src_world = comm->world_rank(s);

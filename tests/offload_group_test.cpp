@@ -42,7 +42,7 @@ sim::Task<void> ring_bcast_group(Rank& r, machine::Addr buf, std::size_t len, in
   }
   r.off->group_end(req);
   co_await r.off->group_call(req);
-  co_await r.off->group_wait(req);
+  EXPECT_EQ(co_await r.off->group_wait(req), Status::kOk);
 }
 
 TEST(OffloadGroup, RingBroadcastDeliversToEveryRank) {
@@ -89,7 +89,7 @@ TEST(OffloadGroup, RingProgressesWithoutHostCpu) {
     co_await r.off->group_call(req);
     co_await r.compute(20_ms);  // far longer than the whole ring takes
     const SimTime before = r.world->now();
-    co_await r.off->group_wait(req);
+    EXPECT_EQ(co_await r.off->group_wait(req), Status::kOk);
     wait_time[static_cast<std::size_t>(me)] = r.world->now() - before;
     EXPECT_TRUE(check_pattern(r.mem().read(buf, len), 3));
   });
@@ -110,7 +110,7 @@ TEST(OffloadGroup, BarrierEnforcesOrderingBetweenStages) {
     r.off->group_send(req, a, 16_KiB, 1, 0);
     r.off->group_end(req);
     co_await r.off->group_call(req);
-    co_await r.off->group_wait(req);
+    EXPECT_EQ(co_await r.off->group_wait(req), Status::kOk);
   });
   w.launch(1, [&](Rank& r) -> sim::Task<void> {
     const auto buf = r.mem().alloc(16_KiB);  // starts zeroed
@@ -120,7 +120,7 @@ TEST(OffloadGroup, BarrierEnforcesOrderingBetweenStages) {
     r.off->group_send(req, buf, 16_KiB, 2, 0);
     r.off->group_end(req);
     co_await r.off->group_call(req);
-    co_await r.off->group_wait(req);
+    EXPECT_EQ(co_await r.off->group_wait(req), Status::kOk);
   });
   w.launch(2, [&](Rank& r) -> sim::Task<void> {
     const auto buf = r.mem().alloc(16_KiB);
@@ -128,7 +128,7 @@ TEST(OffloadGroup, BarrierEnforcesOrderingBetweenStages) {
     r.off->group_recv(req, buf, 16_KiB, 1, 0);
     r.off->group_end(req);
     co_await r.off->group_call(req);
-    co_await r.off->group_wait(req);
+    EXPECT_EQ(co_await r.off->group_wait(req), Status::kOk);
     EXPECT_TRUE(check_pattern(r.mem().read(buf, 16_KiB), 77));
   });
   w.run();
@@ -159,7 +159,7 @@ TEST(OffloadGroup, PairwiseExchangePattern) {
     }
     r.off->group_end(req);
     co_await r.off->group_call(req);
-    co_await r.off->group_wait(req);
+    EXPECT_EQ(co_await r.off->group_wait(req), Status::kOk);
     for (int s = 0; s < n; ++s) {
       if (s == me) continue;
       EXPECT_TRUE(
@@ -191,7 +191,7 @@ TEST(OffloadGroup, RepeatCallsHitCachesEverywhere) {
     for (int i = 0; i < iters; ++i) {
       r.mem().write(sbuf, pattern_bytes(static_cast<std::uint64_t>(100 + 10 * r.rank + i), len));
       co_await r.off->group_call(req);
-      co_await r.off->group_wait(req);
+      EXPECT_EQ(co_await r.off->group_wait(req), Status::kOk);
       EXPECT_TRUE(check_pattern(r.mem().read(rbuf, len),
                                 static_cast<std::uint64_t>(100 + 10 * peer + i)))
           << "rank " << r.rank << " iter " << i;
@@ -222,7 +222,7 @@ TEST(OffloadGroup, CacheDisabledStillCorrectButChattier) {
     for (int i = 0; i < 3; ++i) {
       r.mem().write(sbuf, pattern_bytes(static_cast<std::uint64_t>(r.rank + i), len));
       co_await r.off->group_call(req);
-      co_await r.off->group_wait(req);
+      EXPECT_EQ(co_await r.off->group_wait(req), Status::kOk);
       EXPECT_TRUE(
           check_pattern(r.mem().read(rbuf, len), static_cast<std::uint64_t>(peer + i)));
     }
@@ -265,7 +265,7 @@ TEST(OffloadGroup, ProxyServingTwoHostsAvoidsDeadlock) {
     }
     r.off->group_end(req);
     co_await r.off->group_call(req);
-    co_await r.off->group_wait(req);
+    EXPECT_EQ(co_await r.off->group_wait(req), Status::kOk);
     EXPECT_TRUE(check_pattern(r.mem().read(in, len), static_cast<std::uint64_t>(peer)));
     ++done;
   };
@@ -289,7 +289,7 @@ TEST(OffloadGroup, BarrierCounterMessagesFlow) {
     r.off->group_recv(req, in, len, 1, 1);
     r.off->group_end(req);
     co_await r.off->group_call(req);
-    co_await r.off->group_wait(req);
+    EXPECT_EQ(co_await r.off->group_wait(req), Status::kOk);
   });
   w.launch(1, [&](Rank& r) -> sim::Task<void> {
     const std::size_t len = 4_KiB;
@@ -301,7 +301,7 @@ TEST(OffloadGroup, BarrierCounterMessagesFlow) {
     r.off->group_send(req, out, len, 0, 1);
     r.off->group_end(req);
     co_await r.off->group_call(req);
-    co_await r.off->group_wait(req);
+    EXPECT_EQ(co_await r.off->group_wait(req), Status::kOk);
   });
   w.run();
   EXPECT_GT(w.offload().proxy(w.spec().proxy_id(0, 0)).barrier_cntr_msgs(), 0u);

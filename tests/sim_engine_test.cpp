@@ -156,6 +156,46 @@ TEST(Engine, ExceptionPropagatesThroughAwait) {
   EXPECT_TRUE(caught);
 }
 
+TEST(Engine, InstantEndHooksRunAfterAllSameTimeEvents) {
+  Engine eng;
+  std::vector<int> order;
+  eng.schedule_at(0, [&] { order.push_back(1); });
+  eng.at_instant_end([&] { order.push_back(100); });
+  eng.at_instant_end([&] { order.push_back(101); });  // FIFO among hooks
+  eng.schedule_at(0, [&] { order.push_back(2); });
+  eng.schedule_at(10_ns, [&] { order.push_back(3); });
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 100, 101, 3}));
+}
+
+TEST(Engine, InstantEndHookEventsDispatchBeforeClockAdvances) {
+  Engine eng;
+  std::vector<std::pair<int, SimTime>> log;
+  eng.schedule_at(10_ns, [&] { log.emplace_back(3, eng.now()); });
+  eng.at_instant_end([&] {
+    // A hook may queue work at the current instant; it must run before the
+    // clock moves on (the fabric arbiter books zero-latency grants so).
+    eng.schedule_at(eng.now(), [&] { log.emplace_back(2, eng.now()); });
+  });
+  eng.schedule_at(0, [&] { log.emplace_back(1, eng.now()); });
+  eng.run();
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log[0], (std::pair<int, SimTime>{1, 0}));
+  EXPECT_EQ(log[1], (std::pair<int, SimTime>{2, 0}));
+  EXPECT_EQ(log[2], (std::pair<int, SimTime>{3, 10_ns}));
+}
+
+TEST(Engine, InstantEndHookMayRegisterFurtherHooks) {
+  Engine eng;
+  std::vector<int> order;
+  eng.at_instant_end([&] {
+    order.push_back(1);
+    eng.at_instant_end([&] { order.push_back(2); });
+  });
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
 TEST(Engine, UncaughtProcessExceptionFailsRun) {
   Engine eng;
   auto body = [&]() -> Task<void> {
