@@ -57,6 +57,14 @@ echo "== stripe suite (sanitized) =="
 echo "== ablation_pipeline smoke (fast mode, sanitized) =="
 DPU_BENCH_FAST=1 "$BUILD_DIR"/bench/ablation_pipeline > /dev/null
 
+# Scale smoke: a 256-rank striped alltoall over the fat-tree fabric runs the
+# calendar-queue hot path (hundreds of thousands of near-horizon events) and
+# the d-mod-k core under ASan/UBSan. The full 4096-rank run lives in ctest as
+# scale_alltoall_budget with a wall-clock ceiling; here the point is memory
+# and UB coverage of the scaled-up shape, so small ranks are enough.
+echo "== scale_alltoall smoke (sanitized) =="
+"$BUILD_DIR"/bench/scale_alltoall --smoke > /dev/null
+
 # Tie-shuffle smoke: replay the protocol regimes over a small seed matrix
 # (sanitized) so a schedule race — an outcome that depends on same-virtual-
 # time dispatch order — fails the gate, not just the nightly full matrix.

@@ -34,6 +34,16 @@ Rules (each failure prints `file:line: [rule] message`):
                   link of a taken name throws at runtime, but only on the
                   code path that executes it — catch the copy-paste statically.
 
+  ev-alloc        No raw `new` / `delete` of engine event nodes (EvNode /
+                  SlabNode) in src/: nodes live by value inside the calendar
+                  queue's index-linked slab and the heap vector precisely so
+                  the hot path never touches the allocator. A raw allocation
+                  defeats the slab and its cache-line packing. Sites that
+                  genuinely need one carry `// lint: ev-alloc ok: <reason>`
+                  within the 5 lines above. (News are matched by type name;
+                  deletes by ev/slab-node-ish variable names — the textual
+                  rule cannot type pointers.)
+
 Usage:
   scripts/lint.py [--root DIR]      lint the repo (default: repo root)
   scripts/lint.py --self-test       run the rules against the planted-violation
@@ -84,6 +94,12 @@ STATUS_DISCARD_JUSTIFY = re.compile(r"//\s*lint:\s*status-discard ok:")
 # rule: metric-dup
 METRIC_LINK = re.compile(r"\.link\s*\(\s*(?:[A-Za-z_][\w.]*\s*\+\s*)?\"([^\"]+)\"")
 
+# rule: ev-alloc
+EV_ALLOC_NEW = re.compile(r"\bnew\s+(?:\([^)]*\)\s*)?[\w:]*\b(?:EvNode|SlabNode)\b")
+EV_ALLOC_DELETE = re.compile(
+    r"\bdelete(?:\s*\[\s*\])?\s+[\w.>-]*(?:ev_?node|slab_?node)\w*", re.IGNORECASE)
+EV_ALLOC_JUSTIFY = re.compile(r"//\s*lint:\s*ev-alloc ok:")
+
 # rule: nodiscard
 NODISCARD_STATUS = re.compile(r"enum\s+class\s+\[\[nodiscard\]\]\s+Status\b")
 
@@ -126,6 +142,14 @@ def lint_file(path: str, rel: str, errors: list) -> None:
                         f"{rel}:{lineno}: [raw-post] raw control-plane post "
                         "outside verbs/reliable needs a "
                         "'// lint: raw-post ok: <reason>' comment")
+
+            if EV_ALLOC_NEW.search(line) or EV_ALLOC_DELETE.search(line):
+                if not has_justification(lines, i, EV_ALLOC_JUSTIFY):
+                    errors.append(
+                        f"{rel}:{lineno}: [ev-alloc] raw heap traffic on an "
+                        "event node: nodes live by value in the calendar "
+                        "slab / event heap (Engine::CalendarQueue); add "
+                        "'// lint: ev-alloc ok: <reason>' if truly needed")
 
         # The explicit-cast form is policed in src/ only (product code must
         # document the why; in tests the cast itself is the documentation).
@@ -186,7 +210,7 @@ def self_test(root: str) -> int:
     errors = []
     lint_file(fixture, os.path.join("src", "planted_violations.cpp"), errors)
 
-    expected = ["wall-clock", "raw-post", "status-discard", "metric-dup"]
+    expected = ["wall-clock", "raw-post", "status-discard", "metric-dup", "ev-alloc"]
     failed = False
     for rule in expected:
         hits = [e for e in errors if f"[{rule}]" in e]

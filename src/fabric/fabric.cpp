@@ -10,12 +10,13 @@ namespace dpu::fabric {
 Fabric::Fabric(sim::Engine& eng, const machine::ClusterSpec& spec)
     : eng_(eng),
       cost_(spec.cost),
+      topo_(spec.resolve_topology()),
       tx_(static_cast<std::size_t>(spec.nodes)),
       rx_(static_cast<std::size_t>(spec.nodes)),
+      up_(static_cast<std::size_t>(topo_.leaves) * static_cast<std::size_t>(topo_.spines)),
+      down_(static_cast<std::size_t>(topo_.leaves) * static_cast<std::size_t>(topo_.spines)),
       pcie_down_(static_cast<std::size_t>(spec.nodes)),
       pcie_up_(static_cast<std::size_t>(spec.nodes)),
-      core_up_(static_cast<std::size_t>(spec.nodes / std::max(spec.cost.radix, 1) + 1)),
-      core_down_(static_cast<std::size_t>(spec.nodes / std::max(spec.cost.radix, 1) + 1)),
       stats_(static_cast<std::size_t>(spec.nodes)) {
   auto& reg = eng_.metrics();
   for (int n = 0; n < spec.nodes; ++n) {
@@ -55,20 +56,22 @@ SimTime Fabric::plan_transfer(int src_node, int dst_node, std::size_t bytes, boo
   const SimDuration lat = from_us(cost_.wire_latency_us);
 
   SimTime tx_start = std::max(now, tx.free_at);
-  // Fat-tree core: traffic leaving a leaf switch shares the (possibly
-  // oversubscribed) uplinks; same-leaf traffic stays at the edge.
-  const int radix = std::max(cost_.radix, 1);
-  const int src_leaf = src_node / radix;
-  const int dst_leaf = dst_node / radix;
-  if (src_leaf != dst_leaf && cost_.oversubscription > 1.0) {
-    // Aggregate uplink rate per leaf = radix links / oversubscription; we
-    // approximate the shared pool with one serializing port at that rate.
-    const SimDuration core_ser = from_ns(static_cast<double>(bytes) /
-                                         (cost_.nic_bandwidth_GBps *
-                                          static_cast<double>(radix) /
-                                          cost_.oversubscription));
-    auto& up = core_up_[static_cast<std::size_t>(src_leaf)];
-    auto& down = core_down_[static_cast<std::size_t>(dst_leaf)];
+  // Fat-tree core: cross-leaf traffic climbs the d-mod-k spine's uplink and
+  // descends its downlink, each a serializing cut-through port at the
+  // per-uplink rate; same-leaf traffic stays at the edge. A non-blocking
+  // core (1 spine, 1:1) models no core ports at all.
+  const int src_leaf = topo_.leaf_of(src_node);
+  const int dst_leaf = topo_.leaf_of(dst_node);
+  if (src_leaf != dst_leaf && topo_.core_active()) {
+    const int spine = topo_.spine_of(dst_node);
+    const SimDuration core_ser =
+        from_ns(static_cast<double>(bytes) / topo_.uplink_GBps());
+    auto& up = up_[static_cast<std::size_t>(src_leaf) *
+                       static_cast<std::size_t>(topo_.spines) +
+                   static_cast<std::size_t>(spine)];
+    auto& down = down_[static_cast<std::size_t>(dst_leaf) *
+                           static_cast<std::size_t>(topo_.spines) +
+                       static_cast<std::size_t>(spine)];
     const SimTime up_start = std::max(tx_start, up.free_at);
     up.free_at = up_start + core_ser;
     const SimTime down_start = std::max(up.free_at, down.free_at);
@@ -97,8 +100,21 @@ SimTime Fabric::plan_transfer(int src_node, int dst_node, std::size_t bytes, boo
   return rx_end;
 }
 
+std::uint32_t Fabric::park_callback(std::function<void()> fn) {
+  std::uint32_t slot;
+  if (!cb_free_.empty()) {
+    slot = cb_free_.back();
+    cb_free_.pop_back();
+    cb_slots_[slot] = std::move(fn);
+  } else {
+    slot = static_cast<std::uint32_t>(cb_slots_.size());
+    cb_slots_.push_back(std::move(fn));
+  }
+  return slot;
+}
+
 void Fabric::enqueue(PendingXfer p) {
-  pending_.push_back(std::move(p));
+  pending_.push_back(p);
   if (!settle_armed_) {
     settle_armed_ = true;
     eng_.at_instant_end([this] { settle(); });
@@ -122,7 +138,10 @@ void Fabric::settle() {
     if (p.waiter) {
       eng_.resume_at(end, p.waiter);
     } else {
-      eng_.schedule_at(end, std::move(p.on_delivered));
+      eng_.schedule_at(end, std::move(cb_slots_[p.cb_slot]));
+      // The moved-from slot needs no reset: the next occupant's assignment
+      // destroys any residue.
+      cb_free_.push_back(p.cb_slot);
     }
   }
 }
@@ -135,8 +154,8 @@ void Fabric::transfer(int src_node, int dst_node, std::size_t bytes,
   p.bytes = bytes;
   p.to_host = to_host;
   p.requester = requester;
-  p.on_delivered = std::move(on_delivered);
-  enqueue(std::move(p));
+  p.cb_slot = park_callback(std::move(on_delivered));
+  enqueue(p);
 }
 
 sim::Task<void> Fabric::transfer_await(int src_node, int dst_node, std::size_t bytes,

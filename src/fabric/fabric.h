@@ -1,4 +1,4 @@
-// Network fabric timing model.
+// Network fabric timing model: a two-level k-ary fat-tree.
 //
 // One NIC per node, shared by the host and the DPU (as on BlueField
 // systems). Each NIC has a TX and an RX port that serialize traffic at the
@@ -9,6 +9,19 @@
 // ports, as on real BlueField loopback. Per-message *initiation* cost is
 // charged by the caller on whichever core posts the operation (see
 // CostModel::post_overhead) — the fabric models only the wire.
+//
+// Above the edge, nodes hang off leaf switches (machine::Topology: nodes /
+// leaf_radix / spines / oversubscription). Cross-leaf traffic climbs the
+// source leaf's uplink to spine `dst % spines` (deterministic d-mod-k path
+// selection — the spine is a function of the destination, so one node's
+// inbound traffic never reorders across paths and destinations stripe
+// evenly) and descends the destination leaf's downlink from that spine.
+// Every up/down link is its own serializing, cut-through port at the
+// per-uplink rate `link * leaf_radix / (oversubscription * spines)`, so an
+// oversubscribed or spine-starved core queues cross-leaf flows while
+// same-leaf traffic stays at full edge rate. A 1-spine 1:1 core is
+// non-blocking and models no core ports at all — byte-identical to the old
+// flat single-switch fabric (regression-pinned in tests/topology_test.cpp).
 //
 // Both transfer flavours share one planning core (`plan_transfer`) that
 // advances the port clocks and returns the delivery time. The coroutine
@@ -78,22 +91,31 @@ class Fabric {
 
   const NicStats& stats(int node) const { return stats_.at(static_cast<std::size_t>(node)); }
 
+  /// Resolved topology the fabric was built with (validated spec view).
+  const machine::Topology& topology() const { return topo_; }
+
  private:
   struct Port {
     SimTime free_at = 0;
   };
 
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
   /// A transfer request awaiting end-of-instant arbitration. Exactly one of
-  /// `on_delivered` / `waiter` is set (callback vs coroutine flavour).
+  /// `cb_slot` / `waiter` is set (callback vs coroutine flavour); the
+  /// callback itself lives in the pooled `cb_slots_` storage, so this
+  /// record stays trivially copyable and the per-instant stable sort moves
+  /// 32-byte values instead of type-erased closures.
   struct PendingXfer {
     int src_node = 0;
     int dst_node = 0;
     std::size_t bytes = 0;
-    bool to_host = false;
     int requester = -1;
-    std::function<void()> on_delivered;
+    std::uint32_t cb_slot = kNoSlot;
+    bool to_host = false;
     std::coroutine_handle<> waiter;
   };
+  static_assert(std::is_trivially_copyable_v<PendingXfer>);
 
   /// Advances the port/lane clocks for one transfer, updates stats and
   /// trace spans, and returns the delivery time. Does not schedule
@@ -105,16 +127,22 @@ class Fabric {
   /// Books the instant's cohort in canonical order (stable by requester).
   void settle();
 
+  /// Parks `fn` in the recycled callback-slot pool; returns its index.
+  std::uint32_t park_callback(std::function<void()> fn);
+
   sim::Engine& eng_;
   machine::CostModel cost_;
+  machine::Topology topo_;
   std::vector<Port> tx_;
   std::vector<Port> rx_;
-  std::vector<Port> core_up_;    // leaf -> core uplink (oversubscribable)
-  std::vector<Port> core_down_;  // core -> leaf downlink
+  std::vector<Port> up_;         // leaf uplinks: [leaf * spines + spine]
+  std::vector<Port> down_;       // spine -> leaf downlinks, same layout
   std::vector<Port> pcie_down_;  // toward the DPU
   std::vector<Port> pcie_up_;    // toward host memory
   std::vector<NicStats> stats_;
   std::vector<PendingXfer> pending_;  // this instant's unarbitrated requests
+  std::vector<std::function<void()>> cb_slots_;  // pooled delivery callbacks
+  std::vector<std::uint32_t> cb_free_;           // recycled slot indices
   bool settle_armed_ = false;
 };
 

@@ -12,12 +12,31 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "common/check.h"
 #include "common/units.h"
 
 namespace dpu::machine {
+
+/// Structured spec-validation failure. `field()` names the offending knob
+/// ("TopologySpec.spines", "CostModel.nic_bandwidth_GBps", ...) so callers
+/// and tests can assert on *which* field was malformed instead of pattern-
+/// matching a prose message. Raised by ClusterSpec::validate() — before the
+/// refactor, malformed specs surfaced downstream as divide-by-zero port
+/// rates or silent zero-time transfers.
+class SpecError : public std::runtime_error {
+ public:
+  SpecError(std::string field, const std::string& why)
+      : std::runtime_error(field + ": " + why), field_(std::move(field)) {}
+  const std::string& field() const { return field_; }
+
+ private:
+  std::string field_;
+};
 
 /// Deterministic fault injection on the control plane (offload robustness
 /// testing). When enabled, the verbs layer consults a seeded FaultPlan for
@@ -201,11 +220,58 @@ struct CostModel {
   }
 };
 
+/// Fabric topology: a two-level k-ary fat-tree. `leaf_radix` nodes hang off
+/// each leaf switch; every leaf has one uplink per spine switch, and a
+/// message to `dst` rides spine `dst % spines` (deterministic d-mod-k path
+/// selection). Aggregate uplink capacity per leaf is
+/// `leaf_radix * link rate / oversubscription`, split evenly across the
+/// spines, so `spines` controls path diversity while `oversubscription`
+/// controls the bisection. The 0 defaults inherit the matching CostModel
+/// knobs (cost.radix / cost.oversubscription / cost.nic_bandwidth_GBps),
+/// which keeps every pre-fat-tree spec meaningful unchanged; a 1-spine,
+/// 1:1 tree is a non-blocking core and reproduces the flat single-switch
+/// model byte-identically (pinned by tests/topology_test.cpp).
+struct TopologySpec {
+  int spines = 1;                 ///< core switches (>= 1)
+  int leaf_radix = 0;             ///< nodes per leaf; 0 = inherit cost.radix
+  double oversubscription = 0.0;  ///< core bisection divisor; 0 = inherit
+  double link_GBps = 0.0;         ///< edge link rate; 0 = inherit NIC rate
+};
+
+/// Validated, fully-resolved view of the fabric topology (all inheritance
+/// applied). Built by ClusterSpec::resolve_topology(); the Fabric consumes
+/// only this.
+struct Topology {
+  int nodes = 0;
+  int leaf_radix = 0;
+  int spines = 0;
+  int leaves = 0;
+  double oversubscription = 1.0;
+  double link_GBps = 0.0;
+
+  /// A 1-spine, 1:1 core is non-blocking (full bisection through a single
+  /// crossbar): cross-leaf traffic serializes only at the edge ports,
+  /// exactly the flat single-switch model.
+  bool core_active() const { return spines > 1 || oversubscription > 1.0; }
+
+  int leaf_of(int node) const { return node / leaf_radix; }
+  /// d-mod-k path selection: the spine is a pure function of the
+  /// destination, so all traffic to one node shares a core path (no
+  /// reordering) and destinations stripe evenly across spines.
+  int spine_of(int dst_node) const { return dst_node % spines; }
+  /// Per-uplink rate: the leaf's aggregate core capacity split across its
+  /// `spines` uplinks.
+  double uplink_GBps() const {
+    return link_GBps * leaf_radix / (oversubscription * spines);
+  }
+};
+
 /// Static shape of the simulated cluster plus its cost model.
 struct ClusterSpec {
   int nodes = 2;
   int host_procs_per_node = 1;  ///< "PPN"
   int proxies_per_dpu = 1;      ///< worker processes launched on each DPU
+  TopologySpec topology;
   CostModel cost;
   FaultSpec fault;
 
@@ -249,6 +315,52 @@ struct ClusterSpec {
   /// Proxy id for (node, local proxy index).
   int proxy_id(int node, int local) const {
     return total_host_ranks() + node * proxies_per_dpu + local;
+  }
+
+  /// Validates the spec and returns the resolved fabric topology. Throws
+  /// SpecError naming the offending field; the Fabric constructor calls
+  /// this, so every simulation front-end gets the checks for free.
+  Topology resolve_topology() const {
+    if (nodes < 1) throw SpecError("ClusterSpec.nodes", "must be >= 1");
+    if (host_procs_per_node < 1) {
+      throw SpecError("ClusterSpec.host_procs_per_node", "must be >= 1");
+    }
+    if (proxies_per_dpu < 0) {
+      throw SpecError("ClusterSpec.proxies_per_dpu", "must be >= 0");
+    }
+    if (!(cost.nic_bandwidth_GBps > 0.0)) {
+      throw SpecError("CostModel.nic_bandwidth_GBps", "zero-rate link");
+    }
+    if (!(cost.pcie_GBps > 0.0)) {
+      throw SpecError("CostModel.pcie_GBps", "zero-rate link");
+    }
+    Topology t;
+    t.nodes = nodes;
+    t.spines = topology.spines;
+    t.leaf_radix = topology.leaf_radix != 0 ? topology.leaf_radix : cost.radix;
+    t.oversubscription = topology.oversubscription != 0.0 ? topology.oversubscription
+                                                          : cost.oversubscription;
+    t.link_GBps = topology.link_GBps != 0.0 ? topology.link_GBps : cost.nic_bandwidth_GBps;
+    if (t.spines < 1) throw SpecError("TopologySpec.spines", "must be >= 1");
+    if (t.leaf_radix < 1) {
+      throw SpecError("TopologySpec.leaf_radix", "must be >= 1 after inheritance");
+    }
+    if (!(t.link_GBps > 0.0)) {
+      throw SpecError("TopologySpec.link_GBps", "zero-rate link");
+    }
+    if (t.oversubscription < 1.0) {
+      throw SpecError("TopologySpec.oversubscription",
+                      "must be >= 1 (a core faster than the edge is not a fat-tree)");
+    }
+    // A partially-filled trailing leaf would make d-mod-k striping and the
+    // per-leaf capacity asymmetric; either everything fits on one leaf or
+    // the leaves divide the nodes evenly.
+    if (nodes > t.leaf_radix && nodes % t.leaf_radix != 0) {
+      throw SpecError("TopologySpec.leaf_radix",
+                      "node count not divisible into equal leaves");
+    }
+    t.leaves = (nodes + t.leaf_radix - 1) / t.leaf_radix;
+    return t;
   }
 };
 

@@ -40,6 +40,70 @@ struct SpawnAccess {
 
 Engine::Engine() { metrics_.link("engine.events_executed", &events_executed_); }
 
+void Engine::CalendarQueue::refill_ready() {
+  require(live_ > 0, "refill on empty queue");
+  if (wheel_live_ == 0) rebase();
+  while (buckets_[cursor_] == kNil) ++cursor_;
+  // Pass 1: the bucket's earliest timestamp. Bucket lists are unordered
+  // (prepend on push), but the band keeps them short.
+  SimTime tmin = kTimeInfinity;
+  for (std::uint32_t i = buckets_[cursor_]; i != kNil; i = slab_[i].next) {
+    if (slab_[i].ev.time < tmin) tmin = slab_[i].ev.time;
+  }
+  // Pass 2: unlink the whole cohort at tmin in one sweep; later-timestamp
+  // nodes stay threaded in place.
+  std::uint32_t* link = &buckets_[cursor_];
+  while (*link != kNil) {
+    SlabNode& sn = slab_[*link];
+    if (sn.ev.time == tmin) {
+      ready_.push_back(sn.ev);
+      const std::uint32_t freed = *link;
+      *link = sn.next;
+      sn.next = free_head_;
+      free_head_ = freed;
+      --wheel_live_;
+    } else {
+      link = &sn.next;
+    }
+  }
+  std::sort(ready_.begin(), ready_.end(),
+            [this](const EvNode& a, const EvNode& b) { return less(a, b); });
+  ready_head_ = 0;
+}
+
+void Engine::CalendarQueue::rebase() {
+  // Wheel and ready batch are empty; far_ holds everything. Sample the
+  // horizon to re-derive the bucket width from observed event density.
+  const SimTime t0 = far_.top().time;
+  ready_.clear();  // reuse as the migration scratch buffer (it is empty)
+  while (!far_.empty() && ready_.size() < kSample) ready_.push_back(far_.pop());
+  const SimTime span = ready_.back().time - t0;
+  const std::uint64_t mean_gap = span / ready_.size() + 1;
+  int shift = 0;
+  while ((1ull << shift) < mean_gap && shift < kMaxShift) ++shift;
+  band_start_ = t0;
+  band_shift_ = shift;
+  cursor_ = 0;
+  // With the shift capped (astronomically sparse horizons) a sampled node
+  // can still fall past the last bucket; it goes back to far_ and migrates
+  // on a later rebase.
+  for (const EvNode& n : ready_) {
+    const std::uint64_t idx = (n.time - band_start_) >> band_shift_;
+    if (idx < kBuckets) {
+      wheel_push(static_cast<std::size_t>(idx), n);
+    } else {
+      far_.push(n);
+    }
+  }
+  ready_.clear();
+  // Migrate the rest of the new band out of the heap wholesale.
+  while (!far_.empty()) {
+    const std::uint64_t idx = (far_.top().time - band_start_) >> band_shift_;
+    if (idx >= kBuckets) break;
+    wheel_push(static_cast<std::size_t>(idx), far_.pop());
+  }
+}
+
 Engine::~Engine() {
   // Drain scheduled work without executing it (slot destruction releases
   // callback captures), then destroy every root frame; nested frames are

@@ -14,9 +14,15 @@
 //     dispatching a resumption never touches the heap.
 //   * slow arm: an index into a recycled slot pool of std::function
 //     callbacks (schedule_at). Only this arm pays type erasure.
-// Nodes live in a 4-ary min-heap ordered by (time, seq); since (time, seq)
-// is a strict total order, pop order — and therefore simulation behaviour —
-// is independent of the heap's internal shape.
+// Nodes live in a calendar-band queue (CalendarQueue): a 1024-bucket wheel
+// covering an adaptively-sized near-horizon band — O(1) enqueue into an
+// index-linked slab of cache-packed nodes — with a 4-ary min-heap fallback
+// for timers beyond the band. Expiry is batched: the earliest instant's
+// whole cohort is unlinked from its bucket in one pass, sorted once, and
+// dispatched without per-event heap repair. Dispatch order is exactly
+// ascending (time, tie_key(seq)) — a strict total order — so simulation
+// behaviour is independent of the queue's internal shape (band width,
+// bucket boundaries, heap layout). See DESIGN.md §11.
 //
 // Same-timestamp fast lane: events scheduled at exactly the current time
 // (the dominant case — Event/Notifier/Channel wakeups all resume_at(now))
@@ -33,6 +39,7 @@
 // schedule race (see src/analysis/ and tests/determinism_test.cpp).
 #pragma once
 
+#include <algorithm>
 #include <coroutine>
 #include <cstdint>
 #include <functional>
@@ -216,7 +223,10 @@ class Engine {
 
   /// 4-ary min-heap over EvNode with hole-based sifting: shallower than a
   /// binary heap and every move is a 24-byte memcpy, which is what makes
-  /// event push/pop allocation- and indirection-free.
+  /// event push/pop allocation- and indirection-free. Post calendar-queue
+  /// refactor this is the *far-horizon* store only: timers beyond the
+  /// calendar band land here and migrate into the band wholesale when the
+  /// band rebases (CalendarQueue::rebase).
   class EventHeap {
    public:
     bool empty() const { return v_.empty(); }
@@ -284,6 +294,159 @@ class Engine {
     std::vector<EvNode> v_;
   };
 
+  /// Calendar-band event queue: the engine's general-purpose store.
+  ///
+  /// Three tiers, by proximity to the clock:
+  ///   * ready batch — the earliest instant's cohort, already unlinked from
+  ///     its bucket and sorted by (time, tie_key). top()/pop() read it with
+  ///     a cursor; no per-event structural repair.
+  ///   * wheel      — kBuckets buckets of width 2^band_shift_ ps covering
+  ///     the near-horizon band [band_start_, band_start_ + kBuckets<<shift).
+  ///     Buckets are singly-linked lists threaded by 32-bit indices through
+  ///     a slab of cache-packed 32-byte nodes (two per cache line); enqueue
+  ///     is O(1): slab slot off the free list + list prepend.
+  ///   * far_       — 4-ary heap for timers beyond the band.
+  ///
+  /// When the wheel drains, the band *rebases*: a small prefix of far_ is
+  /// sampled to estimate event density, the bucket width is re-derived from
+  /// the mean gap (power of two, so bucket mapping is a shift), and every
+  /// far event inside the new band migrates into the wheel. The band
+  /// therefore tracks the workload — microsecond sleeps and picosecond
+  /// timer wheels both hit the O(1) path.
+  ///
+  /// Ordering contract: pops ascend strictly by (time, tie_key(seq)),
+  /// bit-identical to a single global heap. Late arrivals that order before
+  /// the armed ready batch's last entry (possible only while tie-shuffle
+  /// permutes same-instant keys, or when an earlier-instant event fires
+  /// into a gap) are merge-inserted into the batch's unread suffix, so the
+  /// contract survives batching.
+  class CalendarQueue {
+   public:
+    bool empty() const { return live_ == 0; }
+    std::size_t size() const { return live_; }
+
+    /// Next event in (time, tie_key) order; materializes the ready batch.
+    const EvNode& top() {
+      if (ready_head_ == ready_.size()) refill_ready();
+      return ready_[ready_head_];
+    }
+
+    EvNode pop() {
+      if (ready_head_ == ready_.size()) refill_ready();
+      const EvNode out = ready_[ready_head_++];
+      --live_;
+      if (ready_head_ == ready_.size()) {
+        ready_.clear();
+        ready_head_ = 0;
+      }
+      return out;
+    }
+
+    void push(const EvNode& n) {
+      ++live_;
+      // An armed ready batch is the sorted head of the whole queue: a node
+      // ordering before its last entry must merge into the unread suffix or
+      // it would dispatch late.
+      if (ready_head_ != ready_.size() && less(n, ready_.back())) {
+        const auto cmp = [this](const EvNode& a, const EvNode& b) { return less(a, b); };
+        const auto it = std::lower_bound(
+            ready_.begin() + static_cast<std::ptrdiff_t>(ready_head_), ready_.end(), n, cmp);
+        ready_.insert(it, n);
+        return;
+      }
+      if (n.time >= band_start_) {
+        const std::uint64_t idx = (n.time - band_start_) >> band_shift_;
+        if (idx < kBuckets) {
+          wheel_push(static_cast<std::size_t>(idx), n);
+          return;
+        }
+        far_.push(n);
+        return;
+      }
+      // Before the band origin (the clock lags a freshly rebased band):
+      // bucket 0 keeps the time-monotone bucket mapping intact.
+      wheel_push(0, n);
+    }
+
+    void clear() {
+      buckets_.assign(kBuckets, kNil);
+      slab_.clear();
+      free_head_ = kNil;
+      far_.clear();
+      ready_.clear();
+      ready_head_ = 0;
+      live_ = 0;
+      wheel_live_ = 0;
+      cursor_ = 0;
+      band_start_ = 0;
+      band_shift_ = 0;
+    }
+
+    /// Arms tie-shuffling. Only legal while the queue is empty: changing
+    /// the key function under live nodes would corrupt every tier's order.
+    void set_tie_seed(std::uint64_t seed) {
+      require(live_ == 0, "tie seed change with queued events");
+      tie_seed_ = seed;
+      far_.set_tie_seed(seed);
+    }
+
+   private:
+    static constexpr std::size_t kBuckets = 1024;
+    static constexpr std::size_t kSample = 64;   ///< far_ prefix sampled at rebase
+    static constexpr int kMaxShift = 36;         ///< band ≤ ~70 simulated seconds
+    static constexpr std::uint32_t kNil = 0xffffffffu;
+
+    /// Slab node: the 24-byte EvNode plus a 32-bit successor index, padded
+    /// to 32 bytes so two nodes share a cache line and a bucket walk never
+    /// splits a node across lines.
+    struct alignas(32) SlabNode {
+      EvNode ev;
+      std::uint32_t next = kNil;
+    };
+    static_assert(sizeof(SlabNode) == 32);
+
+    std::uint64_t tie_key(std::uint64_t seq) const {
+      if (tie_seed_ == 0) return seq;
+      std::uint64_t s = seq ^ tie_seed_;
+      return splitmix64(s);
+    }
+    bool less(const EvNode& a, const EvNode& b) const {
+      return a.time != b.time ? a.time < b.time : tie_key(a.seq) < tie_key(b.seq);
+    }
+
+    void wheel_push(std::size_t idx, const EvNode& n) {
+      std::uint32_t s;
+      if (free_head_ != kNil) {
+        s = free_head_;
+        free_head_ = slab_[s].next;
+      } else {
+        s = static_cast<std::uint32_t>(slab_.size());
+        slab_.emplace_back();
+      }
+      slab_[s].ev = n;
+      slab_[s].next = buckets_[idx];
+      buckets_[idx] = s;
+      if (idx < cursor_) cursor_ = idx;
+      ++wheel_live_;
+    }
+
+    void refill_ready();  ///< batch-expire the earliest instant's cohort
+    void rebase();        ///< re-anchor the band at far_'s horizon
+
+    std::uint64_t tie_seed_ = 0;
+    std::size_t live_ = 0;        ///< total events across all tiers
+    std::size_t wheel_live_ = 0;  ///< events currently in wheel buckets
+    std::size_t cursor_ = 0;      ///< first possibly-nonempty bucket
+    SimTime band_start_ = 0;
+    int band_shift_ = 0;  ///< bucket width = 1 << band_shift_ ps
+    std::vector<std::uint32_t> buckets_ = std::vector<std::uint32_t>(kBuckets, kNil);
+    std::vector<SlabNode> slab_;
+    std::uint32_t free_head_ = kNil;
+    EventHeap far_;
+    std::vector<EvNode> ready_;  ///< sorted cohort; consumed via ready_head_
+    std::size_t ready_head_ = 0;
+  };
+
   /// FIFO for events at the current timestamp. Fully drains before the
   /// clock advances, so a vector with a read cursor (reset on empty) gives
   /// amortised O(1) push/pop with no wraparound bookkeeping.
@@ -315,9 +478,9 @@ class Engine {
 
   void push_node(const EvNode& n) {
     // The FIFO stays (time, seq)-sorted only while every entry carries the
-    // current timestamp; anything else takes the general-purpose heap. With
-    // tie-shuffling armed the FIFO's insertion order would defeat the
-    // permuted tie-break, so everything routes through the heap.
+    // current timestamp; anything else takes the general-purpose calendar
+    // queue. With tie-shuffling armed the FIFO's insertion order would
+    // defeat the permuted tie-break, so everything routes through the queue.
     if (tie_shuffle_seed_ == 0 && n.time == now_ &&
         (now_fifo_.empty() || now_fifo_.front().time == now_)) {
       now_fifo_.push(n);
@@ -333,7 +496,7 @@ class Engine {
   std::uint64_t tie_shuffle_seed_ = 0;
   metrics::MetricsRegistry metrics_;
   metrics::Counter events_executed_;
-  EventHeap queue_;
+  CalendarQueue queue_;
   NowFifo now_fifo_;
   std::vector<std::function<void()>> settle_;  // end-of-instant hooks (FIFO)
   std::vector<std::function<void()>> callback_slots_;  // slow-arm storage

@@ -58,6 +58,22 @@ struct FakeOff {
 #define PLANTED_BARE_DISCARD(r, q) \
   co_await r.off->wait(q)  // planted: bare statement, result unused
 
+// --- [ev-alloc]: raw heap allocation of an engine event node ----------------
+// (Never compiled; the type name is what the rule keys on.)
+struct EvNode {};
+inline EvNode* planted_ev_alloc() {
+  return new EvNode;  // planted: event nodes belong in the slab pool
+}
+inline void planted_ev_free(EvNode* stray_evnode) {
+  delete stray_evnode;  // planted: by-name delete of an event node
+}
+
+// --- [ev-alloc] JUSTIFIED ---------------------------------------------------
+inline EvNode* justified_ev_alloc() {
+  // lint: ev-alloc ok: fixture demonstrating the waiver syntax (JUSTIFIED)
+  return new EvNode;
+}
+
 // --- [metric-dup]: same literal linked twice in one file --------------------
 struct Reg {
   void link(const char*, const int*) {}
