@@ -65,6 +65,15 @@ DPU_BENCH_FAST=1 "$BUILD_DIR"/bench/ablation_pipeline > /dev/null
 echo "== scale_alltoall smoke (sanitized) =="
 "$BUILD_DIR"/bench/scale_alltoall --smoke > /dev/null
 
+# Multi-tenant suite + pool smoke: tenant-scoped protocol keys, admission
+# rejection, fair-queue bookkeeping and finalize-time pruning all mutate
+# per-tenant maps on paths single-tenant runs never touch — run the suite
+# and a small tenant-count sweep under ASan/UBSan explicitly.
+echo "== multi-tenant suite (sanitized) =="
+"$BUILD_DIR"/tests/tenant_test
+echo "== ablation_tenants smoke (sanitized) =="
+"$BUILD_DIR"/bench/ablation_tenants --smoke > /dev/null
+
 # Tie-shuffle smoke: replay the protocol regimes over a small seed matrix
 # (sanitized) so a schedule race — an outcome that depends on same-virtual-
 # time dispatch order — fails the gate, not just the nightly full matrix.

@@ -44,6 +44,16 @@ Rules (each failure prints `file:line: [rule] message`):
                   deletes by ev/slab-node-ish variable names — the textual
                   rule cannot type pointers.)
 
+  fallback-ctx    No raw -7777 / -7778 failover-context literals outside
+                  src/offload/protocol.h: the fallback context is derived
+                  per tenant (failover_basic_context / failover_group_context)
+                  so two tenants degrading in the same instant replay on
+                  disjoint minimpi contexts. A hardcoded literal silently
+                  re-introduces the global-context aliasing the derivation
+                  fixed. Sites that genuinely need the raw value carry
+                  `// lint: fallback-ctx ok: <reason>` within the 5 lines
+                  above.
+
 Usage:
   scripts/lint.py [--root DIR]      lint the repo (default: repo root)
   scripts/lint.py --self-test       run the rules against the planted-violation
@@ -100,6 +110,11 @@ EV_ALLOC_DELETE = re.compile(
     r"\bdelete(?:\s*\[\s*\])?\s+[\w.>-]*(?:ev_?node|slab_?node)\w*", re.IGNORECASE)
 EV_ALLOC_JUSTIFY = re.compile(r"//\s*lint:\s*ev-alloc ok:")
 
+# rule: fallback-ctx
+FALLBACK_CTX = re.compile(r"-\s*777[78]\b")
+FALLBACK_CTX_ALLOWED_FILES = (os.path.join("src", "offload", "protocol.h"),)
+FALLBACK_CTX_JUSTIFY = re.compile(r"//\s*lint:\s*fallback-ctx ok:")
+
 # rule: nodiscard
 NODISCARD_STATUS = re.compile(r"enum\s+class\s+\[\[nodiscard\]\]\s+Status\b")
 
@@ -125,6 +140,7 @@ def lint_file(path: str, rel: str, errors: list) -> None:
     raw_post_exempt = any(
         rel.startswith(p) if p.endswith(os.sep) else rel == p
         for p in RAW_POST_ALLOWED_FILES)
+    fallback_ctx_exempt = rel in FALLBACK_CTX_ALLOWED_FILES
 
     linked_names = {}
     for i, raw in enumerate(lines):
@@ -161,6 +177,16 @@ def lint_file(path: str, rel: str, errors: list) -> None:
                     f"{rel}:{lineno}: [status-discard] swallowed offload "
                     "Status: check it, or add a "
                     "'// lint: status-discard ok: <reason>' comment")
+
+        # Everywhere (tests and benches hardcode contexts just as easily as
+        # product code); only the defining header is exempt.
+        if not fallback_ctx_exempt and FALLBACK_CTX.search(line):
+            if not has_justification(lines, i, FALLBACK_CTX_JUSTIFY):
+                errors.append(
+                    f"{rel}:{lineno}: [fallback-ctx] raw failover-context "
+                    "literal: derive it via failover_basic_context() / "
+                    "failover_group_context() (src/offload/protocol.h), or "
+                    "add '// lint: fallback-ctx ok: <reason>'")
 
         # src/ only: tests deliberately exercise the registry's re-link paths.
         m = METRIC_LINK.search(line) if in_src else None
@@ -210,7 +236,8 @@ def self_test(root: str) -> int:
     errors = []
     lint_file(fixture, os.path.join("src", "planted_violations.cpp"), errors)
 
-    expected = ["wall-clock", "raw-post", "status-discard", "metric-dup", "ev-alloc"]
+    expected = ["wall-clock", "raw-post", "status-discard", "metric-dup", "ev-alloc",
+                "fallback-ctx"]
     failed = False
     for rule in expected:
         hits = [e for e in errors if f"[{rule}]" in e]

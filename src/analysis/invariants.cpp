@@ -67,7 +67,18 @@ void ProtocolChecker::on_pair_matched(int proxy, int src, int dst, int tag,
 }
 
 void ProtocolChecker::on_fence_basic(int proxy, int src, int dst, int tag) {
-  (void)proxy;
+  if (tenant_of_) {
+    const int ts = tenant_of_(src);
+    const int td = tenant_of_(dst);
+    if (ts != td) {
+      record("cross-tenant-fence", pair_name({src, dst, tag, 0}) + " fence spans tenants " +
+                                       std::to_string(ts) + " and " + std::to_string(td));
+    } else if (proxy_serves_ && !proxy_serves_(proxy, ts)) {
+      record("cross-tenant-fence", pair_name({src, dst, tag, 0}) + " fenced at proxy " +
+                                       std::to_string(proxy) + " which does not serve tenant " +
+                                       std::to_string(ts));
+    }
+  }
   // The fence names every chunk index of the tag; mark all known keys.
   for (auto& [k, p] : pairs_) {
     if (std::get<0>(k) == src && std::get<1>(k) == dst && std::get<2>(k) == tag) {
@@ -95,6 +106,16 @@ void ProtocolChecker::on_basic_degraded(int src, int dst, int tag) {
 
 void ProtocolChecker::on_fin_pair(std::shared_ptr<sim::Event> src_flag,
                                   std::shared_ptr<sim::Event> dst_flag, int src, int dst) {
+  if (tenant_of_ && src >= 0 && dst >= 0) {
+    const int ts = tenant_of_(src);
+    const int td = tenant_of_(dst);
+    if (ts != td) {
+      record("cross-tenant-flag-write",
+             "FIN flag-write pair spans tenants: src rank " + std::to_string(src) +
+                 " (tenant " + std::to_string(ts) + ") vs dst rank " + std::to_string(dst) +
+                 " (tenant " + std::to_string(td) + ")");
+    }
+  }
   const auto fire = [&](std::shared_ptr<sim::Event> flag, const char* side, int rank) {
     if (!flag) return;
     const sim::Event* key = flag.get();
@@ -219,6 +240,11 @@ void ProtocolChecker::on_group_degraded(int host, std::uint64_t req_id) {
 
 void ProtocolChecker::on_fence_group(int proxy, int host, std::uint64_t req_id) {
   const GroupKey k{host, req_id};
+  if (tenant_of_ && proxy_serves_ && !proxy_serves_(proxy, tenant_of_(host))) {
+    record("cross-tenant-fence", group_name(k) + " fenced at proxy " + std::to_string(proxy) +
+                                     " which does not serve tenant " +
+                                     std::to_string(tenant_of_(host)));
+  }
   auto& g = groups_[k];
   g.fenced_at.insert(proxy);
   if (!g.degraded) {
@@ -234,6 +260,22 @@ void ProtocolChecker::on_fenced_arrival(int proxy, int host, std::uint64_t req_i
     record("fence-without-degrade", "arrival for " + group_name(k) + " swallowed at proxy " +
                                         std::to_string(proxy) +
                                         " as fenced, but the request was never degraded");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Failover certificates
+// ---------------------------------------------------------------------------
+
+void ProtocolChecker::on_degrade_cert(int from, int to, int dead_proxy) {
+  if (!tenant_of_) return;
+  const int tf = tenant_of_(from);
+  const int tt = tenant_of_(to);
+  if (tf != tt) {
+    record("cross-tenant-degrade",
+           "degrade certificate for proxy " + std::to_string(dead_proxy) + " flooded from rank " +
+               std::to_string(from) + " (tenant " + std::to_string(tf) + ") to rank " +
+               std::to_string(to) + " (tenant " + std::to_string(tt) + ")");
   }
 }
 

@@ -26,6 +26,15 @@
 //                            or a replay was dropped that was never
 //                            accepted in the first place
 //
+// and, when a tenant map is wired (multi-tenant worlds only):
+//
+//   cross-tenant-flag-write  a FIN flag-write pair spanned two tenants
+//   cross-tenant-fence       a fence crossed a tenant boundary (pair ends
+//                            in different tenants, or a fence landed at a
+//                            proxy not serving the fencing host's tenant)
+//   cross-tenant-degrade     a degrade certificate was flooded to a peer
+//                            in another tenant
+//
 // plus, via check_final() on runs expected to quiesce cleanly:
 //
 //   unmatched-pair           leftover RTS/RTR counts disagree for a key
@@ -42,6 +51,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <set>
@@ -83,6 +93,16 @@ class ProtocolChecker {
   /// record and continue, so one run reports every breach).
   void set_abort_on_violation(bool on) { abort_on_violation_ = on; }
 
+  /// Arms the cross-tenant rules. `host_to_tenant` maps a HOST rank to its
+  /// tenant id (must not be called for proxy ranks); `proxy_serves` answers
+  /// whether a proxy rank serves a tenant. Both unset (the default) leaves
+  /// the tenant rules inert — single-tenant worlds never pay for them.
+  void set_tenant_map(std::function<int(int)> host_to_tenant,
+                      std::function<bool(int, int)> proxy_serves) {
+    tenant_of_ = std::move(host_to_tenant);
+    proxy_serves_ = std::move(proxy_serves);
+  }
+
   // ---- basic-pair plane (RTS/RTR matching) --------------------------------
   void on_rts(int src, int dst, int tag, std::uint32_t chunk_index, std::uint32_t chunk_count);
   void on_rtr(int src, int dst, int tag, std::uint32_t chunk_index, std::uint32_t chunk_count);
@@ -108,6 +128,12 @@ class ProtocolChecker {
   void on_group_degraded(int host, std::uint64_t req_id);
   void on_fence_group(int proxy, int host, std::uint64_t req_id);
   void on_fenced_arrival(int proxy, int host, std::uint64_t req_id);
+
+  // ---- failover certificates ----------------------------------------------
+  /// Host `from` is about to flood a degrade certificate naming `dead_proxy`
+  /// to peer host `to`. With a tenant map armed, the two ends must share a
+  /// tenant — one tenant's proxy crash must never reach another's hosts.
+  void on_degrade_cert(int from, int to, int dead_proxy);
 
   // ---- reliable plane (DupFilter decisions) -------------------------------
   void on_reliable_delivery(int receiver, int sender, std::uint64_t seq, bool accepted);
@@ -164,6 +190,8 @@ class ProtocolChecker {
   sim::Engine& eng_;
   bool abort_on_violation_ = false;
   std::vector<Violation> violations_;
+  std::function<int(int)> tenant_of_;          ///< host rank -> tenant (optional)
+  std::function<bool(int, int)> proxy_serves_;  ///< (proxy, tenant) -> serves?
 
   std::map<PairKey, PairState> pairs_;
   std::map<const void*, CountdownState> countdowns_;

@@ -41,11 +41,25 @@ void World::launch(int rank, RankProgram prog) {
   ctx.off = off_ ? &off_->endpoint(rank) : nullptr;
   ctx.blues = blues_ ? &blues_->endpoint(rank) : nullptr;
   ctx.vctx = &vrt_->ctx(rank);
+  if (spec_.multi_tenant()) {
+    ctx.tenant = spec_.tenant_of_host(rank);
+    const auto& ranks = spec_.tenants[static_cast<std::size_t>(ctx.tenant)].ranks;
+    ctx.tenant_size = static_cast<int>(ranks.size());
+    for (std::size_t i = 0; i < ranks.size(); ++i) {
+      if (ranks[i] == rank) ctx.tenant_rank = static_cast<int>(i);
+    }
+  }
   launched_.push_back(eng_.spawn(invoke(std::move(prog), ctx), "rank" + std::to_string(rank)));
 }
 
 void World::launch_all(RankProgram prog) {
   for (int r = 0; r < spec_.total_host_ranks(); ++r) launch(r, prog);
+}
+
+void World::launch_tenant(int tenant, RankProgram prog) {
+  require(spec_.multi_tenant(), "launch_tenant needs a multi-tenant spec");
+  require(tenant >= 0 && tenant < spec_.num_tenants(), "launch_tenant: no such tenant");
+  for (int r : spec_.tenants[static_cast<std::size_t>(tenant)].ranks) launch(r, prog);
 }
 
 std::string World::stats_summary() const {

@@ -34,6 +34,9 @@ struct Rank {
   offload::OffloadEndpoint* off = nullptr;
   baselines::BluesEndpoint* blues = nullptr;
   verbs::ProcCtx* vctx = nullptr;
+  int tenant = 0;       ///< owning tenant (0 in single-tenant worlds)
+  int tenant_rank = 0;  ///< position of `rank` within its tenant's rank set
+  int tenant_size = 1;  ///< number of host ranks in this rank's tenant
 
   machine::AddressSpace& mem() { return vctx->mem(); }
 
@@ -62,6 +65,11 @@ class World {
 
   /// Launches `prog` on every host rank.
   void launch_all(RankProgram prog);
+
+  /// Launches `prog` on every host rank of one tenant — each rank's ctx
+  /// carries (tenant, tenant_rank, tenant_size) so a tenant job can address
+  /// peers inside its own rank set without knowing the global layout.
+  void launch_tenant(int tenant, RankProgram prog);
 
   /// Runs until every launched rank program finished. Proxy processes are
   /// expected to stay parked in their progress loops (or stopped via
@@ -95,7 +103,16 @@ class World {
   /// environment variable is set non-empty (run() then fails loudly on any
   /// recorded violation). The checker lives as long as the World.
   analysis::ProtocolChecker& enable_checker() {
-    if (!checker_) checker_ = std::make_unique<analysis::ProtocolChecker>(eng_);
+    if (!checker_) {
+      checker_ = std::make_unique<analysis::ProtocolChecker>(eng_);
+      if (spec_.multi_tenant()) {
+        // Arm the cross-tenant rules: the checker learns the tenant topology
+        // without the offload layers ever naming tenants to it.
+        checker_->set_tenant_map(
+            [this](int r) { return spec_.tenant_of_host(r); },
+            [this](int p, int t) { return spec_.proxy_serves_tenant(p, t); });
+      }
+    }
     return *checker_;
   }
   analysis::ProtocolChecker* checker() { return checker_.get(); }

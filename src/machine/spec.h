@@ -10,6 +10,7 @@
 //   * memory registration cost = base + per-page, larger on the DPU.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <stdexcept>
@@ -220,6 +221,24 @@ struct CostModel {
   }
 };
 
+/// One tenant of the pooled proxy fleet ("SmartNIC as a service"): an
+/// independent job — its own communicator, its own offload traffic — that
+/// shares the DPU workers with every other tenant. Tenants own disjoint
+/// host-rank sets; the proxy fleet multiplexes them with deficit-weighted
+/// fair queueing (`weight`) and per-tenant admission control
+/// (`max_inflight`). An empty ClusterSpec::tenants list means the classic
+/// single-tenant world: every rank in implicit tenant 0 and ALL tenant
+/// machinery inert (no extra state, messages or metrics), so existing specs
+/// stay byte-identical.
+struct TenantSpec {
+  std::vector<int> ranks;  ///< host ranks owned by this tenant (disjoint)
+  int weight = 1;          ///< proxy-share weight for fair queueing (>= 1)
+  /// Admission quota: max offload ops (basic or group calls) this tenant may
+  /// have in flight cluster-wide; further calls are rejected with
+  /// Status::kRejected instead of queued. 0 = unlimited.
+  int max_inflight = 0;
+};
+
 /// Fabric topology: a two-level k-ary fat-tree. `leaf_radix` nodes hang off
 /// each leaf switch; every leaf has one uplink per spine switch, and a
 /// message to `dst` rides spine `dst % spines` (deterministic d-mod-k path
@@ -274,6 +293,9 @@ struct ClusterSpec {
   TopologySpec topology;
   CostModel cost;
   FaultSpec fault;
+  /// Tenants sharing the pooled proxy fleet; empty = single-tenant world
+  /// (implicit tenant 0 owning every rank, all multi-tenant machinery off).
+  std::vector<TenantSpec> tenants;
 
   int total_host_ranks() const { return nodes * host_procs_per_node; }
   int total_proxies() const { return nodes * proxies_per_dpu; }
@@ -299,14 +321,79 @@ struct ClusterSpec {
     return is_host(proc) ? CoreKind::kHost : CoreKind::kDpu;
   }
 
-  /// Proxy process id serving `host_rank`, per the paper's mapping
-  /// (proxy_local_rank = host_source_rank % num_proxies_per_dpu, on the
-  /// host's own node).
+  // ---- tenants ---------------------------------------------------------------
+
+  bool multi_tenant() const { return !tenants.empty(); }
+  int num_tenants() const { return tenants.empty() ? 1 : static_cast<int>(tenants.size()); }
+
+  /// Tenant owning `host_rank` (0 in a single-tenant world). Throws a
+  /// structured SpecError on an uncovered rank — the silent-misassignment
+  /// failure mode of the old modulo mapping is a hard error now.
+  int tenant_of_host(int host_rank) const {
+    require(is_host(host_rank), "tenant_of_host expects a host rank");
+    if (tenants.empty()) return 0;
+    for (std::size_t t = 0; t < tenants.size(); ++t) {
+      for (int r : tenants[t].ranks) {
+        if (r == host_rank) return static_cast<int>(t);
+      }
+    }
+    throw SpecError("TenantSpec.ranks",
+                    "host rank " + std::to_string(host_rank) + " not covered by any tenant");
+  }
+
+  int tenant_weight(int tenant) const {
+    return tenants.empty() ? 1 : tenants.at(static_cast<std::size_t>(tenant)).weight;
+  }
+
+  /// True when `proxy` serves at least one of `tenant`'s ranks — the
+  /// tenant's fault/failover domain. Sibling re-dispatch and stripe
+  /// delegation never leave this set, so one tenant's failover load can
+  /// never ride another tenant's workers.
+  bool proxy_serves_tenant(int proxy, int tenant) const {
+    if (tenants.empty()) return is_proxy(proxy);
+    for (int r : tenants.at(static_cast<std::size_t>(tenant)).ranks) {
+      if (proxy_for_host(r) == proxy) return true;
+    }
+    return false;
+  }
+
+  /// Sorted distinct proxies serving `tenant`'s ranks on `node` (empty when
+  /// the tenant has no rank there). The stripe planner round-robins chunk
+  /// owners over exactly this set in a multi-tenant world.
+  std::vector<int> tenant_node_proxies(int tenant, int node) const {
+    std::vector<int> out;
+    for (int r : tenants.at(static_cast<std::size_t>(tenant)).ranks) {
+      if (node_of(r) != node) continue;
+      const int p = proxy_for_host(r);
+      bool seen = false;
+      for (int q : out) seen = seen || q == p;
+      if (!seen) out.push_back(p);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  /// Proxy process id serving `host_rank`. Single-tenant: the paper's §VII-A
+  /// mapping (proxy_local_rank = host_source_rank % num_proxies_per_dpu, on
+  /// the host's own node). Multi-tenant: the explicit tenant mapping — the
+  /// rank's index among its OWN tenant's ranks on the node, round-robin over
+  /// the node's workers. The raw modulo silently mis-assigns non-contiguous
+  /// tenant rank sets (e.g. tenant ranks {0,2} with 2 workers both land on
+  /// local worker 0 while worker 1 idles); counting tenant-local ranks makes
+  /// the spread explicit and collision-free.
   int proxy_for_host(int host_rank) const {
     require(is_host(host_rank), "proxy_for_host expects a host rank");
     const int node = node_of(host_rank);
-    const int local = host_rank % proxies_per_dpu;
-    return total_host_ranks() + node * proxies_per_dpu + local;
+    if (tenants.empty()) {
+      const int local = host_rank % proxies_per_dpu;
+      return total_host_ranks() + node * proxies_per_dpu + local;
+    }
+    const TenantSpec& t = tenants.at(static_cast<std::size_t>(tenant_of_host(host_rank)));
+    int idx = 0;  // tenant-local on-node index, order-independent of ranks[]
+    for (int r : t.ranks) {
+      if (r < host_rank && is_host(r) && node_of(r) == node) ++idx;
+    }
+    return proxy_id(node, idx % proxies_per_dpu);
   }
 
   /// First host rank on `node` (host ranks on a node are contiguous).
@@ -360,6 +447,42 @@ struct ClusterSpec {
                       "node count not divisible into equal leaves");
     }
     t.leaves = (nodes + t.leaf_radix - 1) / t.leaf_radix;
+    if (!tenants.empty()) {
+      // owner[r] = tenant index, -1 = unclaimed. Every host rank must be
+      // claimed exactly once; a rank the modulo mapping used to mis-assign
+      // silently is a structured error here.
+      std::vector<int> owner(static_cast<std::size_t>(total_host_ranks()), -1);
+      for (std::size_t ti = 0; ti < tenants.size(); ++ti) {
+        const TenantSpec& ts = tenants[ti];
+        if (ts.weight < 1) throw SpecError("TenantSpec.weight", "must be >= 1");
+        if (ts.max_inflight < 0) {
+          throw SpecError("TenantSpec.max_inflight", "must be >= 0 (0 = unlimited)");
+        }
+        if (ts.ranks.empty()) {
+          throw SpecError("TenantSpec.ranks",
+                          "tenant " + std::to_string(ti) + " owns no ranks");
+        }
+        for (int r : ts.ranks) {
+          if (r < 0 || r >= total_host_ranks()) {
+            throw SpecError("TenantSpec.ranks",
+                            "rank " + std::to_string(r) + " out of host-rank range");
+          }
+          if (owner[static_cast<std::size_t>(r)] != -1) {
+            throw SpecError("TenantSpec.ranks",
+                            "rank " + std::to_string(r) + " claimed by tenants " +
+                                std::to_string(owner[static_cast<std::size_t>(r)]) + " and " +
+                                std::to_string(ti));
+          }
+          owner[static_cast<std::size_t>(r)] = static_cast<int>(ti);
+        }
+      }
+      for (int r = 0; r < total_host_ranks(); ++r) {
+        if (owner[static_cast<std::size_t>(r)] == -1) {
+          throw SpecError("TenantSpec.ranks",
+                          "host rank " + std::to_string(r) + " not covered by any tenant");
+        }
+      }
+    }
     return t;
   }
 };

@@ -15,6 +15,23 @@ namespace dpu::offload {
 
 OffloadRuntime::OffloadRuntime(verbs::Runtime& vrt) : vrt_(vrt) {
   const auto& spec = vrt.spec();
+  if (spec.multi_tenant()) {
+    // Per-tenant pool state + counters. Linked only here, so single-tenant
+    // metrics JSON stays byte-identical.
+    tenant_inflight_.assign(static_cast<std::size_t>(spec.num_tenants()), 0);
+    auto& reg = vrt.engine().metrics();
+    for (int t = 0; t < spec.num_tenants(); ++t) {
+      auto st = std::make_unique<TenantStats>();
+      const std::string prefix = "offload.tenant" + std::to_string(t) + ".";
+      reg.link(prefix + "ops_admitted", &st->ops_admitted);
+      reg.link(prefix + "ops_rejected", &st->ops_rejected);
+      reg.link(prefix + "ops_degraded", &st->ops_degraded);
+      reg.link(prefix + "pairs_completed", &st->pairs_completed);
+      reg.link(prefix + "jobs_completed", &st->jobs_completed);
+      reg.link(prefix + "entries_advanced", &st->entries_advanced);
+      tenant_stats_.push_back(std::move(st));
+    }
+  }
   // Proxies first (Init_Offload generates GVMI-IDs on the DPU side and the
   // ids are exchanged with every process in the global communicator).
   for (int p = spec.total_host_ranks(); p < spec.total_procs(); ++p) {
@@ -23,6 +40,24 @@ OffloadRuntime::OffloadRuntime(verbs::Runtime& vrt) : vrt_(vrt) {
   for (int r = 0; r < spec.total_host_ranks(); ++r) {
     endpoints_.push_back(std::make_unique<OffloadEndpoint>(*this, r));
   }
+}
+
+bool OffloadRuntime::admit(int tenant) {
+  if (tenant_inflight_.empty()) return true;  // single-tenant: no quota state
+  const auto& ts = spec().tenants.at(static_cast<std::size_t>(tenant));
+  auto& inflight = tenant_inflight_.at(static_cast<std::size_t>(tenant));
+  if (ts.max_inflight > 0 && inflight >= ts.max_inflight) {
+    ++tenant_stats(tenant).ops_rejected;
+    return false;
+  }
+  ++inflight;
+  ++tenant_stats(tenant).ops_admitted;
+  return true;
+}
+
+void OffloadRuntime::release(int tenant) {
+  if (tenant_inflight_.empty()) return;
+  --tenant_inflight_.at(static_cast<std::size_t>(tenant));
 }
 
 Proxy& OffloadRuntime::proxy(int proxy_proc_id) {
@@ -66,8 +101,8 @@ void OffloadRuntime::start() {
 // ---------------------------------------------------------------------------
 
 OffloadEndpoint::OffloadEndpoint(OffloadRuntime& rt, int rank)
-    : rt_(rt), rank_(rank), gvmi_cache_(rt.spec().total_procs()),
-      retx_(rt.verbs().ctx(rank)) {
+    : rt_(rt), rank_(rank), tenant_(rt.spec().tenant_of_host(rank)),
+      gvmi_cache_(rt.spec().total_procs()), retx_(rt.verbs().ctx(rank)) {
   gvmi_cache_.set_capacity(rt.spec().cost.reg_cache_capacity);
   ib_cache_.set_capacity(rt.spec().cost.reg_cache_capacity);
   auto& reg = rt_.engine().metrics();
@@ -287,6 +322,15 @@ sim::Task<OffloadReqPtr> OffloadEndpoint::send_offload(machine::Addr addr, std::
   req->peer = dst;
   req->tag = tag;
   req->dep_proxy = proxy;
+  if (!rt_.admit(tenant_)) {
+    // Tenant over its max_inflight quota: refuse up front — no registration,
+    // no control message, no proxy work. The flag is set so Wait returns
+    // immediately (with kRejected).
+    req->rejected = true;
+    req->flag->set();
+    co_return req;
+  }
+  req->flag->subscribe([this] { rt_.release(tenant_); });
   const auto chunks = plan_chunks(rt_.spec(), rank_, len);
   if (giveup_watch_on()) watched_basic_.push_back(req);
   if (liveness_on()) {
@@ -324,7 +368,7 @@ sim::Task<OffloadReqPtr> OffloadEndpoint::send_offload(machine::Addr addr, std::
       const std::size_t clen =
           chunk_len(len, rt_.spec().cost.chunk_bytes, ck.index, ck.count);
       if (auto* chk = rt_.engine().checker()) chk->on_rts(rank_, dst, tag, ck.index, ck.count);
-      std::any rts = RtsProxyMsg{rank_, dst, tag, clen, info, req->flag, ck, req->cd};
+      std::any rts = RtsProxyMsg{rank_, dst, tag, clen, info, req->flag, ck, req->cd, tenant_};
       co_await retx_.send(ck.owner_proxy, kProxyChannel, std::move(rts), 0);
       ++ctrl_sent_;
     }
@@ -332,7 +376,7 @@ sim::Task<OffloadReqPtr> OffloadEndpoint::send_offload(machine::Addr addr, std::
   }
   // NB: named locals, not temporaries — see the GCC 12 note in sim/task.h.
   if (auto* chk = rt_.engine().checker()) chk->on_rts(rank_, dst, tag, 0, 1);
-  std::any rts = RtsProxyMsg{rank_, dst, tag, len, info, req->flag, {}, {}};
+  std::any rts = RtsProxyMsg{rank_, dst, tag, len, info, req->flag, {}, {}, tenant_};
   co_await retx_.send(proxy, kProxyChannel, std::move(rts), 0);
   ++ctrl_sent_;
   co_return req;
@@ -352,6 +396,12 @@ sim::Task<OffloadReqPtr> OffloadEndpoint::recv_offload(machine::Addr addr, std::
   req->peer = src;
   req->tag = tag;
   req->dep_proxy = proxy;
+  if (!rt_.admit(tenant_)) {
+    req->rejected = true;
+    req->flag->set();
+    co_return req;
+  }
+  req->flag->subscribe([this] { rt_.release(tenant_); });
   const auto chunks = plan_chunks(rt_.spec(), src, len);
   if (giveup_watch_on()) watched_basic_.push_back(req);
   if (liveness_on()) {
@@ -382,15 +432,15 @@ sim::Task<OffloadReqPtr> OffloadEndpoint::recv_offload(machine::Addr addr, std::
       const std::size_t clen =
           chunk_len(len, rt_.spec().cost.chunk_bytes, ck.index, ck.count);
       if (auto* chk = rt_.engine().checker()) chk->on_rtr(src, rank_, tag, ck.index, ck.count);
-      std::any rtr = RtrProxyMsg{src,     rank_,   tag, clen, addr + ck.offset,
-                                 mr.rkey, req->flag, ck,  req->cd};
+      std::any rtr = RtrProxyMsg{src,     rank_,     tag, clen,    addr + ck.offset,
+                                 mr.rkey, req->flag, ck,  req->cd, tenant_};
       co_await retx_.send(ck.owner_proxy, kProxyChannel, std::move(rtr), 0);
       ++ctrl_sent_;
     }
     co_return req;
   }
   if (auto* chk = rt_.engine().checker()) chk->on_rtr(src, rank_, tag, 0, 1);
-  std::any rtr = RtrProxyMsg{src, rank_, tag, len, addr, mr.rkey, req->flag, {}, {}};
+  std::any rtr = RtrProxyMsg{src, rank_, tag, len, addr, mr.rkey, req->flag, {}, {}, tenant_};
   co_await retx_.send(proxy, kProxyChannel, std::move(rtr), 0);
   ++ctrl_sent_;
   co_return req;
@@ -399,11 +449,15 @@ sim::Task<OffloadReqPtr> OffloadEndpoint::recv_offload(machine::Addr addr, std::
 sim::Task<void> OffloadEndpoint::degrade_basic(const OffloadReqPtr& req) {
   req->degraded = true;
   ++rt_.engine().metrics().counter("offload.failover.basic_degraded");
+  if (rt_.spec().multi_tenant()) ++rt_.tenant_stats(tenant_).ops_degraded;
   // Best-effort fence: a hung proxy that later recovers must not re-run a
   // pair the hosts already completed on the fallback path.
   const int src = req->is_send ? rank_ : req->peer;
   const int dst = req->is_send ? req->peer : rank_;
-  if (auto* chk = rt_.engine().checker()) chk->on_basic_degraded(src, dst, req->tag);
+  if (auto* chk = rt_.engine().checker()) {
+    chk->on_basic_degraded(src, dst, req->tag);
+    chk->on_degrade_cert(rank_, req->peer, req->dep_proxy);
+  }
   std::any fence = FenceBasicMsg{src, dst, req->tag};
   co_await vctx().post_ctrl(req->dep_proxy, kLivenessChannel, std::move(fence), 0);
   // Death certificate to the counterparty so it degrades without waiting
@@ -412,14 +466,15 @@ sim::Task<void> OffloadEndpoint::degrade_basic(const OffloadReqPtr& req) {
   std::any cert = DegradeMsg{rank_, req->dep_proxy, false, {}};
   co_await vctx().post_ctrl(req->peer, kLivenessChannel, std::move(cert), 0);
   // Re-execute on the host-driven path, in a context no healthy minimpi
-  // traffic can match.
+  // traffic — and no OTHER TENANT's concurrent failover — can match: the
+  // context is derived from this endpoint's tenant, so two communicators
+  // degrading in the same instant replay in disjoint context spaces.
   auto& mc = rt_.mpi_world()->ctx(rank_);
+  const int fb_ctx = failover_basic_context(tenant_);
   if (req->is_send) {
-    req->fallback =
-        co_await mc.isend(req->addr, req->len, req->peer, req->tag, kFailoverBasicContext);
+    req->fallback = co_await mc.isend(req->addr, req->len, req->peer, req->tag, fb_ctx);
   } else {
-    req->fallback =
-        co_await mc.irecv(req->addr, req->len, req->peer, req->tag, kFailoverBasicContext);
+    req->fallback = co_await mc.irecv(req->addr, req->len, req->peer, req->tag, fb_ctx);
   }
 }
 
@@ -442,6 +497,7 @@ sim::Task<bool> OffloadEndpoint::advance_striped(const OffloadReqPtr& req) {
       co_return true;
     }
     req->degraded = true;
+    if (rt_.spec().multi_tenant()) ++rt_.tenant_stats(tenant_).ops_degraded;
     const int src = req->is_send ? rank_ : req->peer;
     const int dst = req->is_send ? req->peer : rank_;
     if (auto* chk = rt_.engine().checker()) chk->on_basic_degraded(src, dst, req->tag);
@@ -449,23 +505,25 @@ sim::Task<bool> OffloadEndpoint::advance_striped(const OffloadReqPtr& req) {
       // Fence the dead owner (erase_pair matches every chunk index of the
       // tag at that proxy only) and send the counterparty a certificate so
       // it replays the same owner's chunks without its own detection wait.
+      if (auto* chk = rt_.engine().checker()) {
+        chk->on_degrade_cert(rank_, req->peer, owner);
+      }
       std::any fence = FenceBasicMsg{src, dst, req->tag};
       co_await vctx().post_ctrl(owner, kLivenessChannel, std::move(fence), 0);
       std::any cert = DegradeMsg{rank_, owner, false, {}};
       co_await vctx().post_ctrl(req->peer, kLivenessChannel, std::move(cert), 0);
     }
     auto& mc = rt_.mpi_world()->ctx(rank_);
+    const int fb_ctx = failover_basic_context(tenant_);
     for (auto& cs : req->chunks) {
       if (cs.fb_posted || newly_dead.count(cs.info.owner_proxy) == 0) continue;
       const std::size_t clen = chunk_len(req->len, rt_.spec().cost.chunk_bytes,
                                          cs.info.index, cs.info.count);
       const int t = chunk_tag(req->tag, cs.info.index);
       if (req->is_send) {
-        cs.fb = co_await mc.isend(req->addr + cs.info.offset, clen, req->peer, t,
-                                  kFailoverBasicContext);
+        cs.fb = co_await mc.isend(req->addr + cs.info.offset, clen, req->peer, t, fb_ctx);
       } else {
-        cs.fb = co_await mc.irecv(req->addr + cs.info.offset, clen, req->peer, t,
-                                  kFailoverBasicContext);
+        cs.fb = co_await mc.irecv(req->addr + cs.info.offset, clen, req->peer, t, fb_ctx);
       }
       cs.fb_posted = true;
       ++rt_.engine().metrics().counter("offload.failover.stripe_chunks_degraded");
@@ -531,6 +589,9 @@ sim::Task<Status> OffloadEndpoint::wait_many(std::vector<OffloadReqPtr> reqs) {
     if (req->unreachable) co_return Status::kUnreachable;
   }
   for (const auto& req : reqs) {
+    if (req->rejected) co_return Status::kRejected;
+  }
+  for (const auto& req : reqs) {
     if (req->degraded) co_return Status::kDegraded;
   }
   co_return Status::kOk;
@@ -540,7 +601,8 @@ sim::Task<Status> OffloadEndpoint::wait(const OffloadReqPtr& req) {
   co_await rt_.engine().sleep(from_us(rt_.spec().cost.mpi_call_us));
   if (!liveness_on()) {
     co_await req->flag->wait();
-    co_return req->unreachable ? Status::kUnreachable : Status::kOk;
+    if (req->unreachable) co_return Status::kUnreachable;
+    co_return req->rejected ? Status::kRejected : Status::kOk;
   }
   std::vector<OffloadReqPtr> one;
   one.push_back(req);
@@ -553,6 +615,7 @@ sim::Task<Status> OffloadEndpoint::waitall(std::span<const OffloadReqPtr> reqs) 
     Status st = Status::kOk;
     for (const auto& r : reqs) {
       co_await r->flag->wait();
+      if (r->rejected && st == Status::kOk) st = Status::kRejected;
       if (r->unreachable) st = Status::kUnreachable;
     }
     co_return st;
@@ -571,6 +634,13 @@ sim::Task<Status> OffloadEndpoint::finalize() {
     for (int l = 0; l < rt_.spec().proxies_per_dpu; ++l) {
       const int p = rt_.spec().proxy_id(node, l);
       if (p == my_proxy) continue;
+      // Multi-tenant: only this tenant's workers ever received delegated
+      // chunks from this host (fault-domain isolation), so only they expect
+      // its stop — a stop at a foreign tenant's worker would skew its
+      // expected-stop accounting.
+      if (rt_.spec().multi_tenant() && !rt_.spec().proxy_serves_tenant(p, tenant_)) {
+        continue;
+      }
       std::any stop = StopMsg{rank_};
       co_await retx_.send(p, kProxyChannel, std::move(stop), 0);
       ++ctrl_sent_;
@@ -765,6 +835,16 @@ sim::Task<void> OffloadEndpoint::group_call(const GroupReqPtr& req) {
   co_await rt_.engine().sleep(from_us(cost.mpi_call_us));
 
   req->current_flag = std::make_shared<sim::Event>(rt_.engine());
+  if (!rt_.admit(tenant_)) {
+    // Over quota: the call never reaches the proxy (and the checker never
+    // hears of it — a rejected call owes no FIN). group_wait returns
+    // kRejected; the request stays recorded and may be re-called later.
+    req->rejected = true;
+    req->current_flag->set();
+    co_return;
+  }
+  req->rejected = false;
+  req->current_flag->subscribe([this] { rt_.release(tenant_); });
   if (auto* chk = rt_.engine().checker()) chk->on_group_call(rank_, req->id, req->current_flag);
 
   if (giveup_watch_on()) {
@@ -817,7 +897,7 @@ sim::Task<void> OffloadEndpoint::group_call(const GroupReqPtr& req) {
     // §VII-D cache hit: all metadata already lives on the proxy; send only
     // the request id.
     ++group_hits_;
-    std::any cc = GroupCachedCallMsg{rank_, req->id, req->current_flag};
+    std::any cc = GroupCachedCallMsg{rank_, req->id, req->current_flag, tenant_};
     co_await retx_.send(my_proxy, kProxyChannel, std::move(cc), 0);
     ++ctrl_sent_;
     co_return;
@@ -855,7 +935,7 @@ sim::Task<void> OffloadEndpoint::group_call(const GroupReqPtr& req) {
   for (auto& [peer, entries] : meta_out) {
     const auto bytes =
         static_cast<std::size_t>(cost.group_entry_bytes * static_cast<double>(entries.size()));
-    std::any meta = GroupMetaMsg{rank_, req->id, std::move(entries)};
+    std::any meta = GroupMetaMsg{rank_, req->id, std::move(entries), tenant_};
     co_await retx_.send(peer, kGroupMetaChannel, std::move(meta), bytes);
     ++ctrl_sent_;
   }
@@ -896,6 +976,9 @@ sim::Task<void> OffloadEndpoint::group_call(const GroupReqPtr& req) {
   std::map<int, std::uint64_t> dst_req;  // receiver-side request id per dst
   for (int dst : dsts) {
     GroupMetaMsg meta = co_await await_meta_from(dst);
+    // Rank sets are disjoint, so cross-tenant metadata can only mean a
+    // mis-specified application (a group spanning two tenants' ranks).
+    sim_expect(meta.tenant == tenant_, "group metadata crossed a tenant boundary");
     dst_req[dst] = meta.req_id;
     for (auto& e : meta.entries) by_dst_tag[dst][e.tag].push_back(e);
   }
@@ -919,7 +1002,7 @@ sim::Task<void> OffloadEndpoint::group_call(const GroupReqPtr& req) {
   // 5. One contiguous Group_Offload_packet to my proxy.
   const auto pkt_bytes =
       static_cast<std::size_t>(cost.group_entry_bytes * static_cast<double>(req->ops.size()));
-  std::any pkt = GroupPacketMsg{rank_, req->id, req->ops, req->current_flag};
+  std::any pkt = GroupPacketMsg{rank_, req->id, req->ops, req->current_flag, tenant_};
   co_await retx_.send(my_proxy, kProxyChannel, std::move(pkt), pkt_bytes);
   ++ctrl_sent_;
   if (group_cache_enabled_) req->sent_to_proxy = true;
@@ -928,6 +1011,7 @@ sim::Task<void> OffloadEndpoint::group_call(const GroupReqPtr& req) {
 sim::Task<Status> OffloadEndpoint::group_wait(const GroupReqPtr& req) {
   sim_expect(req->current_flag != nullptr, "group_wait before group_call");
   co_await rt_.engine().sleep(from_us(rt_.spec().cost.mpi_call_us));
+  if (req->rejected) co_return Status::kRejected;
   if (!liveness_on()) {
     co_await req->current_flag->wait();
     co_return req->unreachable ? Status::kUnreachable : Status::kOk;
@@ -968,7 +1052,12 @@ int OffloadEndpoint::live_sibling_of(int proxy) const {
   const int node = spec.node_of(proxy);
   for (int l = 0; l < spec.proxies_per_dpu; ++l) {
     const int cand = spec.proxy_id(node, l);
-    if (cand != proxy && !proxy_presumed_dead(cand)) return cand;
+    if (cand == proxy || proxy_presumed_dead(cand)) continue;
+    // Fault-domain isolation: failover load never rides another tenant's
+    // workers. A tenant without a live worker of its own degrades to the
+    // host path instead of leaking onto a neighbour's proxy.
+    if (spec.multi_tenant() && !spec.proxy_serves_tenant(cand, tenant_)) continue;
+    return cand;
   }
   return -1;
 }
@@ -1012,7 +1101,7 @@ sim::Task<void> OffloadEndpoint::redispatch_to_sibling(const GroupReqPtr& req, i
   // The checker treats a sibling re-dispatch like a degrade: it authorizes
   // the fence on the old home (and any fenced-arrival swallows there).
   if (auto* chk = rt_.engine().checker()) chk->on_group_degraded(rank_, req->id);
-  std::any fence = FenceGroupMsg{rank_, req->id};
+  std::any fence = FenceGroupMsg{rank_, req->id, tenant_};
   co_await vc.post_ctrl(old, kLivenessChannel, std::move(fence), 0);
   // Re-register the send buffers against the sibling's GVMI and ship the
   // full packet — the sibling has no recorded template for this request.
@@ -1041,7 +1130,7 @@ sim::Task<void> OffloadEndpoint::redispatch_to_sibling(const GroupReqPtr& req, i
   const auto& cost = rt_.spec().cost;
   const auto pkt_bytes = static_cast<std::size_t>(
       cost.group_entry_bytes * static_cast<double>(req->ops.size()));
-  std::any pkt = GroupPacketMsg{rank_, req->id, req->ops, req->current_flag};
+  std::any pkt = GroupPacketMsg{rank_, req->id, req->ops, req->current_flag, tenant_};
   co_await retx_.send(sib, kProxyChannel, std::move(pkt), pkt_bytes);
   ++ctrl_sent_;
   ++rt_.engine().metrics().counter("offload.failover.sibling_redispatch");
@@ -1055,6 +1144,7 @@ sim::Task<void> OffloadEndpoint::degrade_group(const GroupReqPtr& req, int dead_
   req->fb_next = 0;
   req->fb_inflight.clear();
   ++rt_.engine().metrics().counter("offload.failover.groups_degraded");
+  if (rt_.spec().multi_tenant()) ++rt_.tenant_stats(tenant_).ops_degraded;
   // Snapshot the delivery ledgers into a per-entry skip mask, walking in
   // program order with per-(peer, tag) cursors — the same FIFO order the
   // proxies matched in. Both ends of every transfer heard about it from the
@@ -1087,7 +1177,7 @@ sim::Task<void> OffloadEndpoint::degrade_group(const GroupReqPtr& req, int dead_
   // Fence whichever proxy holds (or held) my job instance, then flood the
   // certificate through the peer graph.
   const int tgt = current_target(*req);
-  std::any fence = FenceGroupMsg{rank_, req->id};
+  std::any fence = FenceGroupMsg{rank_, req->id, tenant_};
   co_await vctx().post_ctrl(tgt, kLivenessChannel, std::move(fence), 0);
   co_await flood_degrade(req, dead_proxy);
 }
@@ -1100,6 +1190,7 @@ sim::Task<void> OffloadEndpoint::flood_degrade(const GroupReqPtr& req, int dead_
     if (op.type != GopType::kBarrier) peers.insert(op.peer);
   }
   for (int peer : peers) {
+    if (auto* chk = rt_.engine().checker()) chk->on_degrade_cert(rank_, peer, dead_proxy);
     DegradeMsg cert;
     cert.from_rank = rank_;
     cert.dead_proxy = dead_proxy;
@@ -1176,6 +1267,10 @@ sim::Task<bool> OffloadEndpoint::advance_group_fallback(const GroupReqPtr& req) 
     req->current_flag->set();
     co_return true;
   }
+  // Tenant-scoped fallback context: two tenants degrading in the same
+  // instant replay on disjoint contexts, so their fb_tag streams can never
+  // cross-match (the old global -7777 aliased them).
+  const int fb_ctx = failover_group_context(tenant_);
   while (req->fb_next < req->ops.size()) {
     const std::size_t i = req->fb_next++;
     const auto& op = req->ops[i];
@@ -1183,12 +1278,11 @@ sim::Task<bool> OffloadEndpoint::advance_group_fallback(const GroupReqPtr& req) 
     if (req->fb_skip[i]) continue;
     if (op.type == GopType::kSend) {
       mpi::Request r = co_await mc.isend(op.src_addr, op.len, op.peer,
-                                         fb_tag(op.tag, op.dst_req_id),
-                                         kFailoverGroupContext);
+                                         fb_tag(op.tag, op.dst_req_id), fb_ctx);
       req->fb_inflight.push_back(std::move(r));
     } else {
       mpi::Request r = co_await mc.irecv(op.dst_addr, op.len, op.peer,
-                                         fb_tag(op.tag, req->id), kFailoverGroupContext);
+                                         fb_tag(op.tag, req->id), fb_ctx);
       req->fb_inflight.push_back(std::move(r));
     }
   }

@@ -54,6 +54,7 @@ struct OffloadRequest {
   int dep_proxy = -1;
   bool degraded = false;   ///< re-executed on the host-driven MPI path
   bool unreachable = false;  ///< control plane gave up; no failover available
+  bool rejected = false;   ///< refused at admission (tenant quota); no-op
   mpi::Request fallback;   ///< in-flight fallback op (null when none)
 
   // ---- striped (segmented) state: populated only above stripe_threshold ----
@@ -86,6 +87,7 @@ struct GroupRequest {
   int target_proxy = -1;    ///< -1: the spec mapping; else a sibling override
   bool degraded = false;    ///< permanently on the host fallback path
   bool unreachable = false;  ///< control plane gave up; no failover available
+  bool rejected = false;    ///< this call refused at admission (tenant quota)
   bool redispatched = false;  ///< live call moved to a sibling proxy
   bool flooded = false;     ///< degrade certificates sent to the peer graph
   // Host-fallback replay state: entries re-posted on minimpi in program
@@ -108,6 +110,10 @@ class OffloadEndpoint {
   OffloadEndpoint(OffloadRuntime& rt, int rank);
 
   int rank() const { return rank_; }
+  /// Tenant owning this rank (0 in single-tenant worlds). Scopes every
+  /// control message, proxy-side key, and failover MPI context this
+  /// endpoint produces.
+  int tenant() const { return tenant_; }
   OffloadRuntime& runtime() { return rt_; }
   verbs::ProcCtx& vctx();
 
@@ -218,6 +224,7 @@ class OffloadEndpoint {
 
   OffloadRuntime& rt_;
   int rank_;
+  int tenant_ = 0;
   HostGvmiCache gvmi_cache_;
   mpi::RegCache ib_cache_;
   Retransmitter retx_;      ///< reliable sender for proxy-bound control msgs
@@ -266,6 +273,17 @@ class OffloadEndpoint {
 /// loops.
 class OffloadRuntime {
  public:
+  /// Per-tenant counters, linked as "offload.tenant<N>.*" only on
+  /// multi-tenant worlds (single-tenant metrics JSON stays byte-identical).
+  struct TenantStats {
+    metrics::Counter ops_admitted;      ///< calls past admission control
+    metrics::Counter ops_rejected;      ///< calls refused by max_inflight
+    metrics::Counter ops_degraded;      ///< calls finished on fallback paths
+    metrics::Counter pairs_completed;   ///< basic pairs FIN'd by the proxies
+    metrics::Counter jobs_completed;    ///< group jobs FIN'd by the proxies
+    metrics::Counter entries_advanced;  ///< fair-queue service charged
+  };
+
   explicit OffloadRuntime(verbs::Runtime& vrt);
 
   /// Spawns all proxy processes and installs the FaultSpec::proxy_failures
@@ -302,11 +320,25 @@ class OffloadRuntime {
                                  static_cast<double>(stripe_inflight_));
   }
 
+  /// Admission control: true when `tenant` may start one more offload op
+  /// (inflight < TenantSpec::max_inflight, or no quota). Single-tenant
+  /// worlds always admit — no counter is touched, no state exists.
+  bool admit(int tenant);
+  /// Returns one admission slot (fired from the op's completion flag).
+  void release(int tenant);
+  TenantStats& tenant_stats(int tenant) {
+    return *tenant_stats_.at(static_cast<std::size_t>(tenant));
+  }
+
  private:
   verbs::Runtime& vrt_;
   mpi::MpiWorld* mpi_ = nullptr;  ///< host fallback path (optional)
   std::vector<std::unique_ptr<OffloadEndpoint>> endpoints_;
   std::vector<std::unique_ptr<Proxy>> proxies_;
+  /// Multi-tenant state (both empty in single-tenant worlds). Stats live
+  /// behind unique_ptrs: the registry links raw Counter addresses.
+  std::vector<std::unique_ptr<TenantStats>> tenant_stats_;
+  std::vector<int> tenant_inflight_;
   int stripe_inflight_ = 0;  ///< currently posted chunk RDMAs (all proxies)
   bool started_ = false;
 };

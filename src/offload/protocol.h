@@ -43,6 +43,7 @@ enum class [[nodiscard]] Status {
   kOk,           ///< completed on the offloaded (proxy) path
   kDegraded,     ///< completed, but via host fallback or sibling re-dispatch
   kUnreachable,  ///< peer unreachable and no failover path available
+  kRejected,     ///< refused at admission: tenant over its max_inflight quota
 };
 
 /// Shared ack token for one reliable control message. The receiver marks it
@@ -78,6 +79,12 @@ class DupFilter {
     }
     return true;
   }
+
+  /// Drop the per-sender window (pooled-proxy hygiene: a finalized host's
+  /// seq space must not linger into the next tenant's job on this proxy).
+  void erase_sender(int sender) { per_sender_.erase(sender); }
+
+  bool has_sender(int sender) const { return per_sender_.count(sender) != 0; }
 
  private:
   struct Window {
@@ -120,6 +127,7 @@ struct RtsProxyMsg {
   verbs::Completion src_flag;  ///< host-side completion counter (FIN target)
   ChunkInfo chunk;
   std::shared_ptr<ChunkCountdown> countdown;  ///< shared across the chunk-set
+  int tenant = 0;  ///< owning tenant — scopes every proxy-side key (no aliasing)
 };
 
 /// Ready-To-Receive: destination host -> the *source-side* proxy.
@@ -136,6 +144,7 @@ struct RtrProxyMsg {
   /// view of per-chunk delivery (set by the same NIC hook that marks the
   /// sender-side countdown). The FIN decision itself uses the RTS countdown.
   std::shared_ptr<ChunkCountdown> countdown;
+  int tenant = 0;
 };
 
 enum class GopType { kSend, kRecv, kBarrier };
@@ -172,6 +181,7 @@ struct ChunkWorkMsg {
   std::size_t len = 0;
   std::function<void()> on_delivered;  ///< imm/liveness hook built by the home
   verbs::Completion done;        ///< home-side completion the sibling must set
+  int tenant = 0;
 };
 
 /// Full group offload packet: host -> proxy (first call for a request).
@@ -180,6 +190,7 @@ struct GroupPacketMsg {
   std::uint64_t req_id = 0;
   std::vector<GroupEntryWire> entries;
   verbs::Completion flag;
+  int tenant = 0;
 };
 
 /// Cached re-invocation: host -> proxy (§VII-D; the host cache hit sends
@@ -188,6 +199,7 @@ struct GroupCachedCallMsg {
   int host_rank = -1;
   std::uint64_t req_id = 0;
   verbs::Completion flag;
+  int tenant = 0;
 };
 
 /// Immediate consumed by the destination-side proxy when a group send's
@@ -200,6 +212,7 @@ struct RecvArrivedMsg {
   /// complete *that* request's receive, not whichever job happens to be
   /// first with the same (src, tag) — two concurrent groups may share both.
   std::uint64_t dst_req_id = 0;
+  int tenant = 0;
 };
 
 /// Receive-readiness credit between proxies: the destination-side proxy
@@ -212,6 +225,7 @@ struct CreditMsg {
   int src_rank = -1;  ///< sending host the credit is granted to
   int dst_rank = -1;  ///< receiving host that owns the buffer
   int tag = 0;
+  int tenant = 0;
 };
 
 /// One message per destination proxy carrying all credits of one call
@@ -226,6 +240,7 @@ struct BarrierCntrMsg {
   int src_rank = -1;  ///< host rank whose barrier progressed
   int dst_rank = -1;  ///< host rank whose proxy should observe it
   int count = 0;
+  int tenant = 0;
 };
 
 /// Host -> proxy: Finalize_Offload. Once every host mapped to a proxy has
@@ -255,6 +270,7 @@ struct GroupMetaMsg {
   int from_rank = -1;  ///< the receiving host that owns these buffers
   std::uint64_t req_id = 0;  ///< the receiver's request these buffers belong to
   std::vector<GroupRecvMeta> entries;
+  int tenant = 0;
 };
 
 // ---------------------------------------------------------------------------
@@ -299,6 +315,7 @@ struct FenceBasicMsg {
 struct FenceGroupMsg {
   int host_rank = -1;
   std::uint64_t req_id = 0;
+  int tenant = 0;
 };
 
 /// Host -> host death certificate + degradation notice. `dead_proxy` lets
@@ -332,8 +349,19 @@ struct SendDeliveredMsg {
 
 /// MPI context ids used by the failover replay so degraded traffic can
 /// never match healthy minimpi traffic (communicators use non-negative
-/// contexts).
-inline constexpr int kFailoverGroupContext = -7777;
-inline constexpr int kFailoverBasicContext = -7778;
+/// contexts). The contexts are derived per tenant: two communicators that
+/// degrade in the same instant used to collide on the old global constants
+/// (-7777/-7778 + fb_tag scoping is only unique within one job), silently
+/// cross-matching their replay traffic. Every call site must go through
+/// these helpers — scripts/lint.py bans raw -7777/-7778 literals elsewhere.
+inline constexpr int kFailoverContextBase = -7777;
+
+inline constexpr int failover_group_context(int tenant) {
+  return kFailoverContextBase - 2 * tenant;
+}
+
+inline constexpr int failover_basic_context(int tenant) {
+  return kFailoverContextBase - 1 - 2 * tenant;
+}
 
 }  // namespace dpu::offload

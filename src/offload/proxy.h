@@ -13,6 +13,7 @@
 #include <map>
 #include <memory>
 #include <set>
+#include <tuple>
 #include <vector>
 
 #include "common/metrics.h"
@@ -40,7 +41,10 @@ class Proxy {
   /// drained — or immediately when a crash is injected.
   sim::Task<void> run();
 
-  /// Host ranks served by this proxy (the §VII-A modulo mapping).
+  /// Host ranks served by this proxy. Single-tenant: the §VII-A modulo
+  /// mapping. Multi-tenant: the explicit per-tenant mapping of
+  /// ClusterSpec::proxy_for_host (the raw modulo silently mis-assigned
+  /// non-contiguous tenant rank sets).
   int mapped_hosts() const;
 
   // ---- process-level fault injection (machine::ProxyFailure) ----------------
@@ -77,6 +81,14 @@ class Proxy {
   /// that is what keeps re-call credit gating armed across re-records.
   std::uint64_t template_runs(int host_rank, std::uint64_t req_id) const;
   const MatchQueues& queues() const { return queues_; }
+  /// Entries of per-host proxy state (templates, barrier counters, credits,
+  /// fences, dup-filter sender window) still keyed to `host_rank`. Must be 0
+  /// after the host's Finalize_Offload — the pooled-proxy leak this PR fixes.
+  std::size_t host_state_entries(int host_rank) const;
+  /// FNV-1a digest of the multi-tenant fair-queue advance order: folded per
+  /// pick that made progress, (tenant, host, req, entries). Single-tenant
+  /// runs never touch it. Tests pin its tie-shuffle invariance.
+  std::uint64_t advance_order_digest() const { return advance_digest_; }
 
  private:
   /// Per-entry run state of a group job instance.
@@ -98,6 +110,7 @@ class Proxy {
   struct JobInstance {
     int host_rank = -1;
     std::uint64_t req_id = 0;
+    int tenant = 0;  ///< owning tenant (scopes keys + fair-queue accounting)
     /// Delivery time of the call message that started this instance. Jobs
     /// are kept sorted by (arrived_at, host_rank, req_id): real arrival
     /// order is preserved, but two calls landing at the same instant get a
@@ -147,8 +160,14 @@ class Proxy {
   sim::Task<bool> advance_one(JobInstance& job);
   sim::Task<void> post_group_send(JobInstance& job, std::size_t idx);
   std::function<void()> make_group_send_hook(const JobInstance& job, const GroupEntryWire& e);
-  void start_instance(int host_rank, std::uint64_t req_id, verbs::Completion flag,
-                      SimTime arrived_at);
+  void start_instance(int tenant, int host_rank, std::uint64_t req_id,
+                      verbs::Completion flag, SimTime arrived_at);
+  int expected_stops() const;
+  void prune_host_state(int host_rank);
+  /// True when job `a` should advance before job `b` under deficit-weighted
+  /// fair queueing: lower normalized tenant service first (cross-multiplied,
+  /// no FP), then the canonical (arrived_at, host, req) order.
+  bool dwfq_before(const JobInstance& a, const JobInstance& b) const;
   sim::Task<void> grant_credits(const JobInstance& job);
   bool match_arrival(const RecvArrivedMsg& a);
   bool at_chunk_cap() const;
@@ -168,19 +187,30 @@ class Proxy {
   std::deque<BasicPair> combined_;
   std::deque<ChunkWorkMsg> chunk_work_;  ///< delegated group segments (striping)
   std::vector<FinPending> fins_;
-  std::map<std::pair<int, std::uint64_t>, std::shared_ptr<JobTemplate>> templates_;
+  /// Templates keyed (tenant, host, req): the tenant component makes
+  /// cross-job aliasing structurally impossible on a pooled proxy.
+  std::map<std::tuple<int, int, std::uint64_t>, std::shared_ptr<JobTemplate>> templates_;
   std::vector<std::unique_ptr<JobInstance>> jobs_;
   std::deque<RecvArrivedMsg> pending_arrivals_;
-  std::map<int, int> barrier_counters_;  // host rank -> observed count
-  /// (src host, dst host, tag) -> receive-readiness credits from dst proxies.
-  std::map<std::tuple<int, int, int>, int> credits_;
+  std::map<std::pair<int, int>, int> barrier_counters_;  // (tenant, host) -> count
+  /// (tenant, src host, dst host, tag) -> receive-readiness credits.
+  std::map<std::tuple<int, int, int, int>, int> credits_;
 
   int stops_received_ = 0;
   bool crashed_ = false;
   bool hung_ = false;
-  /// (host, req_id) group jobs the hosts completed on the fallback path; any
-  /// live instance is dropped and future arrivals for them are swallowed.
-  std::set<std::pair<int, std::uint64_t>> fenced_;
+  /// Hosts whose Finalize_Offload this proxy processed. Counts each stop
+  /// exactly once and gates out any straggler reliable-envelope traffic from
+  /// that sender: once the dup-filter window is pruned, a late-delayed
+  /// duplicate would otherwise be re-accepted as fresh.
+  std::set<int> finalized_hosts_;
+  /// (tenant, host, req_id) group jobs the hosts completed on the fallback
+  /// path; any live instance is dropped and their arrivals swallowed.
+  std::set<std::tuple<int, int, std::uint64_t>> fenced_;
+  /// Per-tenant service accumulated by the fair queue (entries advanced);
+  /// empty in single-tenant worlds.
+  std::vector<std::uint64_t> tenant_service_;
+  std::uint64_t advance_digest_ = 1469598103934665603ull;  ///< FNV-1a basis
   metrics::Counter hb_replies_;
   metrics::Counter fenced_jobs_;
   metrics::Counter basic_done_;

@@ -27,15 +27,28 @@ inline std::vector<ChunkInfo> plan_chunks(const machine::ClusterSpec& spec, int 
   const std::size_t n = (len + csz - 1) / csz;
   if (n < 2) return {};  // one segment == monolithic; don't pay the overhead
   const int node = spec.node_of(src_host_rank);
-  const int pper = spec.proxies_per_dpu;
-  const int home_local = src_host_rank % pper;
+  // Stripe only over workers that serve the source's tenant: a pooled node
+  // may host several tenants' workers, and chunks must never ride a foreign
+  // tenant's proxy (fault isolation + fair-queue accounting both depend on
+  // it). Single-tenant worlds degenerate to the full node fleet.
+  std::vector<int> owners;
+  if (spec.multi_tenant()) {
+    owners = spec.tenant_node_proxies(spec.tenant_of_host(src_host_rank), node);
+  } else {
+    owners.reserve(static_cast<std::size_t>(spec.proxies_per_dpu));
+    for (int l = 0; l < spec.proxies_per_dpu; ++l) owners.push_back(spec.proxy_id(node, l));
+  }
+  const int home = spec.proxy_for_host(src_host_rank);
+  std::size_t home_pos = 0;
+  for (std::size_t l = 0; l < owners.size(); ++l) {
+    if (owners[l] == home) home_pos = l;
+  }
   std::vector<ChunkInfo> plan(n);
   for (std::size_t i = 0; i < n; ++i) {
     plan[i].offset = i * csz;
     plan[i].index = static_cast<std::uint32_t>(i);
     plan[i].count = static_cast<std::uint32_t>(n);
-    plan[i].owner_proxy =
-        spec.proxy_id(node, (home_local + static_cast<int>(i)) % pper);
+    plan[i].owner_proxy = owners[(home_pos + i) % owners.size()];
   }
   return plan;
 }

@@ -74,6 +74,14 @@ inline EvNode* justified_ev_alloc() {
   return new EvNode;
 }
 
+// --- [fallback-ctx]: raw failover-context literal ---------------------------
+inline constexpr int planted_fallback_ctx = -7777;  // planted
+inline bool planted_fallback_cmp(int ctx) { return ctx == -7778; }  // planted
+
+// --- [fallback-ctx] JUSTIFIED -----------------------------------------------
+// lint: fallback-ctx ok: fixture demonstrating the waiver syntax (JUSTIFIED)
+inline constexpr int justified_fallback_ctx = -7777;
+
 // --- [metric-dup]: same literal linked twice in one file --------------------
 struct Reg {
   void link(const char*, const int*) {}

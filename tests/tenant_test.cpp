@@ -1,0 +1,475 @@
+// Multi-tenant proxy-pool regression suite.
+//
+// Several independent jobs (tenants) share one pooled proxy fleet. This
+// file pins the whole multi-tenant contract: structured spec validation of
+// tenant rank sets, the explicit (non-modulo) host->proxy mapping, per-
+// tenant admission quotas (Status::kRejected, released on completion),
+// fault-domain isolation (one tenant's crashed proxy leaves another
+// tenant's run byte-identical to a solo run of the same world), tie-shuffle
+// invariance of the deficit-weighted fair-queue advance order, tenant-
+// scoped fallback contexts when two tenants degrade in the same instant,
+// and pruning of per-host proxy state on Finalize_Offload (the pooled-
+// proxy leak that motivated the sweep).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/check.h"
+#include "common/units.h"
+#include "harness/world.h"
+#include "offload/protocol.h"
+#include "offload/stripe.h"
+
+namespace dpu::offload {
+namespace {
+
+using harness::Rank;
+using harness::World;
+
+/// `nodes` x `ppn` cluster partitioned into tenants by explicit rank sets.
+machine::ClusterSpec tenant_spec(int nodes, int ppn, int proxies,
+                                 std::vector<std::vector<int>> rank_sets) {
+  machine::ClusterSpec s;
+  s.nodes = nodes;
+  s.host_procs_per_node = ppn;
+  s.proxies_per_dpu = proxies;
+  for (auto& ranks : rank_sets) {
+    machine::TenantSpec t;
+    t.ranks = std::move(ranks);
+    s.tenants.push_back(std::move(t));
+  }
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Spec validation + explicit mapping (satellite: SpecError on uncovered
+// ranks instead of the old silent modulo mis-assignment)
+// ---------------------------------------------------------------------------
+
+TEST(TenantSpec, ValidationRejectsMalformedTenants) {
+  const auto field_of = [](machine::ClusterSpec s) -> std::string {
+    try {
+      (void)s.resolve_topology();
+    } catch (const machine::SpecError& e) {
+      return e.field();
+    }
+    return "";
+  };
+  // Uncovered rank: tenants claim {0} and {1} of a 4-rank world.
+  EXPECT_EQ(field_of(tenant_spec(2, 2, 1, {{0}, {1}})), "TenantSpec.ranks");
+  // Duplicate claim.
+  EXPECT_EQ(field_of(tenant_spec(2, 2, 1, {{0, 1, 2}, {2, 3}})), "TenantSpec.ranks");
+  // Out-of-range rank.
+  EXPECT_EQ(field_of(tenant_spec(2, 2, 1, {{0, 1, 2}, {3, 9}})), "TenantSpec.ranks");
+  // Empty tenant.
+  EXPECT_EQ(field_of(tenant_spec(2, 2, 1, {{0, 1, 2, 3}, {}})), "TenantSpec.ranks");
+  // Bad weight / quota.
+  {
+    auto s = tenant_spec(2, 2, 1, {{0, 1}, {2, 3}});
+    s.tenants[0].weight = 0;
+    EXPECT_EQ(field_of(s), "TenantSpec.weight");
+    s.tenants[0].weight = 1;
+    s.tenants[1].max_inflight = -1;
+    EXPECT_EQ(field_of(s), "TenantSpec.max_inflight");
+  }
+  // A well-formed split validates.
+  EXPECT_EQ(field_of(tenant_spec(2, 2, 1, {{0, 2}, {1, 3}})), "");
+}
+
+TEST(TenantSpec, ExplicitMappingSpreadsNonContiguousRankSets) {
+  // The §VII-A modulo mapping puts hosts {0, 2} of one node both on local
+  // worker 0 (0 % 2 == 2 % 2) while worker 1 idles. The explicit mapping
+  // indexes ranks within their OWN tenant, so a tenant's node-local ranks
+  // round-robin across all workers.
+  auto s = tenant_spec(1, 4, 2, {{0, 2}, {1, 3}});
+  (void)s.resolve_topology();
+  EXPECT_EQ(s.tenant_of_host(0), 0);
+  EXPECT_EQ(s.tenant_of_host(3), 1);
+  // Tenant 0: rank 0 -> worker 0, rank 2 (its second on-node rank) -> worker 1.
+  EXPECT_EQ(s.proxy_for_host(0), s.proxy_id(0, 0));
+  EXPECT_EQ(s.proxy_for_host(2), s.proxy_id(0, 1));
+  // Tenant 1 spreads the same way, sharing the pooled workers.
+  EXPECT_EQ(s.proxy_for_host(1), s.proxy_id(0, 0));
+  EXPECT_EQ(s.proxy_for_host(3), s.proxy_id(0, 1));
+  EXPECT_TRUE(s.proxy_serves_tenant(s.proxy_id(0, 1), 0));
+  EXPECT_TRUE(s.proxy_serves_tenant(s.proxy_id(0, 1), 1));
+  EXPECT_EQ(s.tenant_node_proxies(0, 0), (std::vector<int>{s.proxy_id(0, 0), s.proxy_id(0, 1)}));
+  // Uncovered host rank is a structured error, not a silent mis-assignment.
+  auto bad = tenant_spec(1, 4, 2, {{0, 2}, {1, 3}});
+  bad.tenants[1].ranks = {1};  // rank 3 uncovered
+  EXPECT_THROW((void)bad.tenant_of_host(3), machine::SpecError);
+}
+
+TEST(TenantSpec, StripePlanStaysInsideTenantProxies) {
+  // Chunks of a striped transfer must only ride workers serving the source
+  // tenant, even when the node pools workers across tenants.
+  auto s = tenant_spec(1, 4, 2, {{0, 2}, {1, 3}});
+  s.cost.stripe_threshold = 64_KiB;
+  s.cost.chunk_bytes = 64_KiB;
+  (void)s.resolve_topology();
+  const auto plan = plan_chunks(s, /*src=*/0, 256_KiB);
+  ASSERT_EQ(plan.size(), 4u);
+  for (const auto& c : plan) {
+    EXPECT_TRUE(s.proxy_serves_tenant(c.owner_proxy, 0)) << "chunk " << c.index;
+  }
+  // Owners round-robin starting at the source's home proxy.
+  EXPECT_EQ(plan[0].owner_proxy, s.proxy_for_host(0));
+  EXPECT_NE(plan[1].owner_proxy, plan[0].owner_proxy);
+}
+
+// ---------------------------------------------------------------------------
+// Tentpole: admission quotas
+// ---------------------------------------------------------------------------
+
+TEST(TenantAdmission, OverQuotaOpsRejectedAndReleasedOnCompletion) {
+  // Tenant 0 ({0, 1}) gets a cluster-wide quota of 2 in-flight ops. The
+  // receiver posts first, then the sender posts
+  // two sends back-to-back: recv + send fill the quota, the second send is
+  // rejected up front. After the first pair completes (releasing its two
+  // slots), the retry is admitted and completes.
+  // (One tenant owning both ranks: the quota must span both ends of a pair.)
+  auto s = tenant_spec(2, 1, 1, {{0, 1}});
+  s.tenants[0].max_inflight = 2;
+  World w(s);
+  const std::size_t len = 32_KiB;
+  int rejected_waits = 0;
+  int ok_waits = 0;
+  w.launch(1, [&](Rank& r) -> sim::Task<void> {
+    const auto buf = r.mem().alloc(len);
+    auto rr = co_await r.off->recv_offload(buf, len, 0, 5);
+    EXPECT_EQ(co_await r.off->wait(rr), Status::kOk);
+    EXPECT_TRUE(check_pattern(r.mem().read(buf, len), 77));
+    // Second round: posted only after round one fully completed.
+    auto rr2 = co_await r.off->recv_offload(buf, len, 0, 6);
+    EXPECT_EQ(co_await r.off->wait(rr2), Status::kOk);
+    EXPECT_TRUE(check_pattern(r.mem().read(buf, len), 78));
+  });
+  w.launch(0, [&](Rank& r) -> sim::Task<void> {
+    co_await r.compute(5_us);  // the recv is already in flight (slot 1 of 2)
+    const auto a = r.mem().alloc(len);
+    const auto b = r.mem().alloc(len);
+    r.mem().write(a, pattern_bytes(77, len));
+    r.mem().write(b, pattern_bytes(78, len));
+    auto s1 = co_await r.off->send_offload(a, len, 1, 5);  // slot 2 of 2
+    auto s2 = co_await r.off->send_offload(b, len, 1, 6);  // over quota
+    EXPECT_EQ(co_await r.off->wait(s2), Status::kRejected);
+    ++rejected_waits;
+    EXPECT_EQ(co_await r.off->wait(s1), Status::kOk);
+    ++ok_waits;
+    // Both slots released; the retry is admitted.
+    auto s3 = co_await r.off->send_offload(b, len, 1, 6);
+    EXPECT_EQ(co_await r.off->wait(s3), Status::kOk);
+    ++ok_waits;
+  });
+  w.run();
+  EXPECT_EQ(rejected_waits, 1);
+  EXPECT_EQ(ok_waits, 2);
+  EXPECT_EQ(w.metrics().counter_value("offload.tenant0.ops_rejected"), 1u);
+  EXPECT_GE(w.metrics().counter_value("offload.tenant0.ops_admitted"), 4u);
+  EXPECT_EQ(w.metrics().counter_value("offload.tenant0.pairs_completed"), 2u);
+}
+
+TEST(TenantAdmission, GroupCallOverQuotaRejectedAndRecallable) {
+  // One tenant owning both ranks with a 2-slot quota (group traffic never
+  // crosses tenants — the meta guard hard-errors on it — and a 1-slot quota
+  // spanning both ends of a pair would deadlock by construction). Rank 1's
+  // receive call holds slot 1; rank 0's send call takes slot 2 and its
+  // back-to-back second call is rejected, then succeeds on re-call once the
+  // first FIN released the slots.
+  auto s = tenant_spec(1, 2, 1, {{0, 1}});
+  s.tenants[0].max_inflight = 2;
+  World w(s);
+  const std::size_t len = 8_KiB;
+  int rejected = 0;
+  w.launch(1, [&](Rank& r) -> sim::Task<void> {
+    const auto rbuf = r.mem().alloc(len);
+    auto g = r.off->group_start();
+    r.off->group_recv(g, rbuf, len, 0, 3);
+    r.off->group_end(g);
+    co_await r.off->group_call(g);  // slot 1; in flight until rank 0 sends
+    EXPECT_EQ(co_await r.off->group_wait(g), Status::kOk);
+    EXPECT_TRUE(check_pattern(r.mem().read(rbuf, len), 31));
+    // Feed rank 0's re-called second group.
+    const auto sbuf = r.mem().alloc(len);
+    r.mem().write(sbuf, pattern_bytes(32, len));
+    auto g2 = r.off->group_start();
+    r.off->group_send(g2, sbuf, len, 0, 99);
+    r.off->group_end(g2);
+    co_await r.off->group_call(g2);
+    EXPECT_EQ(co_await r.off->group_wait(g2), Status::kOk);
+  });
+  w.launch(0, [&](Rank& r) -> sim::Task<void> {
+    co_await r.compute(50_us);  // rank 1's call already holds slot 1
+    const auto buf = r.mem().alloc(len);
+    r.mem().write(buf, pattern_bytes(31, len));
+    auto g = r.off->group_start();
+    r.off->group_send(g, buf, len, 1, 3);
+    r.off->group_end(g);
+    co_await r.off->group_call(g);  // slot 2: the quota is now full
+    const auto rbuf = r.mem().alloc(len);
+    auto g2 = r.off->group_start();
+    r.off->group_recv(g2, rbuf, len, 1, 99);
+    r.off->group_end(g2);
+    co_await r.off->group_call(g2);
+    EXPECT_EQ(co_await r.off->group_wait(g2), Status::kRejected);
+    ++rejected;
+    EXPECT_EQ(co_await r.off->group_wait(g), Status::kOk);
+    // Slot released by g's FIN: the re-call is admitted and completes.
+    co_await r.off->group_call(g2);
+    EXPECT_EQ(co_await r.off->group_wait(g2), Status::kOk);
+    EXPECT_TRUE(check_pattern(r.mem().read(rbuf, len), 32));
+  });
+  w.run();
+  EXPECT_EQ(rejected, 1);
+  EXPECT_EQ(w.metrics().counter_value("offload.tenant0.ops_rejected"), 1u);
+  EXPECT_EQ(w.metrics().counter_value("offload.tenant0.jobs_completed"), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Tentpole: fault-domain isolation
+// ---------------------------------------------------------------------------
+
+/// Tenant 1's workload (intra-node pingpong on node 1), recording every
+/// completion's virtual time and an FNV-1a digest of the received bytes.
+sim::Task<void> t1_pingpong(Rank& r, std::vector<std::pair<SimTime, std::uint64_t>>* log) {
+  const std::size_t len = 32_KiB;
+  const int me = r.tenant_rank;  // 0 or 1 within tenant 1
+  const int peer_global = me == 0 ? 3 : 2;
+  const auto buf = r.mem().alloc(len);
+  for (int i = 0; i < 3; ++i) {
+    if (me == 0) {
+      r.mem().write(buf, pattern_bytes(static_cast<std::uint64_t>(500 + i), len));
+      auto qs = co_await r.off->send_offload(buf, len, peer_global, i);
+      sim_expect(co_await r.off->wait(qs) == Status::kOk, "t1 send");
+    } else {
+      auto qr = co_await r.off->recv_offload(buf, len, peer_global, i);
+      sim_expect(co_await r.off->wait(qr) == Status::kOk, "t1 recv");
+      sim_expect(check_pattern(r.mem().read(buf, len), static_cast<std::uint64_t>(500 + i)),
+                 "t1 payload");
+      std::uint64_t h = 1469598103934665603ull;
+      for (std::byte b : r.mem().read(buf, len)) {
+        h = (h ^ static_cast<std::uint64_t>(b)) * 1099511628211ull;
+      }
+      log->push_back({r.world->now(), h});
+    }
+  }
+}
+
+TEST(TenantIsolation, CrashedProxyDegradesOnlyItsOwnTenant) {
+  // Tenant 0 = node 0 ({0, 1}), tenant 1 = node 1 ({2, 3}); one worker per
+  // DPU, so the tenants' fault domains are disjoint by placement. Tenant 0's
+  // worker dies mid-run: tenant 0 completes degraded via the host path while
+  // tenant 1's completion times and payload bytes are IDENTICAL to a solo
+  // run of the very same world (same spec, same crash, tenant 1 alone).
+  const auto make_spec = [] {
+    auto s = tenant_spec(2, 2, 1, {{0, 1}, {2, 3}});
+    s.fault.proxy_failures.push_back({/*proxy=*/s.proxy_id(0, 0), /*at_us=*/30.0,
+                                      /*hang=*/false, -1.0});
+    return s;
+  };
+  const auto t0_prog = [](std::vector<Status>* statuses) {
+    return [statuses](Rank& r) -> sim::Task<void> {
+      const std::size_t len = 32_KiB;
+      const auto buf = r.mem().alloc(len);
+      if (r.tenant_rank == 0) {
+        co_await r.compute(40_us);  // the worker is dead before this op
+        r.mem().write(buf, pattern_bytes(321, len));
+        auto q = co_await r.off->send_offload(buf, len, 1, 9);
+        statuses->push_back(co_await r.off->wait(q));
+      } else {
+        co_await r.compute(40_us);
+        auto q = co_await r.off->recv_offload(buf, len, 0, 9);
+        statuses->push_back(co_await r.off->wait(q));
+        sim_expect(check_pattern(r.mem().read(buf, len), 321), "t0 payload after degrade");
+      }
+    };
+  };
+
+  std::vector<std::pair<SimTime, std::uint64_t>> solo_log;
+  {
+    World w(make_spec());
+    w.launch_tenant(1, [&](Rank& r) -> sim::Task<void> { co_await t1_pingpong(r, &solo_log); });
+    w.run();
+  }
+  std::vector<std::pair<SimTime, std::uint64_t>> shared_log;
+  std::vector<Status> t0_statuses;
+  {
+    World w(make_spec());
+    w.enable_checker();  // cross-tenant rules armed: any leak is a violation
+    w.launch_tenant(0, t0_prog(&t0_statuses));
+    w.launch_tenant(1, [&](Rank& r) -> sim::Task<void> { co_await t1_pingpong(r, &shared_log); });
+    w.run();
+    EXPECT_GE(w.metrics().counter_value("offload.tenant0.ops_degraded"), 1u);
+    EXPECT_EQ(w.metrics().counter_value("offload.tenant1.ops_degraded"), 0u);
+  }
+  ASSERT_EQ(t0_statuses.size(), 2u);
+  for (Status st : t0_statuses) EXPECT_EQ(st, Status::kDegraded);
+  // The victim's crash is invisible to tenant 1: byte-identical timeline.
+  EXPECT_EQ(shared_log, solo_log);
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: two tenants degrading in the same instant stay disjoint
+// (tenant-derived fallback contexts instead of the global -7777/-7778)
+// ---------------------------------------------------------------------------
+
+TEST(TenantIsolation, ConcurrentDegradesUseDisjointFallbackContexts) {
+  ASSERT_NE(failover_basic_context(0), failover_basic_context(1));
+  ASSERT_NE(failover_group_context(0), failover_group_context(1));
+  ASSERT_NE(failover_basic_context(1), failover_group_context(0));
+  // Both tenants live on node 0 and share its single worker; the worker dies
+  // while both tenants have identical-shape ops (same tag!) in flight, so
+  // both degrade in the same instant and replay concurrently on minimpi.
+  auto s = tenant_spec(1, 4, 1, {{0, 1}, {2, 3}});
+  s.fault.proxy_failures.push_back({/*proxy=*/s.proxy_id(0, 0), /*at_us=*/30.0,
+                                    /*hang=*/false, -1.0});
+  World w(s);
+  w.enable_checker();
+  const std::size_t len = 32_KiB;
+  int degraded = 0;
+  w.launch_all([&](Rank& r) -> sim::Task<void> {
+    const auto buf = r.mem().alloc(len);
+    const bool sender = r.tenant_rank == 0;
+    const int peer = sender ? (r.rank + 1) : (r.rank - 1);
+    co_await r.compute(40_us);
+    const auto key = static_cast<std::uint64_t>(900 + r.tenant);
+    if (sender) {
+      r.mem().write(buf, pattern_bytes(key, len));
+      auto q = co_await r.off->send_offload(buf, len, peer, 7);
+      const Status st = co_await r.off->wait(q);
+      EXPECT_EQ(st, Status::kDegraded) << "tenant " << r.tenant;
+      if (st == Status::kDegraded) ++degraded;
+    } else {
+      auto q = co_await r.off->recv_offload(buf, len, peer, 7);
+      const Status st = co_await r.off->wait(q);
+      EXPECT_EQ(st, Status::kDegraded) << "tenant " << r.tenant;
+      if (st == Status::kDegraded) ++degraded;
+      EXPECT_TRUE(check_pattern(r.mem().read(buf, len), key)) << "tenant " << r.tenant;
+    }
+  });
+  w.run();
+  EXPECT_EQ(degraded, 4);
+  EXPECT_GE(w.metrics().counter_value("offload.tenant0.ops_degraded"), 1u);
+  EXPECT_GE(w.metrics().counter_value("offload.tenant1.ops_degraded"), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Tentpole: deficit-weighted fair queue — deterministic advance order
+// ---------------------------------------------------------------------------
+
+/// Two tenants hammer the one shared worker with cached group re-calls;
+/// returns the worker's advance-order digest.
+std::uint64_t run_fair_queue_world(std::uint64_t tie_seed) {
+  auto s = tenant_spec(1, 4, 1, {{0, 1}, {2, 3}});
+  s.tenants[0].weight = 3;
+  s.tenants[1].weight = 1;
+  World w(s);
+  w.engine().set_tie_shuffle_seed(tie_seed);
+  const std::size_t len = 8_KiB;
+  w.launch_all([len](Rank& r) -> sim::Task<void> {
+    const int peer = r.tenant_rank == 0 ? r.rank + 1 : r.rank - 1;
+    const auto sbuf = r.mem().alloc(len);
+    const auto rbuf = r.mem().alloc(len);
+    auto g = r.off->group_start();
+    r.off->group_send(g, sbuf, len, peer, 2);
+    r.off->group_recv(g, rbuf, len, peer, 2);
+    r.off->group_end(g);
+    for (int i = 0; i < 4; ++i) {
+      const auto key = static_cast<std::uint64_t>(10 * r.rank + i);
+      r.mem().write(sbuf, pattern_bytes(key, len));
+      co_await r.off->group_call(g);
+      sim_expect(co_await r.off->group_wait(g) == Status::kOk, "fair-queue group");
+      const auto pk = static_cast<std::uint64_t>(10 * peer + i);
+      sim_expect(check_pattern(r.mem().read(rbuf, len), pk), "fair-queue payload");
+    }
+  });
+  w.run();
+  const auto& proxy = w.offload().proxy(w.spec().proxy_id(0, 0));
+  const std::uint64_t digest = proxy.advance_order_digest();
+  // Both tenants' jobs really ran through the shared worker's fair queue.
+  sim_expect(w.metrics().counter_value("offload.tenant0.jobs_completed") == 8u &&
+                 w.metrics().counter_value("offload.tenant1.jobs_completed") == 8u,
+             "fair-queue job accounting");
+  sim_expect(w.metrics().counter_value("offload.tenant0.entries_advanced") > 0 &&
+                 w.metrics().counter_value("offload.tenant1.entries_advanced") > 0,
+             "fair-queue service accounting");
+  return digest;
+}
+
+TEST(TenantFairQueue, AdvanceOrderDigestInvariantAcrossTieShuffles) {
+  // Seed 0 is the legacy FIFO tie order; seeds 1..7 permute same-time event
+  // dispatch. The fair queue's pick order must not depend on those ties:
+  // identical digest across all 8 seeds.
+  const std::uint64_t base = run_fair_queue_world(0);
+  EXPECT_NE(base, 1469598103934665603ull);  // the queue actually folded picks
+  for (std::uint64_t seed = 1; seed < 8; ++seed) {
+    EXPECT_EQ(run_fair_queue_world(seed), base) << "tie seed " << seed;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: per-host proxy state pruned on Finalize_Offload
+// ---------------------------------------------------------------------------
+
+TEST(TenantFinalize, ProxyStatePrunedPerHostOnFinalize) {
+  // Two jobs share one pooled worker back-to-back: tenant 0 runs and
+  // finalizes, then tenant 1 (same worker) runs its own job. The worker must
+  // shed ALL of tenant 0's per-host state at its Finalize_Offload — while
+  // still serving tenant 1 — or a long-lived service proxy leaks a little
+  // per job forever.
+  auto s = tenant_spec(1, 4, 1, {{0, 1}, {2, 3}});
+  World w(s);
+  auto& proxy = w.offload().proxy(s.proxy_id(0, 0));
+  const std::size_t len = 16_KiB;
+  bool t0_finalized = false;
+  w.launch_tenant(0, [&](Rank& r) -> sim::Task<void> {
+    const int peer = r.tenant_rank == 0 ? 1 : 0;
+    const auto sbuf = r.mem().alloc(len);
+    const auto rbuf = r.mem().alloc(len);
+    auto g = r.off->group_start();
+    r.off->group_send(g, sbuf, len, peer, 1);
+    r.off->group_recv(g, rbuf, len, peer, 1);
+    r.off->group_end(g);
+    for (int i = 0; i < 2; ++i) {  // re-call: credits + barrier state exist
+      r.mem().write(sbuf, pattern_bytes(static_cast<std::uint64_t>(40 + r.rank + i), len));
+      co_await r.off->group_call(g);
+      sim_expect(co_await r.off->group_wait(g) == Status::kOk, "t0 group");
+    }
+    // Mid-run the worker holds state for this host...
+    sim_expect(proxy.host_state_entries(r.rank) > 0, "state exists before finalize");
+    sim_expect(co_await r.off->finalize() == Status::kOk, "t0 finalize");
+    t0_finalized = true;
+  });
+  w.launch_tenant(1, [&](Rank& r) -> sim::Task<void> {
+    co_await r.compute(4000_us);  // well past tenant 0's finalize
+    sim_expect(t0_finalized, "tenant 0 finalized first");
+    // The pooled worker shed tenant 0's per-host state entirely...
+    sim_expect(proxy.host_state_entries(0) == 0, "host 0 state pruned");
+    sim_expect(proxy.host_state_entries(1) == 0, "host 1 state pruned");
+    // ...and still serves this tenant's fresh job.
+    const int peer = r.tenant_rank == 0 ? 3 : 2;
+    const auto sbuf = r.mem().alloc(len);
+    const auto rbuf = r.mem().alloc(len);
+    auto g = r.off->group_start();
+    r.off->group_send(g, sbuf, len, peer, 1);  // same tag as tenant 0's job
+    r.off->group_recv(g, rbuf, len, peer, 1);
+    r.off->group_end(g);
+    r.mem().write(sbuf, pattern_bytes(static_cast<std::uint64_t>(60 + r.tenant_rank), len));
+    co_await r.off->group_call(g);
+    sim_expect(co_await r.off->group_wait(g) == Status::kOk, "t1 group after reuse");
+    const auto pk = static_cast<std::uint64_t>(60 + (1 - r.tenant_rank));
+    sim_expect(check_pattern(r.mem().read(rbuf, len), pk), "t1 payload after reuse");
+    sim_expect(co_await r.off->finalize() == Status::kOk, "t1 finalize");
+  });
+  w.run();
+  for (int h = 0; h < 4; ++h) {
+    EXPECT_EQ(proxy.host_state_entries(h), 0u) << "host " << h;
+  }
+}
+
+}  // namespace
+}  // namespace dpu::offload
