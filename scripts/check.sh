@@ -80,6 +80,17 @@ echo "== ablation_tenants smoke (sanitized) =="
 echo "== tie-shuffle determinism smoke (fast mode, sanitized) =="
 DPU_BENCH_FAST=1 "$BUILD_DIR"/bench/ablation_determinism > /dev/null
 
+# ThreadSanitizer pass over the sharded-execution suite: the ShardScheduler
+# worker pool is the one place real threads touch simulation state (enforced
+# by the scripts/lint.py `thread` rule), and ASan cannot see data races.
+# Only the shard suite is built in tsan mode — a full second sanitized tree
+# would double the gate's cost for zero extra coverage.
+echo "== shard suite (ThreadSanitizer) =="
+TSAN_DIR=build-tsan
+cmake -B "$TSAN_DIR" -S . -DDPU_SANITIZE=tsan > /dev/null
+cmake --build "$TSAN_DIR" -t shard_test -j "$JOBS"
+"$TSAN_DIR"/tests/shard_test
+
 if [[ "${1:-}" == "--fast" ]]; then
   echo "== fig/ablation benches (fast mode, sanitized) =="
   for b in "$BUILD_DIR"/bench/fig* "$BUILD_DIR"/bench/ablation_*; do

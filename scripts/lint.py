@@ -44,6 +44,15 @@ Rules (each failure prints `file:line: [rule] message`):
                   deletes by ev/slab-node-ish variable names — the textual
                   rule cannot type pointers.)
 
+  thread          No raw threading primitives (std::thread / std::mutex /
+                  std::condition_variable &co, or their headers) outside
+                  src/sim/shard.* — the shard scheduler's worker pool is the
+                  ONE sanctioned place wall-clock concurrency exists; any
+                  other thread can observe simulation state mid-epoch and
+                  silently break the byte-identical determinism contract.
+                  Sites that genuinely need one carry
+                  '// lint: thread ok: <reason>' within the 5 lines above.
+
   fallback-ctx    No raw -7777 / -7778 failover-context literals outside
                   src/offload/protocol.h: the fallback context is derived
                   per tenant (failover_basic_context / failover_group_context)
@@ -110,6 +119,17 @@ EV_ALLOC_DELETE = re.compile(
     r"\bdelete(?:\s*\[\s*\])?\s+[\w.>-]*(?:ev_?node|slab_?node)\w*", re.IGNORECASE)
 EV_ALLOC_JUSTIFY = re.compile(r"//\s*lint:\s*ev-alloc ok:")
 
+# rule: thread
+THREAD_PRIM = re.compile(
+    r"\bstd::(?:jthread|thread|mutex|timed_mutex|recursive_mutex|shared_mutex|"
+    r"condition_variable(?:_any)?)\b"
+    r"|#\s*include\s*<(?:thread|mutex|condition_variable|shared_mutex)>")
+THREAD_ALLOWED_FILES = (
+    os.path.join("src", "sim", "shard.h"),
+    os.path.join("src", "sim", "shard.cpp"),
+)
+THREAD_JUSTIFY = re.compile(r"//\s*lint:\s*thread ok:")
+
 # rule: fallback-ctx
 FALLBACK_CTX = re.compile(r"-\s*777[78]\b")
 FALLBACK_CTX_ALLOWED_FILES = (os.path.join("src", "offload", "protocol.h"),)
@@ -141,6 +161,7 @@ def lint_file(path: str, rel: str, errors: list) -> None:
         rel.startswith(p) if p.endswith(os.sep) else rel == p
         for p in RAW_POST_ALLOWED_FILES)
     fallback_ctx_exempt = rel in FALLBACK_CTX_ALLOWED_FILES
+    thread_exempt = rel in THREAD_ALLOWED_FILES
 
     linked_names = {}
     for i, raw in enumerate(lines):
@@ -177,6 +198,15 @@ def lint_file(path: str, rel: str, errors: list) -> None:
                     f"{rel}:{lineno}: [status-discard] swallowed offload "
                     "Status: check it, or add a "
                     "'// lint: status-discard ok: <reason>' comment")
+
+        # Everywhere (a test spinning up a thread races the simulation just
+        # as surely as product code); only the shard scheduler is exempt.
+        if not thread_exempt and THREAD_PRIM.search(line):
+            if not has_justification(lines, i, THREAD_JUSTIFY):
+                errors.append(
+                    f"{rel}:{lineno}: [thread] raw threading primitive "
+                    "outside src/sim/shard.*: route concurrency through "
+                    "ShardScheduler, or add '// lint: thread ok: <reason>'")
 
         # Everywhere (tests and benches hardcode contexts just as easily as
         # product code); only the defining header is exempt.
@@ -237,7 +267,7 @@ def self_test(root: str) -> int:
     lint_file(fixture, os.path.join("src", "planted_violations.cpp"), errors)
 
     expected = ["wall-clock", "raw-post", "status-discard", "metric-dup", "ev-alloc",
-                "fallback-ctx"]
+                "fallback-ctx", "thread"]
     failed = False
     for rule in expected:
         hits = [e for e in errors if f"[{rule}]" in e]

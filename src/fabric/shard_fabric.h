@@ -1,0 +1,258 @@
+// Island-partitioned fat-tree fabric for sharded execution.
+//
+// ShardFabric is the performance twin of fabric::Fabric: the same two-level
+// k-ary fat-tree (one NIC per node, per-node PCIe lanes, d-mod-k spine
+// selection, cut-through serializing ports), re-architected so the cluster
+// can be partitioned into `Topology::shards` event islands — contiguous
+// blocks of whole leaves — that interact only through sim::ShardScheduler
+// Mail. It is certified against ITSELF across partitions: for a fixed
+// workload, 1, 2 and N islands (sequential or threaded) produce
+// byte-identical results (tests/shard_test.cpp). It is NOT byte-identical
+// to the legacy Fabric: the split-phase core drops the legacy model's
+// TX-to-downlink backpressure coupling (leaf switches buffer; the NIC
+// serializes at edge rate and core queueing appears as delivery delay), and
+// the one-way wire latency is split lat = lat_src + lat_dst around the
+// spine hop. The legacy Fabric remains the reference model for every
+// existing workload; this one exists to scale.
+//
+// Split-phase transfer. A transfer src -> dst is booked in two phases, each
+// touching only ports its island owns:
+//
+//   Phase S (source island, at the posting instant): the per-instant batch
+//   is stable-sorted by requester (the same canonical arbitration rule as
+//   the legacy fabric) and booked against the source-owned ports — the
+//   node's TX port and, cross-leaf with an active core, the source leaf's
+//   d-mod-k uplink. The booking emits a handoff record timed at
+//   h = (uplink exit or tx_start) + lat_src, mailed to the destination
+//   island.
+//
+//   Phase D (destination island, once h is inside the epoch horizon):
+//   handoff records drain in the canonical (h, src_node, stamp) order —
+//   identical for every partition — and book the destination-owned ports:
+//   the destination leaf's downlink and the node's RX port. The resulting
+//   delivery time rx_end is mailed back to the source island, which invokes
+//   the island's delivery handler at exactly rx_end.
+//
+// Same-leaf and same-node (PCIe) transfers never cross an island (leaves
+// are atomic under partitioning), so phase S books them end-to-end and the
+// completion rides self-mail through the same barrier exchange — behaviour
+// is partition-independent by construction, not by special-casing.
+//
+// Lookahead. All mail satisfies the scheduler's CMB discipline with
+// L = sched.lookahead() <= min(lat_src, loopback latency): handoffs are at
+// least lat_src in the future, completions at least lat_dst beyond their
+// handoff, PCIe deliveries at least the loopback latency away. With the
+// defaults, lookahead_for() returns exactly lat/2 — the epoch window and
+// the cross-leaf hop are the same width, which is the tightest (and
+// therefore the certification-critical) configuration.
+//
+// Engine-light execution. Deliveries are not engine events: each island's
+// epoch body (installed as the scheduler's island driver) interleaves
+// engine instants with completion instants from a merged, cursor-consumed
+// stream, and settles phase-S bookings at each instant's end. The steady
+// state allocates nothing and touches only island-local, mostly-sequential
+// memory — on top of parallel islands, that is where the wall-clock win
+// over the legacy path comes from. Rule at a shared instant t: engine
+// events at t first, then deliveries at t in canonical order, then the
+// settle; repeated if one round schedules more work at t.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/metrics.h"
+#include "fabric/fabric.h"  // NicStats
+#include "machine/spec.h"
+#include "sim/shard.h"
+
+namespace dpu::fabric {
+
+class ShardFabric {
+ public:
+  /// `sched` must have exactly `spec.resolve_topology().shards` islands and
+  /// a lookahead no larger than lookahead_for(spec). The fabric installs
+  /// itself as every island's mail handler, driver and horizon source.
+  ShardFabric(sim::ShardScheduler& sched, const machine::ClusterSpec& spec);
+
+  /// Largest lookahead the fabric's mail discipline supports for `spec`:
+  /// max(1 ps, min(lat_src, loopback latency)). Construct the scheduler
+  /// with this unless a test wants a deliberately smaller window.
+  static SimDuration lookahead_for(const machine::ClusterSpec& spec);
+
+  /// Delivery handler for `island`: invoked once per transfer whose source
+  /// node lives on `island`, at the delivery instant (engine(island).now()
+  /// equals it), in canonical order, with the transfer's `token`. Runs on
+  /// the island's execution context — it must touch island-local state
+  /// only.
+  void set_on_delivered(std::size_t island, std::function<void(std::uint64_t)> fn) {
+    ctx_[island]->on_delivered = std::move(fn);
+  }
+
+  /// Posts a transfer of `bytes` from `src_node` to `dst_node`. Must be
+  /// called on the source node's island context (an engine event or a
+  /// delivery handler of that island). `token` is returned verbatim to the
+  /// island's delivery handler; `requester` is the canonical same-instant
+  /// arbitration key (the posting process id; -1 keeps call order). For
+  /// same-node transfers `to_host` picks the PCIe DMA direction.
+  void transfer(int src_node, int dst_node, std::size_t bytes, std::uint64_t token,
+                int requester = -1, bool to_host = false) {
+    require(src_node >= 0 && src_node < topo_.nodes && dst_node >= 0 &&
+                dst_node < topo_.nodes,
+            "transfer node out of range");
+    IslandCtx& c = *ctx_[node_island_[static_cast<std::size_t>(src_node)]];
+    c.pending_s.push_back(SXfer{static_cast<std::uint32_t>(src_node),
+                                static_cast<std::uint32_t>(dst_node), bytes, token,
+                                requester, static_cast<std::uint32_t>(c.pending_s.size()),
+                                to_host});
+  }
+
+  /// Latency-only estimate of an uncontended transfer (tests/calibration).
+  SimDuration uncontended_time(int src_node, int dst_node, std::size_t bytes) const;
+
+  const machine::Topology& topology() const { return topo_; }
+  int island_of_node(int node) const {
+    return static_cast<int>(node_island_[static_cast<std::size_t>(node)]);
+  }
+  const NicStats& stats(int node) const { return stats_[static_cast<std::size_t>(node)]; }
+
+ private:
+  struct Port {
+    SimTime free_at = 0;
+  };
+
+  /// Phase-S request awaiting this instant's canonical arbitration. `seq`
+  /// is the post order within the instant: sorting on (requester, seq) with
+  /// plain std::sort reproduces a stable sort by requester without the
+  /// per-call temporary buffer std::stable_sort allocates.
+  struct SXfer {
+    std::uint32_t src = 0;
+    std::uint32_t dst = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t token = 0;
+    int requester = -1;
+    std::uint32_t seq = 0;
+    bool to_host = false;
+  };
+  static_assert(std::is_trivially_copyable_v<SXfer>);
+
+  /// Phase-D handoff: the packet head reaches the destination side of the
+  /// spine at `h`. `aux` is the uplink exit (active core) or tx_start
+  /// (inactive core) — everything phase D needs to finish the legacy edge
+  /// math exactly.
+  struct DRec {
+    SimTime h = 0;
+    std::uint32_t src = 0;
+    std::uint32_t dst = 0;
+    std::uint64_t stamp = 0;
+    std::uint64_t bytes = 0;
+    SimTime aux = 0;
+    std::uint64_t token = 0;
+  };
+
+  /// Delivery record: invoke the source island's handler with `token` at
+  /// `t`. `node` is the completing (destination) node — the canonical
+  /// producer key.
+  struct CRec {
+    SimTime t = 0;
+    std::uint32_t node = 0;
+    std::uint64_t stamp = 0;
+    std::uint64_t token = 0;
+  };
+
+  // Canonical record orders: partition-invariant total orders (stamps are
+  // unique per producer key), so sorting the unsorted arrival runs yields
+  // the same sequence no matter which islands produced them or how routing
+  // concatenated them. Inlined comparators — these sorts are the hot path.
+  struct DLess {
+    bool operator()(const DRec& x, const DRec& y) const {
+      if (x.h != y.h) return x.h < y.h;
+      if (x.src != y.src) return x.src < y.src;
+      return x.stamp < y.stamp;
+    }
+  };
+  struct CLess {
+    bool operator()(const CRec& x, const CRec& y) const {
+      if (x.t != y.t) return x.t < y.t;
+      if (x.node != y.node) return x.node < y.node;
+      return x.stamp < y.stamp;
+    }
+  };
+
+  /// Sorted stream with a consume cursor and barrier-time merge: `in`
+  /// collects a sorted batch, merge_in() folds it with the unconsumed
+  /// suffix via one linear pass into a ping-pong buffer. Everything keeps
+  /// its capacity — the steady state never allocates.
+  template <typename T>
+  struct Stream {
+    std::vector<T> v, scratch, in;
+    std::size_t head = 0;
+
+    bool empty() const { return head == v.size(); }
+    const T& front() const { return v[head]; }
+    void pop() {
+      if (++head == v.size()) {
+        v.clear();
+        head = 0;
+      }
+    }
+    template <typename Less>
+    void merge_in(Less less) {
+      if (in.empty()) return;
+      scratch.clear();
+      std::size_t i = head;
+      std::size_t j = 0;
+      while (i < v.size() && j < in.size()) {
+        scratch.push_back(less(in[j], v[i]) ? in[j++] : v[i++]);
+      }
+      scratch.insert(scratch.end(), v.begin() + static_cast<std::ptrdiff_t>(i), v.end());
+      scratch.insert(scratch.end(), in.begin() + static_cast<std::ptrdiff_t>(j), in.end());
+      v.swap(scratch);
+      head = 0;
+      in.clear();
+    }
+  };
+
+  struct IslandCtx {
+    std::vector<SXfer> pending_s;  ///< current instant, pre-arbitration
+    Stream<DRec> pend_d;
+    Stream<CRec> pend_c;
+    std::function<void(std::uint64_t)> on_delivered;
+    metrics::Counter handoffs;     ///< cross-leaf handoff records drained
+    metrics::Counter deliveries;   ///< delivery handler invocations
+  };
+
+  void on_mail(std::size_t island, const sim::Mail* m, std::size_t n);
+  void drive(std::size_t island, SimTime until);
+  SimTime horizon(std::size_t island) const;
+
+  /// Books the instant's phase-S batch in canonical order.
+  void settle_instant(std::size_t island, SimTime now);
+  /// Books source-owned ports for one granted request; emits the handoff
+  /// (cross-leaf) or the completion itself (island-local).
+  void book_source(std::size_t island, SimTime now, const SXfer& p);
+  /// Books destination-owned ports for one drained handoff; emits the
+  /// completion record toward the source island.
+  void book_delivery(std::size_t island, const DRec& d);
+
+  sim::ShardScheduler& sched_;
+  machine::CostModel cost_;
+  machine::Topology topo_;
+  SimDuration lat_ = 0;      ///< full one-way cross-node latency
+  SimDuration lat_src_ = 0;  ///< source half (NIC -> spine), = lat_ / 2
+  SimDuration lat_dst_ = 0;  ///< destination half, = lat_ - lat_src_
+  std::vector<std::uint32_t> node_island_;
+  std::vector<Port> tx_;
+  std::vector<Port> rx_;
+  std::vector<Port> up_;    // [leaf * spines + spine], source-island-owned
+  std::vector<Port> down_;  // same layout, destination-island-owned
+  std::vector<Port> pcie_down_;
+  std::vector<Port> pcie_up_;
+  std::vector<NicStats> stats_;
+  std::vector<std::uint64_t> handoff_stamp_;  ///< per src node (phase S)
+  std::vector<std::uint64_t> done_stamp_;     ///< per dst node (delivery emit)
+  std::vector<std::unique_ptr<IslandCtx>> ctx_;
+};
+
+}  // namespace dpu::fabric

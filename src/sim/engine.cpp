@@ -42,7 +42,35 @@ Engine::Engine() { metrics_.link("engine.events_executed", &events_executed_); }
 
 void Engine::CalendarQueue::refill_ready() {
   require(live_ > 0, "refill on empty queue");
+  if (direct_) {
+    if (direct_left_ == 0) {
+      // Budget spent: fall through to rebase(), which re-samples the horizon
+      // and re-decides between the wheel and the direct path.
+      direct_ = false;
+    } else {
+      --direct_left_;
+      // Heap pops ascend (time, tie_key), so the cohort arrives sorted and
+      // needs neither bucket walk nor sort. The wheel is empty by the
+      // direct-mode push invariant, so far_ holds every non-ready event.
+      // One instant per refill: popping further ahead serializes the heap's
+      // cache misses with no dispatch work to hide them (measured slower).
+      const SimTime t0 = far_.top().time;
+      do {
+        ready_.push_back(far_.pop());
+      } while (!far_.empty() && far_.top().time == t0);
+      ready_head_ = 0;
+      return;
+    }
+  }
   if (wheel_live_ == 0) rebase();
+  if (direct_) {  // rebase re-entered the bypass; serve heap-direct
+    const SimTime t0 = far_.top().time;
+    do {
+      ready_.push_back(far_.pop());
+    } while (!far_.empty() && far_.top().time == t0);
+    ready_head_ = 0;
+    return;
+  }
   while (buckets_[cursor_] == kNil) ++cursor_;
   // Pass 1: the bucket's earliest timestamp. Bucket lists are unordered
   // (prepend on push), but the band keeps them short.
@@ -81,6 +109,20 @@ void Engine::CalendarQueue::rebase() {
   const std::uint64_t mean_gap = span / ready_.size() + 1;
   int shift = 0;
   while ((1ull << shift) < mean_gap && shift < kMaxShift) ++shift;
+  // Sparse-horizon bypass: when the derived band would average under two
+  // events per bucket, every refill pays a bucket probe + unlink + sort for
+  // cohorts of ~one event and the wheel is pure overhead — a plain heap
+  // drain is faster (the PR-6 distinct-time regression). Serve refills
+  // straight off far_ until the recheck budget expires, then re-sample.
+  const std::uint64_t est_per_bucket =
+      span == 0 ? ready_.size() : (static_cast<std::uint64_t>(ready_.size()) << shift) / span;
+  if (est_per_bucket < 2) {
+    for (const EvNode& n : ready_) far_.push(n);
+    ready_.clear();
+    direct_ = true;
+    direct_left_ = kDirectRecheck;
+    return;
+  }
   band_start_ = t0;
   band_shift_ = shift;
   cursor_ = 0;
@@ -108,7 +150,7 @@ Engine::~Engine() {
   // Drain scheduled work without executing it (slot destruction releases
   // callback captures), then destroy every root frame; nested frames are
   // destroyed recursively through Task ownership.
-  queue_.clear();
+  for (auto& q : queues_) q.clear();
   now_fifo_.clear();
   callback_slots_.clear();
   free_slots_.clear();
@@ -146,17 +188,32 @@ ProcHandle Engine::spawn(Task<void> task, std::string name) {
 }
 
 RunResult Engine::run(SimTime until) {
+  const bool multi = queues_.size() > 1;
   while (true) {
-    const bool have = !queue_.empty() || !now_fifo_.empty();
+    // Select the minimum island queue top by (time, tie_key). The island
+    // queues share one global seq counter, so this merge reproduces the
+    // exact dispatch order of a single queue — routing is semantics-free.
+    std::size_t bq = 0;
+    bool have_q = !queues_[0].empty();
+    if (multi) {
+      for (std::size_t i = have_q ? 1 : 0; i < queues_.size(); ++i) {
+        if (queues_[i].empty()) continue;
+        if (!have_q || node_less(queues_[i].top(), queues_[bq].top())) {
+          bq = i;
+          have_q = true;
+        }
+      }
+    }
+    const bool have = have_q || !now_fifo_.empty();
     // Two-way merge on (time, seq): the FIFO holds current-timestamp events
-    // in seq order, so comparing its front against the heap top recovers the
-    // exact global dispatch order of a single queue.
+    // in seq order, so comparing its front against the queue top recovers
+    // the exact global dispatch order of a single queue.
     const bool from_fifo =
         !now_fifo_.empty() &&
-        (queue_.empty() || now_fifo_.front().time < queue_.top().time ||
-         (now_fifo_.front().time == queue_.top().time &&
-          now_fifo_.front().seq < queue_.top().seq));
-    const SimTime next_t = have ? (from_fifo ? now_fifo_.front().time : queue_.top().time)
+        (!have_q || now_fifo_.front().time < queues_[bq].top().time ||
+         (now_fifo_.front().time == queues_[bq].top().time &&
+          now_fifo_.front().seq < queues_[bq].top().seq));
+    const SimTime next_t = have ? (from_fifo ? now_fifo_.front().time : queues_[bq].top().time)
                                 : kTimeInfinity;
     if (!settle_.empty() && next_t > now_) {
       // End of the current instant: run the settle hooks before the clock
@@ -178,8 +235,34 @@ RunResult Engine::run(SimTime until) {
       now_ = until;
       return RunResult::kTimeLimit;
     }
-    const EvNode ev = from_fifo ? now_fifo_.pop() : queue_.pop();
+    EvNode ev;
+    if (from_fifo) {
+      ev = now_fifo_.pop();
+    } else {
+      ev = queues_[bq].pop();
+      // Work a handler schedules lands on the island whose queue fired it.
+      current_island_ = bq;
+      // Slow-arm slots are filled in schedule order but drained in time
+      // order, so slot accesses are near-guaranteed cache misses on a deep
+      // queue. Run an 8-deep prefetch pipeline over the armed ready batch;
+      // at batch boundaries peek top() (order-neutral, may refill) and prime
+      // the fresh batch's head so the pipeline restarts warm.
+      constexpr std::size_t kPrefetchAhead = 8;
+      auto prefetch_slot = [this](const EvNode& n) {
+        if ((n.payload & kCallbackTag) != 0) {
+          __builtin_prefetch(&callback_slots_[n.payload >> 1]);
+        }
+      };
+      if (queues_[bq].ready_remaining() > kPrefetchAhead) {
+        prefetch_slot(queues_[bq].ready_peek(kPrefetchAhead));
+      } else if (!queues_[bq].empty()) {
+        prefetch_slot(queues_[bq].top());
+        const std::size_t warm = std::min(queues_[bq].ready_remaining(), kPrefetchAhead);
+        for (std::size_t k = 1; k < warm; ++k) prefetch_slot(queues_[bq].ready_peek(k));
+      }
+    }
     now_ = ev.time;
+    last_event_ = ev.time;
     ++events_executed_;
     if ((ev.payload & kCallbackTag) == 0) {
       std::coroutine_handle<>::from_address(reinterpret_cast<void*>(ev.payload)).resume();

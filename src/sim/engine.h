@@ -115,6 +115,64 @@ class Engine {
   /// Current simulated time.
   SimTime now() const { return now_; }
 
+  /// Advances the clock to `t` without dispatching anything. Only meaningful
+  /// when no queued event precedes `t` — an external driver (the shard
+  /// fabric's island loop) uses it to align now() with a delivery instant it
+  /// manages outside the event queue. run(until) already advances the clock
+  /// when events remain; this covers the empty-queue case it cannot.
+  void advance_now(SimTime t) {
+    require(t >= now_, "advancing the clock backwards");
+    now_ = t;
+  }
+
+  /// Records externally-driven virtual work at `t`: shard-fabric deliveries
+  /// are not engine events, but they count toward last_event_time() — the
+  /// run's true virtual extent.
+  void mark_work_at(SimTime t) {
+    if (t > last_event_) last_event_ = t;
+  }
+
+  /// Timestamp of the last dispatched event. Unlike now(), this is not
+  /// clobbered by run(until)'s horizon assignment, so a sharded driver can
+  /// recover the true virtual extent of the work an engine performed.
+  SimTime last_event_time() const { return last_event_; }
+
+  /// Earliest queued event across every island queue and the now-FIFO, or
+  /// kTimeInfinity when idle. Used by the shard scheduler to derive the next
+  /// epoch window without disturbing queue state.
+  SimTime next_event_time() {
+    SimTime t = now_fifo_.empty() ? kTimeInfinity : now_fifo_.front().time;
+    for (auto& q : queues_) {
+      if (!q.empty() && q.top().time < t) t = q.top().time;
+    }
+    return t;
+  }
+
+  /// Splits the event store into `n` independently-pumped island queues.
+  /// run() merges them by (time, tie_key(seq)) with a single global seq, so
+  /// the dispatch order is provably identical to one queue regardless of how
+  /// events are routed — island assignment is a performance hint, never a
+  /// semantic one. Only legal while no events are queued (call it right
+  /// after construction, before any spawn).
+  void set_islands(std::size_t n) {
+    require(n >= 1, "at least one island");
+    require(now_fifo_.empty(), "island change with queued events");
+    for (auto& q : queues_) require(q.empty(), "island change with queued events");
+    queues_.resize(n);
+    for (auto& q : queues_) q.set_tie_seed(tie_shuffle_seed_);
+    if (current_island_ >= n) current_island_ = 0;
+  }
+  std::size_t islands() const { return queues_.size(); }
+
+  /// Island new events are routed to. Dispatching an event from island i
+  /// resets this to i, so work a handler schedules stays on the handler's
+  /// island; override it around spawn to place a process.
+  void set_current_island(std::size_t i) {
+    require(i < queues_.size(), "island out of range");
+    current_island_ = i;
+  }
+  std::size_t current_island() const { return current_island_; }
+
   /// Schedules `fn` to run at absolute time `t` (must be >= now()).
   void schedule_at(SimTime t, std::function<void()> fn);
 
@@ -186,13 +244,17 @@ class Engine {
   /// (between events) is legal but the usual place is before run().
   void set_tie_shuffle_seed(std::uint64_t seed) {
     if (seed == tie_shuffle_seed_) return;
-    std::vector<EvNode> pending;
-    pending.reserve(queue_.size());
-    while (!queue_.empty()) pending.push_back(queue_.pop());
-    while (!now_fifo_.empty()) pending.push_back(now_fifo_.pop());
     tie_shuffle_seed_ = seed;
-    queue_.set_tie_seed(seed);
-    for (const auto& n : pending) queue_.push(n);
+    std::vector<EvNode> pending;
+    for (auto& q : queues_) {
+      pending.clear();
+      pending.reserve(q.size());
+      while (!q.empty()) pending.push_back(q.pop());
+      q.set_tie_seed(seed);
+      for (const auto& n : pending) q.push(n);
+    }
+    // FIFO entries lose their fast lane once the key function changes.
+    while (!now_fifo_.empty()) queues_[current_island_].push(now_fifo_.pop());
   }
   std::uint64_t tie_shuffle_seed() const { return tie_shuffle_seed_; }
 
@@ -331,6 +393,12 @@ class Engine {
       return ready_[ready_head_];
     }
 
+    /// Number of events in the armed ready batch (already sorted, no refill
+    /// needed to reach them). Lets the dispatch loop prefetch ahead.
+    std::size_t ready_remaining() const { return ready_.size() - ready_head_; }
+    /// k-th event of the armed batch; only valid for k < ready_remaining().
+    const EvNode& ready_peek(std::size_t k) const { return ready_[ready_head_ + k]; }
+
     EvNode pop() {
       if (ready_head_ == ready_.size()) refill_ready();
       const EvNode out = ready_[ready_head_++];
@@ -352,6 +420,12 @@ class Engine {
         const auto it = std::lower_bound(
             ready_.begin() + static_cast<std::ptrdiff_t>(ready_head_), ready_.end(), n, cmp);
         ready_.insert(it, n);
+        return;
+      }
+      // Sparse-horizon bypass armed: everything rides the heap (the wheel is
+      // guaranteed empty while direct_ holds, so ordering is unaffected).
+      if (direct_) {
+        far_.push(n);
         return;
       }
       if (n.time >= band_start_) {
@@ -380,6 +454,8 @@ class Engine {
       cursor_ = 0;
       band_start_ = 0;
       band_shift_ = 0;
+      direct_ = false;
+      direct_left_ = 0;
     }
 
     /// Arms tie-shuffling. Only legal while the queue is empty: changing
@@ -395,6 +471,8 @@ class Engine {
     static constexpr std::size_t kSample = 64;   ///< far_ prefix sampled at rebase
     static constexpr int kMaxShift = 36;         ///< band ≤ ~70 simulated seconds
     static constexpr std::uint32_t kNil = 0xffffffffu;
+    /// Refills served heap-direct before the density estimate is re-sampled.
+    static constexpr std::uint32_t kDirectRecheck = 4096;
 
     /// Slab node: the 24-byte EvNode plus a 32-bit successor index, padded
     /// to 32 bytes so two nodes share a cache line and a bucket walk never
@@ -439,6 +517,8 @@ class Engine {
     std::size_t cursor_ = 0;      ///< first possibly-nonempty bucket
     SimTime band_start_ = 0;
     int band_shift_ = 0;  ///< bucket width = 1 << band_shift_ ps
+    bool direct_ = false;             ///< sparse horizon: serve cohorts straight off far_
+    std::uint32_t direct_left_ = 0;   ///< refills until the density re-check
     std::vector<std::uint32_t> buckets_ = std::vector<std::uint32_t>(kBuckets, kNil);
     std::vector<SlabNode> slab_;
     std::uint32_t free_head_ = kNil;
@@ -485,18 +565,31 @@ class Engine {
         (now_fifo_.empty() || now_fifo_.front().time == now_)) {
       now_fifo_.push(n);
     } else {
-      queue_.push(n);
+      queues_[current_island_].push(n);
     }
   }
 
+  /// (time, tie_key) order used to merge island queue tops in run(); mirrors
+  /// the per-queue key so the merged order equals a single global queue.
+  std::uint64_t node_key(std::uint64_t seq) const {
+    if (tie_shuffle_seed_ == 0) return seq;
+    std::uint64_t s = seq ^ tie_shuffle_seed_;
+    return splitmix64(s);
+  }
+  bool node_less(const EvNode& a, const EvNode& b) const {
+    return a.time != b.time ? a.time < b.time : node_key(a.seq) < node_key(b.seq);
+  }
+
   SimTime now_ = 0;
+  SimTime last_event_ = 0;
   Trace* trace_ = nullptr;
   analysis::ProtocolChecker* checker_ = nullptr;
   std::uint64_t next_seq_ = 0;
   std::uint64_t tie_shuffle_seed_ = 0;
+  std::size_t current_island_ = 0;
   metrics::MetricsRegistry metrics_;
   metrics::Counter events_executed_;
-  CalendarQueue queue_;
+  std::vector<CalendarQueue> queues_ = std::vector<CalendarQueue>(1);
   NowFifo now_fifo_;
   std::vector<std::function<void()>> settle_;  // end-of-instant hooks (FIFO)
   std::vector<std::function<void()>> callback_slots_;  // slow-arm storage

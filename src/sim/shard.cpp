@@ -1,0 +1,146 @@
+#include "sim/shard.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace dpu::sim {
+
+ShardScheduler::ShardScheduler(std::size_t islands, SimDuration lookahead)
+    : outbox_(islands * islands),
+      outbox_min_(islands * islands, kTimeInfinity),
+      lookahead_(lookahead) {
+  require(islands >= 1, "at least one island");
+  require(lookahead >= 1, "lookahead must be at least one tick");
+  islands_.reserve(islands);
+  for (std::size_t i = 0; i < islands; ++i) {
+    islands_.push_back(std::make_unique<Island>());
+    islands_.back()->staged.resize(islands);
+  }
+  parallel_ = islands > 1 && std::thread::hardware_concurrency() > 1;
+}
+
+ShardScheduler::~ShardScheduler() { stop_workers(); }
+
+void ShardScheduler::drive_island(std::size_t i, SimTime until) {
+  Island& is = *islands_[i];
+  if (is.inbox_min < kTimeInfinity) {
+    require(static_cast<bool>(is.handler), "inbound mail with no handler");
+    // Source order is fixed (0..n), so the concatenated delivery sequence
+    // is deterministic — but it is NOT the canonical order; the handler
+    // imposes that (see set_mail_handler).
+    for (auto& run : is.staged) {
+      if (run.empty()) continue;
+      is.handler(run.data(), run.size());
+      run.clear();
+    }
+    is.inbox_min = kTimeInfinity;
+  }
+  if (is.driver) {
+    is.driver(until);
+  } else {
+    (void)is.eng.run(until);  // kTimeLimit/kDeadlock are per-epoch noise
+  }
+}
+
+void ShardScheduler::route_mail() {
+  const std::size_t n = islands_.size();
+  for (std::size_t to = 0; to < n; ++to) {
+    Island& dst = *islands_[to];
+    for (std::size_t from = 0; from < n; ++from) {
+      const std::size_t idx = from * n + to;
+      if (outbox_min_[idx] == kTimeInfinity) continue;
+      // Zero-copy: the posted batch moves wholesale; the producer gets the
+      // consumed (empty, capacity-retaining) vector back.
+      dst.staged[from].swap(outbox_[idx]);
+      if (outbox_min_[idx] < dst.inbox_min) dst.inbox_min = outbox_min_[idx];
+      outbox_min_[idx] = kTimeInfinity;
+    }
+  }
+}
+
+RunResult ShardScheduler::run() {
+  const std::size_t n = islands_.size();
+  for (;;) {
+    SimTime m = kTimeInfinity;
+    for (auto& is : islands_) {
+      const SimTime t = is->eng.next_event_time();
+      if (t < m) m = t;
+      if (is->inbox_min < m) m = is->inbox_min;
+      if (is->horizon) {
+        const SimTime h = is->horizon();
+        if (h < m) m = h;
+      }
+    }
+    if (m >= kTimeInfinity) break;
+    epoch_end_ = m >= kTimeInfinity - lookahead_ ? kTimeInfinity : m + lookahead_;
+    const SimTime until = epoch_end_ - 1;
+    if (parallel_ && n > 1) {
+      run_epoch_parallel(until);
+      for (auto& is : islands_) {
+        if (is->error) {
+          auto err = std::exchange(is->error, nullptr);
+          std::rethrow_exception(err);
+        }
+      }
+    } else {
+      for (std::size_t i = 0; i < n; ++i) drive_island(i, until);
+    }
+    route_mail();
+  }
+  return live_process_names().empty() ? RunResult::kCompleted : RunResult::kDeadlock;
+}
+
+void ShardScheduler::start_workers() {
+  if (!threads_.empty()) return;
+  threads_.reserve(islands_.size());
+  for (std::size_t i = 0; i < islands_.size(); ++i) {
+    threads_.emplace_back([this, i] { worker_main(i); });
+  }
+}
+
+void ShardScheduler::stop_workers() {
+  if (threads_.empty()) return;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    quit_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& t : threads_) t.join();
+  threads_.clear();
+  quit_ = false;
+}
+
+void ShardScheduler::run_epoch_parallel(SimTime until) {
+  start_workers();
+  std::unique_lock<std::mutex> lk(mu_);
+  work_until_ = until;
+  done_ = 0;
+  ++work_gen_;
+  cv_work_.notify_all();
+  cv_done_.wait(lk, [this] { return done_ == threads_.size(); });
+}
+
+void ShardScheduler::worker_main(std::size_t i) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    SimTime until;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_work_.wait(lk, [&] { return quit_ || work_gen_ != seen; });
+      if (quit_) return;
+      seen = work_gen_;
+      until = work_until_;
+    }
+    try {
+      drive_island(i, until);
+    } catch (...) {
+      islands_[i]->error = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (++done_ == threads_.size()) cv_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace dpu::sim

@@ -82,6 +82,30 @@ inline bool planted_fallback_cmp(int ctx) { return ctx == -7778; }  // planted
 // lint: fallback-ctx ok: fixture demonstrating the waiver syntax (JUSTIFIED)
 inline constexpr int justified_fallback_ctx = -7777;
 
+// --- [thread]: raw threading primitives outside src/sim/shard.* -------------
+// (Never compiled; the type names are what the rule keys on. The include
+// form is planted too — banning the header catches wrappers the type
+// pattern would miss.)
+struct planted_thread_holder {
+  int std_thread_lookalike;  // not flagged: no std:: qualifier
+};
+inline void planted_thread_prims() {
+  std::thread t;             // planted: threads belong to the shard pool
+  std::mutex m;              // planted
+  std::condition_variable c; // planted
+  (void)t;
+  (void)m;
+  (void)c;
+}
+#define PLANTED_THREAD_INCLUDE #include <mutex>  // planted: header form
+
+// --- [thread] JUSTIFIED -----------------------------------------------------
+inline void justified_thread_prim() {
+  // lint: thread ok: fixture demonstrating the waiver syntax (JUSTIFIED)
+  std::mutex m;
+  (void)m;
+}
+
 // --- [metric-dup]: same literal linked twice in one file --------------------
 struct Reg {
   void link(const char*, const int*) {}

@@ -1,0 +1,416 @@
+// Sharded-execution certification suite (tentpole of the shard PR).
+//
+// Two layers of partition invariance are pinned here, both against the
+// PR-5 style tie-shuffle matrix (8 seeds per workload):
+//
+//  1. Engine island queues (World path): a ClusterSpec with shards > 1
+//     splits the one engine into per-island event queues merged at
+//     dispatch. The merge is provably order-identical to a single queue,
+//     so every full-stack workload — rendezvous pingpong, cached group
+//     alltoall, proxy crash mid-stripe, 2-tenant admission quota — must
+//     produce a byte-identical RunRecord at 1, 2 (and where the topology
+//     allows, 4) shards, for every tie seed.
+//
+//  2. ShardScheduler + ShardFabric (the parallel path): the same traffic
+//     pattern driven through the split-phase fabric at 1, 2 and 4 islands
+//     must produce byte-identical merged-metrics records — including under
+//     set_parallel(true), which is the TSan target (scripts/check.sh runs
+//     this binary under DPU_SANITIZE=tsan).
+//
+// The default fabric configuration is itself the hardest epoch-boundary
+// case: lookahead_for() returns exactly lat/2 = lat_src, so a handoff
+// emitted by an instant at the epoch start lands exactly at epoch_end —
+// the >= in the scheduler's lookahead require() is an equality. A
+// dedicated test asserts that property holds (if a cost-model change ever
+// loosens it, the certification here silently weakens, so it must fail
+// loudly instead).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/digest.h"
+#include "common/bytes.h"
+#include "common/check.h"
+#include "common/units.h"
+#include "fabric/shard_fabric.h"
+#include "harness/world.h"
+#include "offload/coll.h"
+#include "offload/protocol.h"
+#include "sim/shard.h"
+
+namespace dpu::analysis {
+namespace {
+
+using harness::Rank;
+using harness::World;
+
+constexpr std::uint64_t kSeeds = 8;
+
+/// Sharded topology: one node per leaf so `shards` may be any divisor of
+/// the node count; everything else stays at cluster defaults.
+machine::ClusterSpec sharded_spec(int nodes, int ppn, int shards) {
+  machine::ClusterSpec s;
+  s.nodes = nodes;
+  s.host_procs_per_node = ppn;
+  s.proxies_per_dpu = 1;
+  s.topology.leaf_radix = 1;
+  s.shards = shards;
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// World-path workloads: each runs the full offload stack on an engine with
+// `shards` island queues and snapshots the run. Byte-identical records
+// across shard counts certify the multi-queue dispatch merge.
+// ---------------------------------------------------------------------------
+
+RunRecord world_pingpong(std::uint64_t tie_seed, int shards) {
+  World w(sharded_spec(2, 1, shards));
+  w.engine().set_tie_shuffle_seed(tie_seed);
+  auto& tr = w.enable_trace();
+  const std::size_t len = 32_KiB;  // above eager: full RTS/RTR rendezvous
+  constexpr int kIters = 3;
+  w.launch(0, [len](Rank& r) -> sim::Task<void> {
+    const auto buf = r.mem().alloc(len);
+    for (int i = 0; i < kIters; ++i) {
+      r.mem().write(buf, pattern_bytes(static_cast<std::uint64_t>(100 + i), len));
+      auto qs = co_await r.off->send_offload(buf, len, 1, i);
+      require(co_await r.off->wait(qs) == offload::Status::kOk, "pingpong send");
+      auto qr = co_await r.off->recv_offload(buf, len, 1, 1000 + i);
+      require(co_await r.off->wait(qr) == offload::Status::kOk, "pingpong recv");
+      require(check_pattern(r.mem().read(buf, len), static_cast<std::uint64_t>(200 + i)),
+              "pingpong payload");
+    }
+  });
+  w.launch(1, [len](Rank& r) -> sim::Task<void> {
+    const auto buf = r.mem().alloc(len);
+    for (int i = 0; i < kIters; ++i) {
+      auto qr = co_await r.off->recv_offload(buf, len, 0, i);
+      require(co_await r.off->wait(qr) == offload::Status::kOk, "pingpong recv");
+      require(check_pattern(r.mem().read(buf, len), static_cast<std::uint64_t>(100 + i)),
+              "pingpong payload");
+      r.mem().write(buf, pattern_bytes(static_cast<std::uint64_t>(200 + i), len));
+      auto qs = co_await r.off->send_offload(buf, len, 0, 1000 + i);
+      require(co_await r.off->wait(qs) == offload::Status::kOk, "pingpong send");
+    }
+  });
+  w.run();
+  return capture_run(w.engine(), &tr);
+}
+
+RunRecord world_group_alltoall(std::uint64_t tie_seed, int shards) {
+  World w(sharded_spec(4, 1, shards));
+  w.engine().set_tie_shuffle_seed(tie_seed);
+  auto& tr = w.enable_trace();
+  const int n = w.spec().total_host_ranks();
+  const std::size_t b = 4_KiB;
+  w.launch_all([n, b](Rank& r) -> sim::Task<void> {
+    const int me = r.rank;
+    const auto nn = static_cast<std::size_t>(n);
+    const auto sbuf = r.mem().alloc(b * nn);
+    const auto rbuf = r.mem().alloc(b * nn);
+    offload::GroupAlltoall a2a(*r.off, *r.mpi);
+    for (int it = 0; it < 2; ++it) {  // second pass replays the template cache
+      for (int d = 0; d < n; ++d) {
+        r.mem().write(sbuf + static_cast<machine::Addr>(d) * b,
+                      pattern_bytes(static_cast<std::uint64_t>(1000 * it + me * n + d), b));
+      }
+      auto req = co_await a2a.icall(sbuf, rbuf, b, r.world->mpi().world());
+      require(co_await a2a.wait(req) == offload::Status::kOk, "alltoall wait");
+      for (int src = 0; src < n; ++src) {
+        require(check_pattern(r.mem().read(rbuf + static_cast<machine::Addr>(src) * b, b),
+                              static_cast<std::uint64_t>(1000 * it + src * n + me)),
+                "alltoall payload");
+      }
+    }
+  });
+  w.run();
+  return capture_run(w.engine(), &tr);
+}
+
+RunRecord world_crash_mid_stripe(std::uint64_t tie_seed, int shards) {
+  auto s = sharded_spec(2, 1, shards);
+  s.proxies_per_dpu = 2;
+  s.cost.stripe_threshold = 32_KiB;
+  s.cost.chunk_bytes = 32_KiB;
+  s.cost.dpu_qp_GBps = 1.0;  // slow QPs so the crash lands mid-stripe
+  s.fault.proxy_failures.push_back({/*proxy=*/3, /*at_us=*/30.0, /*hang=*/false, -1.0});
+  World w(s);
+  w.engine().set_tie_shuffle_seed(tie_seed);
+  auto& tr = w.enable_trace();
+  const std::size_t len = 512_KiB;  // 16 chunks striped over 2 workers
+  w.launch(0, [len](Rank& r) -> sim::Task<void> {
+    const auto buf = r.mem().alloc(len);
+    r.mem().write(buf, pattern_bytes(13, len));
+    auto req = co_await r.off->send_offload(buf, len, 1, 4);
+    require(co_await r.off->wait(req) == offload::Status::kDegraded, "crash send degrades");
+  });
+  w.launch(1, [len](Rank& r) -> sim::Task<void> {
+    const auto buf = r.mem().alloc(len);
+    auto req = co_await r.off->recv_offload(buf, len, 0, 4);
+    require(co_await r.off->wait(req) == offload::Status::kDegraded, "crash recv degrades");
+    require(check_pattern(r.mem().read(buf, len), 13), "crash-mid-stripe payload");
+  });
+  w.run();
+  return capture_run(w.engine(), &tr);
+}
+
+RunRecord world_tenant_quota(std::uint64_t tie_seed, int shards) {
+  // Two tenants, each owning one rank per node (so tenant traffic crosses
+  // the island boundary at 2 shards). Tenant 0 runs the admission-quota
+  // dance (recv + send fill the 2-slot quota, the next send is rejected up
+  // front, the retry is admitted after completion); tenant 1 runs plain
+  // pingpong traffic alongside.
+  auto s = sharded_spec(2, 2, shards);
+  machine::TenantSpec t0;
+  t0.ranks = {0, 2};
+  t0.max_inflight = 2;
+  machine::TenantSpec t1;
+  t1.ranks = {1, 3};
+  s.tenants.push_back(t0);
+  s.tenants.push_back(t1);
+  World w(s);
+  w.engine().set_tie_shuffle_seed(tie_seed);
+  auto& tr = w.enable_trace();
+  const std::size_t len = 32_KiB;
+  w.launch(2, [len](Rank& r) -> sim::Task<void> {
+    const auto buf = r.mem().alloc(len);
+    auto rr = co_await r.off->recv_offload(buf, len, 0, 5);
+    require(co_await r.off->wait(rr) == offload::Status::kOk, "quota recv 1");
+    require(check_pattern(r.mem().read(buf, len), 77), "quota payload 1");
+    auto rr2 = co_await r.off->recv_offload(buf, len, 0, 6);
+    require(co_await r.off->wait(rr2) == offload::Status::kOk, "quota recv 2");
+    require(check_pattern(r.mem().read(buf, len), 78), "quota payload 2");
+  });
+  w.launch(0, [len](Rank& r) -> sim::Task<void> {
+    co_await r.compute(5_us);  // the recv is already in flight (slot 1 of 2)
+    const auto a = r.mem().alloc(len);
+    const auto b = r.mem().alloc(len);
+    r.mem().write(a, pattern_bytes(77, len));
+    r.mem().write(b, pattern_bytes(78, len));
+    auto s1 = co_await r.off->send_offload(a, len, 2, 5);  // slot 2 of 2
+    auto s2 = co_await r.off->send_offload(b, len, 2, 6);  // over quota
+    require(co_await r.off->wait(s2) == offload::Status::kRejected, "quota reject");
+    require(co_await r.off->wait(s1) == offload::Status::kOk, "quota send 1");
+    auto s3 = co_await r.off->send_offload(b, len, 2, 6);  // slots released
+    require(co_await r.off->wait(s3) == offload::Status::kOk, "quota retry");
+  });
+  for (int rank : {1, 3}) {
+    w.launch(rank, [len, rank](Rank& r) -> sim::Task<void> {
+      const int peer = rank == 1 ? 3 : 1;
+      const auto buf = r.mem().alloc(len);
+      if (rank == 1) {
+        r.mem().write(buf, pattern_bytes(91, len));
+        auto qs = co_await r.off->send_offload(buf, len, peer, 7);
+        require(co_await r.off->wait(qs) == offload::Status::kOk, "tenant1 send");
+      } else {
+        auto qr = co_await r.off->recv_offload(buf, len, peer, 7);
+        require(co_await r.off->wait(qr) == offload::Status::kOk, "tenant1 recv");
+        require(check_pattern(r.mem().read(buf, len), 91), "tenant1 payload");
+      }
+    });
+  }
+  w.run();
+  return capture_run(w.engine(), &tr);
+}
+
+/// Certifies one workload across shard counts x tie seeds: for every seed,
+/// every sharded record must equal the 1-shard record byte for byte.
+template <typename Fn>
+void certify_world(Fn run, const std::vector<int>& shard_counts) {
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    const RunRecord base = run(seed, 1);
+    for (int shards : shard_counts) {
+      if (shards == 1) continue;
+      const RunRecord rec = run(seed, shards);
+      EXPECT_EQ(base.digest(), rec.digest())
+          << "seed " << seed << ", shards " << shards << ": "
+          << diff_records(base, rec);
+    }
+  }
+}
+
+TEST(ShardWorldMatrix, PingpongIsPartitionInvariant) {
+  certify_world(world_pingpong, {1, 2});
+}
+
+TEST(ShardWorldMatrix, GroupAlltoallIsPartitionInvariant) {
+  certify_world(world_group_alltoall, {1, 2, 4});
+}
+
+TEST(ShardWorldMatrix, CrashMidStripeIsPartitionInvariant) {
+  certify_world(world_crash_mid_stripe, {1, 2});
+}
+
+TEST(ShardWorldMatrix, TenantQuotaIsPartitionInvariant) {
+  certify_world(world_tenant_quota, {1, 2});
+}
+
+// ---------------------------------------------------------------------------
+// ShardScheduler unit contracts.
+// ---------------------------------------------------------------------------
+
+TEST(ShardScheduler, MailArrivesBatchedBySourceInPostOrder) {
+  sim::ShardScheduler sched(2, /*lookahead=*/from_us(1.0));
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> got;  // (src_key, stamp)
+  sched.set_mail_handler(1, [&](const sim::Mail* m, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) got.emplace_back(m[i].src_key, m[i].stamp);
+  });
+  sched.engine(0).schedule_at(0, [&] {
+    for (std::uint64_t k = 0; k < 3; ++k) {
+      sim::Mail m;
+      m.time = from_us(2.0);
+      m.src_key = 7;
+      m.stamp = k;
+      sched.post(0, 1, m);
+    }
+  });
+  // Keep island 1 alive past the mail's arrival epoch.
+  sched.engine(1).schedule_at(from_us(3.0), [] {});
+  EXPECT_EQ(sched.run(), sim::RunResult::kCompleted);
+  const std::vector<std::pair<std::uint32_t, std::uint64_t>> want = {{7, 0}, {7, 1}, {7, 2}};
+  EXPECT_EQ(got, want);
+}
+
+TEST(ShardScheduler, LookaheadViolationIsAHardError) {
+  sim::ShardScheduler sched(2, /*lookahead=*/from_us(1.0));
+  sched.set_mail_handler(1, [](const sim::Mail*, std::size_t) {});
+  bool threw = false;
+  sched.engine(0).schedule_at(0, [&] {
+    sim::Mail m;
+    m.time = from_us(0.5);  // inside the executing epoch: illegal
+    try {
+      sched.post(0, 1, m);
+    } catch (const std::logic_error&) {  // require() = internal invariant
+      threw = true;
+    }
+  });
+  (void)sched.run();
+  EXPECT_TRUE(threw);
+}
+
+TEST(ShardScheduler, MailAtExactlyEpochEndIsLegal) {
+  // The boundary the default fabric config lives on: time == epoch_end
+  // satisfies the lookahead discipline (>=, not >).
+  sim::ShardScheduler sched(2, /*lookahead=*/from_us(1.0));
+  std::uint64_t delivered = 0;
+  sched.set_mail_handler(1, [&](const sim::Mail*, std::size_t n) { delivered += n; });
+  sched.engine(0).schedule_at(0, [&] {
+    sim::Mail m;
+    m.time = sched.epoch_end();  // exactly the bound
+    sched.post(0, 1, m);
+  });
+  sched.engine(1).schedule_at(from_us(5.0), [] {});
+  EXPECT_EQ(sched.run(), sim::RunResult::kCompleted);
+  EXPECT_EQ(delivered, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// ShardFabric certification: same traffic at 1, 2 and 4 islands, sequential
+// and threaded, must produce byte-identical merged records.
+// ---------------------------------------------------------------------------
+
+/// Windowed many-to-many over the split-phase fabric: every node streams
+/// `kRounds` messages, destination cycling through ALL nodes (including
+/// itself — the PCIe loopback lane — and its leaf sibling — the island-local
+/// edge), sizes varying per round. Two nodes per leaf and two spines keep
+/// the core active so phase-S uplink and phase-D downlink booking both run.
+RunRecord run_fabric_workload(std::uint64_t tie_seed, int shards, bool parallel) {
+  machine::ClusterSpec s;
+  s.nodes = 8;
+  s.host_procs_per_node = 1;
+  s.topology.leaf_radix = 2;
+  s.topology.spines = 2;
+  s.shards = shards;
+  sim::ShardScheduler sched(static_cast<std::size_t>(shards),
+                            fabric::ShardFabric::lookahead_for(s));
+  sched.set_parallel(parallel);
+  sched.set_tie_shuffle_seed(tie_seed);
+  fabric::ShardFabric fab(sched, s);
+  const int n = s.nodes;
+  constexpr int kRounds = 24;
+  // Per-source state: only the source's island ever touches its slot, so
+  // the vectors are safely shared across worker threads.
+  std::vector<int> round(static_cast<std::size_t>(n), 0);
+  auto post_next = [&](int src) {
+    const int r = round[static_cast<std::size_t>(src)];
+    const int dst = (src + r) % n;
+    const std::size_t bytes = 1024 + 256 * static_cast<std::size_t>((src + r) % 4);
+    fab.transfer(src, dst, bytes, /*token=*/static_cast<std::uint64_t>(src),
+                 /*requester=*/src);
+  };
+  for (std::size_t i = 0; i < sched.islands(); ++i) {
+    fab.set_on_delivered(i, [&, i](std::uint64_t token) {
+      const int src = static_cast<int>(token);
+      require(fab.island_of_node(src) == static_cast<int>(i), "delivery island");
+      if (++round[static_cast<std::size_t>(src)] < kRounds) post_next(src);
+    });
+  }
+  for (int node = 0; node < n; ++node) {
+    auto& eng = sched.engine(static_cast<std::size_t>(fab.island_of_node(node)));
+    eng.schedule_at(0, [&post_next, node] { post_next(node); });
+  }
+  EXPECT_EQ(sched.run(), sim::RunResult::kCompleted);
+  for (int node = 0; node < n; ++node) {
+    EXPECT_EQ(round[static_cast<std::size_t>(node)], kRounds) << "node " << node;
+  }
+  return capture_sharded_run(sched);
+}
+
+TEST(ShardFabricMatrix, PartitionInvariantAcrossShardCountsAndSeeds) {
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    const RunRecord base = run_fabric_workload(seed, 1, /*parallel=*/false);
+    for (int shards : {2, 4}) {
+      const RunRecord rec = run_fabric_workload(seed, shards, /*parallel=*/false);
+      EXPECT_EQ(base.digest(), rec.digest())
+          << "seed " << seed << ", shards " << shards << ": "
+          << diff_records(base, rec);
+    }
+  }
+}
+
+TEST(ShardFabricMatrix, ThreadedExecutionIsByteIdenticalToSequential) {
+  // The TSan target: real worker threads (set_parallel(true) forces the
+  // pool even on single-core hosts), same bytes out.
+  const RunRecord base = run_fabric_workload(3, 4, /*parallel=*/false);
+  const RunRecord threaded = run_fabric_workload(3, 4, /*parallel=*/true);
+  EXPECT_EQ(base.digest(), threaded.digest()) << diff_records(base, threaded);
+}
+
+TEST(ShardFabricMatrix, DeliveriesMatchTransfersInMergedMetrics) {
+  const RunRecord rec = run_fabric_workload(0, 4, /*parallel=*/false);
+  bool saw = false;
+  for (const auto& line : rec.metric_lines) {
+    if (line == "fabric.shard.deliveries=192") saw = true;  // 8 nodes x 24 rounds
+  }
+  EXPECT_TRUE(saw) << "expected fabric.shard.deliveries=192 in the merged record";
+}
+
+TEST(ShardFabric, DefaultLookaheadIsExactlyTheSourceHalfLatency) {
+  // The epoch-boundary edge case IS the default configuration: the epoch
+  // window and the source-half wire hop are the same width, so handoff
+  // mail from an epoch's first instant lands exactly at epoch_end. If a
+  // cost-model change ever breaks this equality, the matrix above stops
+  // exercising the boundary and this must fail loudly.
+  machine::ClusterSpec s;
+  EXPECT_EQ(fabric::ShardFabric::lookahead_for(s), from_us(s.cost.wire_latency_us) / 2);
+}
+
+TEST(ShardFabric, UncontendedSameLeafMatchesLatencyPlusSerialization) {
+  machine::ClusterSpec s;
+  s.nodes = 4;
+  s.topology.leaf_radix = 2;
+  s.topology.spines = 2;
+  s.shards = 2;
+  sim::ShardScheduler sched(2, fabric::ShardFabric::lookahead_for(s));
+  fabric::ShardFabric fab(sched, s);
+  const std::size_t bytes = 4096;
+  EXPECT_EQ(fab.uncontended_time(0, 1, bytes),
+            from_us(s.cost.wire_latency_us) + s.cost.wire_time(bytes));
+  EXPECT_EQ(fab.uncontended_time(2, 2, bytes),
+            from_us(s.cost.loopback_latency_us) + s.cost.pcie_time(bytes));
+}
+
+}  // namespace
+}  // namespace dpu::analysis
