@@ -62,7 +62,7 @@ Result run(bool kill, double confirm_us, int iters, std::size_t len) {
     for (int i = 0; i < iters; ++i) {
       const auto buf = r.mem().alloc(len);
       auto req = co_await r.off->recv_offload(buf, len, 0, i);
-      // lint: status-discard ok: degradation is the scenario under test;
+      // lint: await-status ok: degradation is the scenario under test;
       // the payload check below decides `res.correct`.
       (void)co_await r.off->wait(req);
       if (!check_pattern(r.mem().read(buf, len), static_cast<std::uint64_t>(300 + i))) {

@@ -56,7 +56,7 @@ Result run(double drop_pct, int nodes, int ppn, int iters, std::size_t bpr) {
                       pattern_bytes(static_cast<std::uint64_t>((me * n + d) * 31 + it), bpr));
       }
       co_await r.off->group_call(greq);
-      // lint: status-discard ok: the fault sweep measures completion time
+      // lint: await-status ok: the fault sweep measures completion time
       // under loss; correctness is verified by the payload check below.
       (void)co_await r.off->group_wait(greq);
       for (int src = 0; src < n; ++src) {

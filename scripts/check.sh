@@ -15,17 +15,22 @@ cd "$(dirname "$0")/.."
 BUILD_DIR=build-asan
 JOBS=$(nproc 2>/dev/null || echo 4)
 
-# Lint gate first: the repo-specific rules (scripts/lint.py) plus the
-# linter's own self-test run in seconds and catch whole bug classes
-# (wall-clock in the model, raw control-plane posts, dropped Status) before
-# the expensive sanitized build starts. clang-tidy rides along when the
-# binary exists; its curated checks are part of `cmake --build . -t lint`.
+# Lint gate first: dpulint (the token-aware analyzer, DESIGN.md §14) plus
+# the Python-side checks run in seconds and catch whole bug classes
+# (wall-clock in the model, raw control-plane posts, dropped Status,
+# layering inversions, unhandled message kinds) before the expensive
+# sanitized build starts. The plain build/ tree is configured ONCE here and
+# reused for dpulint, lint-tidy, and the compile database — no
+# reconfiguring per stage.
 echo "== lint gate =="
+cmake -B build -S . > /dev/null
+cmake --build build -t dpulint -j "$JOBS" > /dev/null
+build/tools/dpulint/dpulint --root . --self-test
+build/tools/dpulint/dpulint --root . --json-out build/dpulint.json
 python3 scripts/lint.py
 python3 scripts/lint.py --self-test
 if command -v clang-tidy > /dev/null 2>&1; then
   echo "== clang-tidy (curated checks) =="
-  cmake -B build -S . > /dev/null   # lint-tidy needs a compile database
   cmake --build build -t lint-tidy
 else
   echo "== clang-tidy not installed; skipping tidy pass =="

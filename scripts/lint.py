@@ -1,290 +1,183 @@
 #!/usr/bin/env python3
-"""Repo-specific lint gate (rules clang-tidy cannot express).
+"""Repo lint gate.
 
-Rules (each failure prints `file:line: [rule] message`):
+The heavy lifting — token-aware rules (wall-clock, raw-post, ev-alloc,
+thread, fallback-ctx, metric-dup) and the cross-file rules (proto-field,
+handler-exhaustive, layer-dag, await-status) — lives in tools/dpulint, a
+C++ analyzer with a real lexer and a repo-wide symbol index. This script
+keeps only what must stay in Python:
 
-  wall-clock      No wall-clock time or libc randomness inside src/: the
-                  simulator must be a pure function of its inputs, so
-                  system_clock / steady_clock / std::rand / gettimeofday &co
-                  are determinism hazards. (Simulated time comes from the
-                  engine; randomness from common/rng.h's seeded SplitMix64.)
+  nodiscard   `enum class Status` in src/offload/protocol.h must carry
+              `[[nodiscard]]` so the compiler flags every ignored completion
+              status. Checked here (not in dpulint) so the gate holds even
+              before the tool is built.
 
-  raw-post        `post_ctrl_raw` / `post_flag_write_raw` bypass the
-                  reliability layer (no retransmit, no dup-filter, no ack).
-                  Callers are restricted to src/verbs/ (the definitions) and
-                  src/offload/reliable.cpp (the reliability layer itself).
-                  Any other call site needs an inline justification comment
-                  `// lint: raw-post ok: <reason>` within the 5 lines above.
+  dpulint     When a built `dpulint` binary is found (build*/tools/dpulint/
+              or $DPULINT), it is invoked and its findings become this
+              script's findings. When no binary exists yet, the token rules
+              are still enforced by the `dpulint_gate` ctest entry — this
+              script just says so and passes.
 
-  nodiscard       `enum class Status` in src/offload/protocol.h must carry
-                  `[[nodiscard]]` so the compiler flags every ignored
-                  completion status. (The compiler enforces call sites; this
-                  rule pins the attribute so it cannot silently regress.)
-
-  status-discard  Swallowed offload completion statuses. Two forms:
-                  (a) `(void)` casts that explicitly discard a co_await
-                  result, and (b) bare-statement `co_await ...off->wait(...)`
-                  family calls (GCC does not apply [[nodiscard]] to discarded
-                  co_await expressions, so the compiler cannot flag these).
-                  Both need a `// lint: status-discard ok: <reason>` comment
-                  within the 5 lines above — or better, check the Status.
-
-  metric-dup      Within one src/ source file, the same metric-name literal must
-                  not be passed to `MetricsRegistry::link(` twice: the second
-                  link of a taken name throws at runtime, but only on the
-                  code path that executes it — catch the copy-paste statically.
-
-  ev-alloc        No raw `new` / `delete` of engine event nodes (EvNode /
-                  SlabNode) in src/: nodes live by value inside the calendar
-                  queue's index-linked slab and the heap vector precisely so
-                  the hot path never touches the allocator. A raw allocation
-                  defeats the slab and its cache-line packing. Sites that
-                  genuinely need one carry `// lint: ev-alloc ok: <reason>`
-                  within the 5 lines above. (News are matched by type name;
-                  deletes by ev/slab-node-ish variable names — the textual
-                  rule cannot type pointers.)
-
-  thread          No raw threading primitives (std::thread / std::mutex /
-                  std::condition_variable &co, or their headers) outside
-                  src/sim/shard.* — the shard scheduler's worker pool is the
-                  ONE sanctioned place wall-clock concurrency exists; any
-                  other thread can observe simulation state mid-epoch and
-                  silently break the byte-identical determinism contract.
-                  Sites that genuinely need one carry
-                  '// lint: thread ok: <reason>' within the 5 lines above.
-
-  fallback-ctx    No raw -7777 / -7778 failover-context literals outside
-                  src/offload/protocol.h: the fallback context is derived
-                  per tenant (failover_basic_context / failover_group_context)
-                  so two tenants degrading in the same instant replay on
-                  disjoint minimpi contexts. A hardcoded literal silently
-                  re-introduces the global-context aliasing the derivation
-                  fixed. Sites that genuinely need the raw value carry
-                  `// lint: fallback-ctx ok: <reason>` within the 5 lines
-                  above.
+Waiver syntax everywhere: `// lint: <rule> ok: <reason>` within the 5 lines
+above the flagged line. See DESIGN.md §14 for the rule catalogue.
 
 Usage:
-  scripts/lint.py [--root DIR]      lint the repo (default: repo root)
-  scripts/lint.py --self-test       run the rules against the planted-violation
-                                    fixture and verify every violation is caught
+  scripts/lint.py [--root DIR]   lint the repo (default: repo root)
+  scripts/lint.py --self-test    exercise the comment/string stripper and the
+                                 nodiscard rule against embedded fixtures
 """
 
 import argparse
+import glob
 import os
 import re
+import subprocess
 import sys
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
-CPP_EXTS = (".h", ".hpp", ".cc", ".cpp")
-
-# ---------------------------------------------------------------------------
-# rule: wall-clock
-WALL_CLOCK_PATTERNS = [
-    (re.compile(r"\bstd::chrono::(system|steady|high_resolution)_clock\b"),
-     "wall-clock time in simulator code"),
-    (re.compile(r"\bstd::rand\b|\bstd::srand\b|(?<![\w:])\bsrand\s*\("),
-     "libc randomness (use common/rng.h SplitMix64)"),
-    (re.compile(r"(?<![\w:])\brand\s*\(\s*\)"),
-     "libc randomness (use common/rng.h SplitMix64)"),
-    (re.compile(r"\bgettimeofday\s*\(|\bclock_gettime\s*\(|(?<![\w:_])\btime\s*\(\s*(NULL|nullptr|0)\s*\)"),
-     "wall-clock time in simulator code"),
-]
-
-# rule: raw-post
-RAW_POST = re.compile(r"\bpost_(ctrl|flag_write)_raw\b")
-RAW_POST_ALLOWED_FILES = (
-    os.path.join("src", "verbs") + os.sep,  # definitions + wire stage
-    os.path.join("src", "offload", "reliable.cpp"),
-    os.path.join("src", "offload", "reliable.h"),
-)
-RAW_POST_JUSTIFY = re.compile(r"//\s*lint:\s*raw-post ok:")
-
-# rule: status-discard
-STATUS_DISCARD = re.compile(r"\(void\)\s*co_await\b")
-# Bare-statement discard of an OffloadEndpoint Status-returning call. The
-# `off->` receiver makes this unambiguous: every wait-family method on the
-# endpoint returns offload::Status.
-STATUS_BARE_DISCARD = re.compile(
-    r"^\s*(?:for\s*\([^;]*\)\s*)?co_await\s+[\w.]*off->"
-    r"(?:wait|waitall|wait_many|group_wait|group_wait_live|finalize)\s*\(")
-STATUS_DISCARD_JUSTIFY = re.compile(r"//\s*lint:\s*status-discard ok:")
-
-# rule: metric-dup
-METRIC_LINK = re.compile(r"\.link\s*\(\s*(?:[A-Za-z_][\w.]*\s*\+\s*)?\"([^\"]+)\"")
-
-# rule: ev-alloc
-EV_ALLOC_NEW = re.compile(r"\bnew\s+(?:\([^)]*\)\s*)?[\w:]*\b(?:EvNode|SlabNode)\b")
-EV_ALLOC_DELETE = re.compile(
-    r"\bdelete(?:\s*\[\s*\])?\s+[\w.>-]*(?:ev_?node|slab_?node)\w*", re.IGNORECASE)
-EV_ALLOC_JUSTIFY = re.compile(r"//\s*lint:\s*ev-alloc ok:")
-
-# rule: thread
-THREAD_PRIM = re.compile(
-    r"\bstd::(?:jthread|thread|mutex|timed_mutex|recursive_mutex|shared_mutex|"
-    r"condition_variable(?:_any)?)\b"
-    r"|#\s*include\s*<(?:thread|mutex|condition_variable|shared_mutex)>")
-THREAD_ALLOWED_FILES = (
-    os.path.join("src", "sim", "shard.h"),
-    os.path.join("src", "sim", "shard.cpp"),
-)
-THREAD_JUSTIFY = re.compile(r"//\s*lint:\s*thread ok:")
-
-# rule: fallback-ctx
-FALLBACK_CTX = re.compile(r"-\s*777[78]\b")
-FALLBACK_CTX_ALLOWED_FILES = (os.path.join("src", "offload", "protocol.h"),)
-FALLBACK_CTX_JUSTIFY = re.compile(r"//\s*lint:\s*fallback-ctx ok:")
-
-# rule: nodiscard
 NODISCARD_STATUS = re.compile(r"enum\s+class\s+\[\[nodiscard\]\]\s+Status\b")
 
-COMMENT_LOOKBACK = 5
+
+def strip_comments_and_strings(text: str) -> str:
+    """Replaces comment and string/char-literal bodies with spaces.
+
+    A real state machine, not a line regex: `//` inside a string literal is
+    not a comment, `/*` opens a block across lines, raw strings swallow
+    everything to their matching delimiter. Newlines are preserved so line
+    numbers survive. (The old per-line `line.find("//")` stripper treated
+    `"http://x"` as a comment start and hid any code after it.)
+    """
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                i += 1
+        elif c == "/" and nxt == "*":
+            i += 2
+            while i + 1 < n and not (text[i] == "*" and text[i + 1] == "/"):
+                if text[i] == "\n":
+                    out.append("\n")
+                i += 1
+            i = min(i + 2, n)
+        elif c == '"' and text[:i].endswith("R") or (
+                c == '"' and re.search(r'(?:u8R|uR|UR|LR)$', text[max(0, i - 3):i])):
+            # Raw string: R"delim( ... )delim"
+            j = i + 1
+            while j < n and text[j] != "(":
+                j += 1
+            delim = text[i + 1:j]
+            close = ")" + delim + '"'
+            end = text.find(close, j + 1)
+            end = n if end < 0 else end + len(close)
+            out.append(text.count("\n", i, end) * "\n")
+            i = end
+            continue
+        elif c in "\"'":
+            quote = c
+            i += 1
+            while i < n and text[i] != quote and text[i] != "\n":
+                i += 2 if text[i] == "\\" else 1
+            if i < n and text[i] == quote:
+                i += 1
+        else:
+            out.append(c)
+            i += 1
+            continue
+        out.append(" ")
+    return "".join(out)
 
 
-def strip_line_comment(line: str) -> str:
-    """Removes a trailing // comment so commented-out code doesn't trip rules."""
-    idx = line.find("//")
-    return line if idx < 0 else line[:idx]
-
-
-def has_justification(lines, i, justify_re) -> bool:
-    lo = max(0, i - COMMENT_LOOKBACK)
-    return any(justify_re.search(lines[j]) for j in range(lo, i + 1))
-
-
-def lint_file(path: str, rel: str, errors: list) -> None:
-    with open(path, encoding="utf-8", errors="replace") as f:
-        lines = f.read().splitlines()
-
-    in_src = rel.startswith("src" + os.sep)
-    raw_post_exempt = any(
-        rel.startswith(p) if p.endswith(os.sep) else rel == p
-        for p in RAW_POST_ALLOWED_FILES)
-    fallback_ctx_exempt = rel in FALLBACK_CTX_ALLOWED_FILES
-    thread_exempt = rel in THREAD_ALLOWED_FILES
-
-    linked_names = {}
-    for i, raw in enumerate(lines):
-        line = strip_line_comment(raw)
-        lineno = i + 1
-
-        if in_src:
-            for pat, msg in WALL_CLOCK_PATTERNS:
-                if pat.search(line):
-                    errors.append(f"{rel}:{lineno}: [wall-clock] {msg}")
-
-            if not raw_post_exempt and RAW_POST.search(line):
-                if not has_justification(lines, i, RAW_POST_JUSTIFY):
-                    errors.append(
-                        f"{rel}:{lineno}: [raw-post] raw control-plane post "
-                        "outside verbs/reliable needs a "
-                        "'// lint: raw-post ok: <reason>' comment")
-
-            if EV_ALLOC_NEW.search(line) or EV_ALLOC_DELETE.search(line):
-                if not has_justification(lines, i, EV_ALLOC_JUSTIFY):
-                    errors.append(
-                        f"{rel}:{lineno}: [ev-alloc] raw heap traffic on an "
-                        "event node: nodes live by value in the calendar "
-                        "slab / event heap (Engine::CalendarQueue); add "
-                        "'// lint: ev-alloc ok: <reason>' if truly needed")
-
-        # The explicit-cast form is policed in src/ only (product code must
-        # document the why; in tests the cast itself is the documentation).
-        # The bare form applies everywhere: most wait sites live in tests
-        # and benches, and a bare statement shows no intent at all.
-        if (in_src and STATUS_DISCARD.search(line)) or STATUS_BARE_DISCARD.match(line):
-            if not has_justification(lines, i, STATUS_DISCARD_JUSTIFY):
-                errors.append(
-                    f"{rel}:{lineno}: [status-discard] swallowed offload "
-                    "Status: check it, or add a "
-                    "'// lint: status-discard ok: <reason>' comment")
-
-        # Everywhere (a test spinning up a thread races the simulation just
-        # as surely as product code); only the shard scheduler is exempt.
-        if not thread_exempt and THREAD_PRIM.search(line):
-            if not has_justification(lines, i, THREAD_JUSTIFY):
-                errors.append(
-                    f"{rel}:{lineno}: [thread] raw threading primitive "
-                    "outside src/sim/shard.*: route concurrency through "
-                    "ShardScheduler, or add '// lint: thread ok: <reason>'")
-
-        # Everywhere (tests and benches hardcode contexts just as easily as
-        # product code); only the defining header is exempt.
-        if not fallback_ctx_exempt and FALLBACK_CTX.search(line):
-            if not has_justification(lines, i, FALLBACK_CTX_JUSTIFY):
-                errors.append(
-                    f"{rel}:{lineno}: [fallback-ctx] raw failover-context "
-                    "literal: derive it via failover_basic_context() / "
-                    "failover_group_context() (src/offload/protocol.h), or "
-                    "add '// lint: fallback-ctx ok: <reason>'")
-
-        # src/ only: tests deliberately exercise the registry's re-link paths.
-        m = METRIC_LINK.search(line) if in_src else None
-        if m:
-            name = m.group(1)
-            if name in linked_names:
-                errors.append(
-                    f"{rel}:{lineno}: [metric-dup] metric literal '{name}' "
-                    f"already linked at {rel}:{linked_names[name]}")
-            else:
-                linked_names[name] = lineno
+def find_dpulint(root: str):
+    env = os.environ.get("DPULINT")
+    if env and os.access(env, os.X_OK):
+        return env
+    for pat in ("build*/tools/dpulint/dpulint",):
+        for cand in sorted(glob.glob(os.path.join(root, pat))):
+            if os.access(cand, os.X_OK):
+                return cand
+    return None
 
 
 def lint_tree(root: str) -> list:
     errors = []
-    scan_dirs = ("src", "tests", "bench", "examples")
-    for top in scan_dirs:
-        top_path = os.path.join(root, top)
-        if not os.path.isdir(top_path):
-            continue
-        for dirpath, dirnames, filenames in os.walk(top_path):
-            dirnames[:] = [d for d in dirnames if d != "lint_fixtures"]
-            for fn in sorted(filenames):
-                if fn.endswith(CPP_EXTS):
-                    path = os.path.join(dirpath, fn)
-                    lint_file(path, os.path.relpath(path, root), errors)
-
     proto = os.path.join(root, "src", "offload", "protocol.h")
     if os.path.isfile(proto):
         with open(proto, encoding="utf-8") as f:
-            if not NODISCARD_STATUS.search(f.read()):
-                errors.append(
-                    "src/offload/protocol.h:1: [nodiscard] 'enum class "
-                    "[[nodiscard]] Status' attribute is missing")
+            stripped = strip_comments_and_strings(f.read())
+        if not NODISCARD_STATUS.search(stripped):
+            errors.append(
+                "src/offload/protocol.h:1: [nodiscard] 'enum class "
+                "[[nodiscard]] Status' attribute is missing")
     else:
         errors.append("src/offload/protocol.h:1: [nodiscard] file not found")
+
+    tool = find_dpulint(root)
+    if tool is None:
+        print("lint: dpulint binary not built yet; token/cross-file rules "
+              "run via `ctest -R dpulint` instead")
+        return errors
+    proc = subprocess.run([tool, "--root", root],
+                          capture_output=True, text=True)
+    if proc.returncode not in (0, 1):
+        errors.append(f"dpulint: exited {proc.returncode}: "
+                      f"{proc.stderr.strip() or proc.stdout.strip()}")
+        return errors
+    for line in proc.stdout.splitlines():
+        if re.match(r"^\S+:\d+: \[", line):
+            errors.append(line)
     return errors
 
 
-def self_test(root: str) -> int:
-    """Lints the planted-violation fixture as if it lived in src/ and checks
-    every planted rule fires (and the justified sites do not)."""
-    fixture = os.path.join(root, "tests", "lint_fixtures", "planted_violations.cpp")
-    if not os.path.isfile(fixture):
-        print(f"self-test: fixture missing: {fixture}")
-        return 1
-    errors = []
-    lint_file(fixture, os.path.join("src", "planted_violations.cpp"), errors)
+# ---------------------------------------------------------------------------
+# Self-test: the stripper is the part subtle enough to regress silently.
+# Each case is (source, substring that must survive, substring that must not).
+STRIP_CASES = [
+    ('int x = 0; // std::mutex in comment', "int x", "mutex"),
+    ('const char* u = "http://x"; std::mutex m;', "mutex", "http"),
+    ('/* rand() */ int y;', "int y", "rand"),
+    ('/* multi\nline\nrand() */ int z;', "int z", "rand"),
+    ('const char* s = "// not a comment"; srand(1);', "srand", "not a comment"),
+    ('auto r = R"(std::thread inside)"; int after;', "int after", "thread"),
+    ("char q = '\"'; time(0);", "time", None),
+    ('const char* e = "esc \\" quote"; clock_gettime(a);', "clock_gettime",
+     "quote"),
+]
 
-    expected = ["wall-clock", "raw-post", "status-discard", "metric-dup", "ev-alloc",
-                "fallback-ctx", "thread"]
-    failed = False
-    for rule in expected:
-        hits = [e for e in errors if f"[{rule}]" in e]
-        if not hits:
-            print(f"self-test: planted [{rule}] violation was NOT detected")
-            failed = True
-    justified = [e for e in errors if "JUSTIFIED" in e]
-    if justified:
-        print("self-test: justified site was wrongly flagged:")
-        for e in justified:
-            print(f"  {e}")
-        failed = True
-    if failed:
-        print("self-test FAILED")
+NODISCARD_CASES = [
+    ("enum class [[nodiscard]] Status {", True),
+    ("enum class Status {", False),
+    ("// enum class [[nodiscard]] Status {", False),
+]
+
+
+def self_test() -> int:
+    bad = 0
+    for src, keep, drop in STRIP_CASES:
+        got = strip_comments_and_strings(src)
+        if keep and keep not in got:
+            print(f"self-test: stripper lost code {keep!r} in {src!r} -> {got!r}")
+            bad += 1
+        if drop and drop in got:
+            print(f"self-test: stripper kept literal/comment text {drop!r} "
+                  f"in {src!r} -> {got!r}")
+            bad += 1
+        if got.count("\n") != src.count("\n"):
+            print(f"self-test: stripper changed line count of {src!r}")
+            bad += 1
+    for src, expect in NODISCARD_CASES:
+        got = bool(NODISCARD_STATUS.search(strip_comments_and_strings(src)))
+        if got != expect:
+            print(f"self-test: nodiscard rule on {src!r}: {got}, want {expect}")
+            bad += 1
+    if bad:
+        print(f"self-test FAILED ({bad} case(s))")
         return 1
-    print(f"self-test OK: {len(errors)} planted violations detected, "
-          "justified sites clean")
+    print(f"self-test OK: {len(STRIP_CASES)} stripper cases, "
+          f"{len(NODISCARD_CASES)} nodiscard cases")
     return 0
 
 
@@ -295,7 +188,7 @@ def main() -> int:
     args = ap.parse_args()
 
     if args.self_test:
-        return self_test(args.root)
+        return self_test()
 
     errors = lint_tree(args.root)
     for e in errors:

@@ -126,7 +126,7 @@ sim::Task<void> hpl_rank(HplConfig cfg, HplStats* stats, Rank& r) {
         while (computed < overlap_part) {
           co_await r.compute(chunk);
           computed += chunk;
-          // lint: status-discard ok: test() is polled purely to progress the
+          // lint: await-status ok: test() is polled purely to progress the
           // bcast tree between compute slices; the loop exit is wait() below.
           (void)co_await r.mpi->test(req);
         }
@@ -147,7 +147,8 @@ sim::Task<void> hpl_rank(HplConfig cfg, HplStats* stats, Rank& r) {
         auto req = co_await ring->icall(panel, panel_bytes, root_col, row_comm);
         co_await r.compute(overlap_part);
         const SimTime w = r.world->now();
-        co_await ring->wait(req);
+        require(co_await ring->wait(req) == offload::Status::kOk,
+                "HPL ring bcast did not complete on the offloaded path");
         wait_total += r.world->now() - w;
         break;
       }

@@ -349,7 +349,7 @@ sim::Task<bool> MpiCtx::progress() {
 }
 
 sim::Task<bool> MpiCtx::test(const Request& req) {
-  // lint: status-discard ok: one progress sweep per test() call; whether it
+  // lint: await-status ok: one progress sweep per test() call; whether it
   // moved anything is irrelevant — the caller only reads req->done.
   (void)co_await progress();
   co_return req->done;

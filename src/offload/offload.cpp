@@ -695,7 +695,7 @@ sim::Task<bool> OffloadEndpoint::test(const OffloadReqPtr& req) {
   if (liveness_on() && !req->flag->is_set() && !req->chunks.empty()) {
     co_await drain_liveness();
     co_await pump_monitors();
-    // lint: status-discard ok: advance_striped is invoked for its side
+    // lint: await-status ok: advance_striped is invoked for its side
     // effects (failover of dead chunks); completion is re-read from the flag.
     (void)co_await advance_striped(req);
     co_return req->flag->is_set();

@@ -46,6 +46,63 @@ enum class [[nodiscard]] Status {
   kRejected,     ///< refused at admission: tenant over its max_inflight quota
 };
 
+/// The closed set of wire-message kinds. Every struct that travels on a
+/// channel declares `static constexpr MsgKind kKind = MsgKind::k<X>;` — the
+/// tag is what makes "wire message" machine-checkable: tools/dpulint keys
+/// its proto-field and handler-exhaustive rules off kKind (one struct per
+/// kind, a dispatch site per struct, a tenant field unless waived), so a
+/// new message kind cannot be added without either wiring it through the
+/// proxy dispatch or explicitly waiving it.
+enum class MsgKind {
+  kReliable,
+  kRtsProxy,
+  kRtrProxy,
+  kChunkWork,
+  kGroupPacket,
+  kGroupCachedCall,
+  kRecvArrived,
+  kCredit,
+  kCreditBatch,
+  kBarrierCntr,
+  kStop,
+  kInvalidate,
+  kGroupMeta,
+  kHeartbeat,
+  kHeartbeatAck,
+  kStopAck,
+  kFenceBasic,
+  kFenceGroup,
+  kDegrade,
+  kSendDelivered,
+};
+
+/// Debug/trace name for a message kind.
+constexpr const char* kind_name(MsgKind k) {
+  switch (k) {
+    case MsgKind::kReliable: return "Reliable";
+    case MsgKind::kRtsProxy: return "RtsProxy";
+    case MsgKind::kRtrProxy: return "RtrProxy";
+    case MsgKind::kChunkWork: return "ChunkWork";
+    case MsgKind::kGroupPacket: return "GroupPacket";
+    case MsgKind::kGroupCachedCall: return "GroupCachedCall";
+    case MsgKind::kRecvArrived: return "RecvArrived";
+    case MsgKind::kCredit: return "Credit";
+    case MsgKind::kCreditBatch: return "CreditBatch";
+    case MsgKind::kBarrierCntr: return "BarrierCntr";
+    case MsgKind::kStop: return "Stop";
+    case MsgKind::kInvalidate: return "Invalidate";
+    case MsgKind::kGroupMeta: return "GroupMeta";
+    case MsgKind::kHeartbeat: return "Heartbeat";
+    case MsgKind::kHeartbeatAck: return "HeartbeatAck";
+    case MsgKind::kStopAck: return "StopAck";
+    case MsgKind::kFenceBasic: return "FenceBasic";
+    case MsgKind::kFenceGroup: return "FenceGroup";
+    case MsgKind::kDegrade: return "Degrade";
+    case MsgKind::kSendDelivered: return "SendDelivered";
+  }
+  return "?";
+}
+
 /// Shared ack token for one reliable control message. The receiver marks it
 /// after the (simulated) transport-level ack latency; the sender's pending
 /// retransmit timer reads it. This models the RC QP's hardware ack without
@@ -57,7 +114,9 @@ struct AckState {
 
 /// Envelope for sequence-numbered, retransmittable control messages. Only
 /// used when fault injection is enabled; clean runs ship bare bodies.
+// lint: proto-field ok: transport envelope; the tenant rides on the inner body
 struct ReliableMsg {
+  static constexpr MsgKind kKind = MsgKind::kReliable;
   std::uint64_t seq = 0;  ///< per-sender, starts at 1
   int sender = -1;        ///< proc id the seq space belongs to
   std::shared_ptr<AckState> ack;
@@ -119,6 +178,7 @@ struct ChunkCountdown {
 /// Ready-To-Send: host -> (its own) proxy. Carries the GVMI first
 /// registration so the proxy can cross-register.
 struct RtsProxyMsg {
+  static constexpr MsgKind kKind = MsgKind::kRtsProxy;
   int src_rank = -1;
   int dst_rank = -1;
   int tag = 0;
@@ -132,6 +192,7 @@ struct RtsProxyMsg {
 
 /// Ready-To-Receive: destination host -> the *source-side* proxy.
 struct RtrProxyMsg {
+  static constexpr MsgKind kKind = MsgKind::kRtrProxy;
   int src_rank = -1;
   int dst_rank = -1;
   int tag = 0;
@@ -171,6 +232,7 @@ struct GroupEntryWire {
 /// the segment RDMA with the delivery hook the home built, and sets `done`
 /// so the home's barrier/FIN logic observes the completion.
 struct ChunkWorkMsg {
+  static constexpr MsgKind kKind = MsgKind::kChunkWork;
   int home_proxy = -1;
   int host_rank = -1;            ///< source host whose buffer this is
   verbs::GvmiMrInfo src_info;    ///< whole-buffer registration
@@ -186,6 +248,7 @@ struct ChunkWorkMsg {
 
 /// Full group offload packet: host -> proxy (first call for a request).
 struct GroupPacketMsg {
+  static constexpr MsgKind kKind = MsgKind::kGroupPacket;
   int host_rank = -1;
   std::uint64_t req_id = 0;
   std::vector<GroupEntryWire> entries;
@@ -196,6 +259,7 @@ struct GroupPacketMsg {
 /// Cached re-invocation: host -> proxy (§VII-D; the host cache hit sends
 /// only the request id).
 struct GroupCachedCallMsg {
+  static constexpr MsgKind kKind = MsgKind::kGroupCachedCall;
   int host_rank = -1;
   std::uint64_t req_id = 0;
   verbs::Completion flag;
@@ -205,6 +269,7 @@ struct GroupCachedCallMsg {
 /// Immediate consumed by the destination-side proxy when a group send's
 /// RDMA write lands (drives receive-completion tracking and barriers).
 struct RecvArrivedMsg {
+  static constexpr MsgKind kKind = MsgKind::kRecvArrived;
   int src_rank = -1;
   int dst_rank = -1;
   int tag = 0;
@@ -222,6 +287,8 @@ struct RecvArrivedMsg {
 /// mapped host process" — without it a cached re-call could overwrite a
 /// buffer the destination proxy is still forwarding from.
 struct CreditMsg {
+  // lint: handler-exhaustive ok: credits only travel batched in CreditBatchMsg
+  static constexpr MsgKind kKind = MsgKind::kCredit;
   int src_rank = -1;  ///< sending host the credit is granted to
   int dst_rank = -1;  ///< receiving host that owns the buffer
   int tag = 0;
@@ -231,12 +298,15 @@ struct CreditMsg {
 /// One message per destination proxy carrying all credits of one call
 /// (keeps the per-call proxy-to-proxy message count at O(proxies), not
 /// O(entries)).
+// lint: proto-field ok: pure container; each inner CreditMsg carries its tenant
 struct CreditBatchMsg {
+  static constexpr MsgKind kKind = MsgKind::kCreditBatch;
   std::vector<CreditMsg> credits;
 };
 
 /// Barrier counter update between proxies (fig. 10 / Algorithm 1).
 struct BarrierCntrMsg {
+  static constexpr MsgKind kKind = MsgKind::kBarrierCntr;
   int src_rank = -1;  ///< host rank whose barrier progressed
   int dst_rank = -1;  ///< host rank whose proxy should observe it
   int count = 0;
@@ -245,13 +315,17 @@ struct BarrierCntrMsg {
 
 /// Host -> proxy: Finalize_Offload. Once every host mapped to a proxy has
 /// sent one and all queues drained, the proxy's progress loop exits.
+// lint: proto-field ok: host_rank is globally unique; the proxy derives the tenant
 struct StopMsg {
+  static constexpr MsgKind kKind = MsgKind::kStop;
   int host_rank = -1;
 };
 
 /// Host -> proxy: drop cached cross-registrations of a buffer (cache
 /// coherence when the host re-purposes memory).
+// lint: proto-field ok: cache keys are (host_rank, addr); ranks are global
 struct InvalidateMsg {
+  static constexpr MsgKind kKind = MsgKind::kInvalidate;
   int host_rank = -1;
   machine::Addr addr = 0;
   std::size_t len = 0;
@@ -267,6 +341,7 @@ struct GroupRecvMeta {
 };
 
 struct GroupMetaMsg {
+  static constexpr MsgKind kKind = MsgKind::kGroupMeta;
   int from_rank = -1;  ///< the receiving host that owns these buffers
   std::uint64_t req_id = 0;  ///< the receiver's request these buffers belong to
   std::vector<GroupRecvMeta> entries;
@@ -281,20 +356,26 @@ struct GroupMetaMsg {
 /// Host -> proxy liveness probe. The proxy answers from its *progress loop*
 /// (not the transport): a hung-but-alive proxy still generates transport
 /// acks, so only an application-level reply proves serviceability.
+// lint: proto-field ok: liveness plane probes a proxy, not a tenant's job
 struct HeartbeatMsg {
+  static constexpr MsgKind kKind = MsgKind::kHeartbeat;
   int from_rank = -1;
   std::uint64_t seq = 0;
 };
 
 /// Proxy -> host heartbeat reply; `seq` echoes the probe (host-side RTT).
+// lint: proto-field ok: liveness plane reply; scoped by (proxy, seq) only
 struct HeartbeatAckMsg {
+  static constexpr MsgKind kKind = MsgKind::kHeartbeatAck;
   int proxy = -1;
   std::uint64_t seq = 0;
 };
 
 /// Proxy -> host acknowledgement of StopMsg, liveness runs only: lets
 /// Finalize_Offload bound its drain instead of trusting a dead proxy.
+// lint: proto-field ok: liveness plane ack; the host matches it by proxy id
 struct StopAckMsg {
+  static constexpr MsgKind kKind = MsgKind::kStopAck;
   int proxy = -1;
 };
 
@@ -302,7 +383,9 @@ struct StopAckMsg {
 /// (src, dst, tag) — the hosts completed it on the fallback path. Sent
 /// best-effort (the target is presumed dead; if it recovers from a hang the
 /// fence stops it from re-executing the failed-over pair).
+// lint: proto-field ok: fences by (src, dst, tag); ranks are globally unique
 struct FenceBasicMsg {
+  static constexpr MsgKind kKind = MsgKind::kFenceBasic;
   int src_rank = -1;
   int dst_rank = -1;
   int tag = 0;
@@ -313,6 +396,7 @@ struct FenceBasicMsg {
 /// machinery). Fences a dead/hung proxy's partial work so a recovery can
 /// never double-execute a request the hosts already degraded.
 struct FenceGroupMsg {
+  static constexpr MsgKind kKind = MsgKind::kFenceGroup;
   int host_rank = -1;
   std::uint64_t req_id = 0;
   int tenant = 0;
@@ -327,7 +411,9 @@ struct FenceGroupMsg {
 /// concerns: the sender's own request id plus the dst_req_id of every send
 /// entry aimed at the destination, so the receiver degrades exactly the
 /// affected requests (no over-degrading of unrelated concurrent groups).
+// lint: proto-field ok: host-to-host notice scoped by receiver-side req_ids
 struct DegradeMsg {
+  static constexpr MsgKind kKind = MsgKind::kDegrade;
   int from_rank = -1;
   int dead_proxy = -1;
   bool group = false;
@@ -341,7 +427,9 @@ struct DegradeMsg {
 /// of RecvArrivedMsg this gives both ends an identical, delivery-time view
 /// of which transfers happened, which is what makes the fallback replay
 /// skip-sets agree on the two sides.
+// lint: proto-field ok: proxy-to-source-host report keyed by the sender's req_id
 struct SendDeliveredMsg {
+  static constexpr MsgKind kKind = MsgKind::kSendDelivered;
   std::uint64_t req_id = 0;
   int dst_rank = -1;
   int tag = 0;

@@ -282,7 +282,7 @@ TEST(Failover, SameScheduleReproducesTheSameRun) {
       }
       r.off->group_end(req);
       co_await r.off->group_call(req);
-      // lint: status-discard ok: this test only compares two runs'
+      // lint: await-status ok: this test only compares two runs'
       // fingerprints; whether the op degraded is part of the fingerprint.
       (void)co_await r.off->group_wait(req);
     });

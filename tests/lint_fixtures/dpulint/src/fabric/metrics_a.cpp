@@ -1,0 +1,22 @@
+// dpulint self-test fixture: metric-registry link sites for the metric-dup
+// rule. Never compiled — only lexed.
+#include "common/metrics.h"
+
+namespace fixture {
+
+void register_a(Registry& reg, long& crashes, long& stalls, long& retries,
+                const std::string& prefix) {
+  reg.link("fixture.crashes", &crashes);
+  reg.link("fixture.stalls", &stalls);
+  reg.link("fixture.crashes", &stalls);  // expect: metric-dup
+
+  // Prefixed names are runtime-scoped: the same literal tail may repeat in
+  // other files (metrics_b.cpp links prefix + ".retries" too).
+  reg.link(prefix + ".retries", &retries);
+
+  // Repo-wide duplicate planted here; the finding lands on the second link
+  // site, which is in metrics_b.cpp.
+  reg.link("fixture.shared", &stalls);
+}
+
+}  // namespace fixture

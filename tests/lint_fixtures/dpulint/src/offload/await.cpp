@@ -1,0 +1,45 @@
+// dpulint self-test fixture: discarded-Status sites for the await-status
+// rule — planted violations, waived sites, and the false-positive pins that
+// killed the old `off->` regex. Never compiled — only lexed.
+#include "offload/protocol.h"
+
+namespace fixture {
+
+sim::Task<void> planted(RankCtx& ctx, int q) {
+  co_await ctx.off->wait(q);  // expect: await-status
+
+  // Smart-pointer-held receiver: the declaration below indexes `owned` as a
+  // status variable even though the class name is template-wrapped.
+  std::unique_ptr<FakeEndpoint> owned;
+  co_await owned->wait(q);  // expect: await-status
+
+  co_await endpoint(3).finalize();  // expect: await-status
+
+  (void)co_await ctx.off->wait(q);  // expect: await-status
+
+  for (int i = 0; i < 2; ++i) co_await ctx.off->wait(q);  // expect: await-status
+
+  // lint: await-status ok: fixture demonstrating the waiver syntax
+  co_await ctx.off->wait(q);
+}
+
+// A macro body is still a discard site: the old line regex anchored on
+// `^\s*co_await` and never saw wrapped forms. (This comment also pushes the
+// waiver above out of the 5-line lookback window.)
+#define DRAIN_ALL(c, q) co_await c.off->wait(q)  // expect: await-status
+
+sim::Task<void> clean(RankCtx& ctx, int q) {
+  // Consumed results are fine in any position.
+  auto s = co_await ctx.off->wait(q);
+  if (co_await ctx.off->wait(q) == Status::kOk) consume(s);
+  while (co_await ctx.off->test(q)) step();
+
+  // `wait` is ambiguous and `done_ev` is not a status receiver: this is the
+  // event/mpi wait the old regex could only avoid by hardcoding `off->`.
+  co_await ctx.done_ev.wait();
+
+  // A producer call that is not a status producer.
+  co_await clock(2).wait();
+}
+
+}  // namespace fixture

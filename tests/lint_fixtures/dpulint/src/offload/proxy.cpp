@@ -1,0 +1,50 @@
+// dpulint self-test fixture: dispatch sites and the declarations that feed
+// the await-status symbol tables. Never compiled — only lexed.
+#include "offload/protocol.h"
+
+namespace fixture {
+
+enum class [[nodiscard]] Status { kOk, kDegraded };
+
+/// Status-returning endpoint: `wait` is ambiguous repo-wide (FakeEvent below
+/// also declares one), `finalize` is unambiguous.
+class FakeEndpoint {
+ public:
+  sim::Task<Status> wait(int req);
+  sim::Task<Status> finalize();
+  sim::Task<bool> test(int req);
+};
+
+/// Non-status awaitable: its `wait` returns void, which is what makes the
+/// name ambiguous and forces receiver-based resolution.
+class FakeEvent {
+ public:
+  sim::Task<void> wait();
+};
+
+struct RankCtx {
+  FakeEndpoint* off = nullptr;
+  FakeEvent done_ev;
+};
+
+FakeEndpoint& endpoint(int rank);
+
+/// The dispatch chain the handler-exhaustive rule indexes. OrphanStructMsg
+/// is deliberately absent.
+void handle(const Message& msg) {
+  if (auto* p = std::any_cast<PingMsg>(&msg.body)) {
+    consume(*p);
+  } else if (auto* p = std::any_cast<PongMsg>(&msg.body)) {
+    consume(*p);
+  } else if (auto* p = std::any_cast<BadTenantMsg>(&msg.body)) {
+    consume(*p);
+  } else if (auto* p = std::any_cast<DupAMsg>(&msg.body)) {
+    consume(*p);
+  } else if (auto* p = std::any_cast<DupBMsg>(&msg.body)) {
+    consume(*p);
+  } else if (auto* p = std::any_cast<WaivedTenantMsg>(&msg.body)) {
+    consume(*p);
+  }
+}
+
+}  // namespace fixture

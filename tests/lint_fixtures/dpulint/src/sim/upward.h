@@ -1,0 +1,19 @@
+// dpulint self-test fixture: layer-DAG violations. sim sits at level 1 and
+// must not reach up into offload (level 5) or sideways into machine (also
+// level 1). Never compiled — only lexed.
+#pragma once
+
+#include <vector>
+
+#include "common/util.h"
+#include "offload/offload.h"  // expect: layer-dag
+#include "sim/engine.h"
+
+// lint: layer-dag ok: fixture demonstrating a waived same-level include
+#include "machine/address_space.h"
+
+namespace fixture {
+struct Upward {
+  int x = 0;
+};
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// dpulint self-test fixture: the cross-file half of the metric-dup plants.
+// Never compiled — only lexed.
+#include "common/metrics.h"
+
+namespace fixture {
+
+void register_b(Registry& reg, long& retries, long& other,
+                const std::string& prefix) {
+  reg.link(prefix + ".retries", &retries);
+
+  reg.link("fixture.shared", &other);  // expect: metric-dup
+
+  // lint: metric-dup ok: fixture demonstrating a waived cross-file duplicate
+  reg.link("fixture.crashes", &other);
+}
+
+}  // namespace fixture

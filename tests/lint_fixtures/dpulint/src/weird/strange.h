@@ -1,0 +1,11 @@
+// expect: layer-dag
+// dpulint self-test fixture: a directory that is not in the layer table at
+// all — the rule must demand the DAG be extended rather than silently
+// skipping an unknown layer. Never compiled — only lexed.
+#pragma once
+
+namespace fixture {
+struct Strange {
+  int y = 0;
+};
+}  // namespace fixture

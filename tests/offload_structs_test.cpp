@@ -4,6 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <set>
+#include <string>
+#include <type_traits>
 
 #include "common/units.h"
 #include "fabric/fabric.h"
@@ -209,6 +212,58 @@ TEST(DpuGvmiCacheTest, CrossRegistrationCachedPerHostRank) {
     EXPECT_EQ(cache.stats().misses, 1u);
     EXPECT_EQ(cache.stats().hits, 1u);
   }(f));
+}
+
+// ---------------------------------------------------------------------------
+// Wire-message registry (protocol.h). The kKind tags are what tools/dpulint
+// keys its proto-field and handler-exhaustive rules off; pin the mapping so
+// a retag is a deliberate, test-visible change.
+// ---------------------------------------------------------------------------
+
+static_assert(ReliableMsg::kKind == MsgKind::kReliable);
+static_assert(RtsProxyMsg::kKind == MsgKind::kRtsProxy);
+static_assert(RtrProxyMsg::kKind == MsgKind::kRtrProxy);
+static_assert(ChunkWorkMsg::kKind == MsgKind::kChunkWork);
+static_assert(GroupPacketMsg::kKind == MsgKind::kGroupPacket);
+static_assert(GroupCachedCallMsg::kKind == MsgKind::kGroupCachedCall);
+static_assert(RecvArrivedMsg::kKind == MsgKind::kRecvArrived);
+static_assert(CreditMsg::kKind == MsgKind::kCredit);
+static_assert(CreditBatchMsg::kKind == MsgKind::kCreditBatch);
+static_assert(BarrierCntrMsg::kKind == MsgKind::kBarrierCntr);
+static_assert(StopMsg::kKind == MsgKind::kStop);
+static_assert(InvalidateMsg::kKind == MsgKind::kInvalidate);
+static_assert(GroupMetaMsg::kKind == MsgKind::kGroupMeta);
+static_assert(HeartbeatMsg::kKind == MsgKind::kHeartbeat);
+static_assert(HeartbeatAckMsg::kKind == MsgKind::kHeartbeatAck);
+static_assert(StopAckMsg::kKind == MsgKind::kStopAck);
+static_assert(FenceBasicMsg::kKind == MsgKind::kFenceBasic);
+static_assert(FenceGroupMsg::kKind == MsgKind::kFenceGroup);
+static_assert(DegradeMsg::kKind == MsgKind::kDegrade);
+static_assert(SendDeliveredMsg::kKind == MsgKind::kSendDelivered);
+
+// Tenant fields are plain ints defaulting to tenant 0 so single-tenant runs
+// need no plumbing.
+static_assert(std::is_same_v<decltype(RtsProxyMsg::tenant), int>);
+static_assert(std::is_same_v<decltype(GroupPacketMsg::tenant), int>);
+static_assert(std::is_same_v<decltype(FenceGroupMsg::tenant), int>);
+
+TEST(WireRegistryTest, TenantDefaultsToZero) {
+  EXPECT_EQ(RtsProxyMsg{}.tenant, 0);
+  EXPECT_EQ(RecvArrivedMsg{}.tenant, 0);
+  EXPECT_EQ(GroupMetaMsg{}.tenant, 0);
+}
+
+TEST(WireRegistryTest, KindNamesAreUniqueAndNamed) {
+  std::set<std::string> names;
+  for (int k = static_cast<int>(MsgKind::kReliable);
+       k <= static_cast<int>(MsgKind::kSendDelivered); ++k) {
+    const char* n = kind_name(static_cast<MsgKind>(k));
+    EXPECT_STRNE(n, "?") << "enumerator " << k << " missing from kind_name()";
+    EXPECT_TRUE(names.insert(n).second) << "duplicate kind name " << n;
+  }
+  EXPECT_EQ(names.size(), 20u);
+  EXPECT_STREQ(kind_name(RtsProxyMsg::kKind), "RtsProxy");
+  EXPECT_STREQ(kind_name(CreditBatchMsg::kKind), "CreditBatch");
 }
 
 }  // namespace

@@ -1,0 +1,203 @@
+#include "lexer.h"
+
+#include <cctype>
+
+namespace dpulint {
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Encoding prefixes that glue onto a following string/char literal.
+bool literal_prefix(std::string_view id) {
+  return id == "u8" || id == "u" || id == "U" || id == "L" || id == "R" ||
+         id == "u8R" || id == "uR" || id == "UR" || id == "LR";
+}
+
+}  // namespace
+
+LexedFile lex(std::string_view s) {
+  LexedFile out;
+  int line = 1;
+  int pp_id = 0;       // current directive id, 0 = none
+  int next_pp = 1;
+  bool line_start = true;  // nothing but whitespace since the last newline
+  std::size_t i = 0;
+  const std::size_t n = s.size();
+
+  auto push = [&](Tok k, std::string t) {
+    out.tokens.push_back(Token{k, std::move(t), line, pp_id});
+    line_start = false;
+  };
+  auto prev_is = [&](Tok k, std::string_view t) {
+    return !out.tokens.empty() && out.tokens.back().kind == k &&
+           out.tokens.back().text == t;
+  };
+
+  // Scans a "..."-style literal starting at the opening quote; returns body.
+  auto scan_quoted = [&](char quote) {
+    std::string body;
+    ++i;  // opening quote
+    while (i < n && s[i] != quote && s[i] != '\n') {
+      if (s[i] == '\\' && i + 1 < n) {
+        body += s[i];
+        body += s[i + 1];
+        i += 2;
+      } else {
+        body += s[i++];
+      }
+    }
+    if (i < n && s[i] == quote) ++i;  // closing quote
+    return body;
+  };
+
+  // Records an include path if an `# include` immediately precedes us.
+  auto after_hash_include = [&] {
+    return prev_is(Tok::kIdent, "include") && out.tokens.size() >= 2 &&
+           out.tokens[out.tokens.size() - 2].kind == Tok::kPunct &&
+           out.tokens[out.tokens.size() - 2].text == "#";
+  };
+
+  while (i < n) {
+    char c = s[i];
+
+    // Line splice: backslash-newline vanishes everywhere (incl. directives).
+    if (c == '\\' && i + 1 < n && s[i + 1] == '\n') {
+      i += 2;
+      ++line;
+      continue;
+    }
+    if (c == '\n') {
+      ++i;
+      ++line;
+      pp_id = 0;  // a directive ends at an unspliced newline
+      line_start = true;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\f' || c == '\v') {
+      ++i;
+      continue;
+    }
+
+    // Comments.
+    if (c == '/' && i + 1 < n && s[i + 1] == '/') {
+      std::size_t e = s.find('\n', i);
+      if (e == std::string_view::npos) e = n;
+      out.comments.push_back(Comment{line, std::string(s.substr(i, e - i))});
+      i = e;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && s[i + 1] == '*') {
+      int start = line;
+      std::size_t e = i + 2;
+      while (e + 1 < n && !(s[e] == '*' && s[e + 1] == '/')) {
+        if (s[e] == '\n') ++line;
+        ++e;
+      }
+      e = (e + 1 < n) ? e + 2 : n;
+      out.comments.push_back(Comment{start, std::string(s.substr(i, e - i))});
+      i = e;
+      continue;
+    }
+
+    // Preprocessor directive start.
+    if (c == '#' && line_start) {
+      pp_id = next_pp++;
+      push(Tok::kPunct, "#");
+      ++i;
+      continue;
+    }
+
+    // System include path: `#include <...>` — also the macro-body token form.
+    if (c == '<' && after_hash_include()) {
+      std::size_t e = s.find('>', i);
+      if (e != std::string_view::npos && s.find('\n', i) > e) {
+        out.includes.push_back(
+            IncludeRef{line, std::string(s.substr(i + 1, e - i - 1)), true});
+        i = e + 1;
+        continue;
+      }
+    }
+
+    if (ident_start(c)) {
+      std::size_t e = i;
+      while (e < n && ident_char(s[e])) ++e;
+      std::string id(s.substr(i, e - i));
+      // Literal prefix glued to a quote: u8"...", R"(...)", L'x'.
+      if (e < n && (s[e] == '"' || s[e] == '\'') && literal_prefix(id)) {
+        i = e;
+        if (id.back() == 'R' && s[i] == '"') {
+          // Raw string: R"delim( ... )delim"
+          ++i;
+          std::string delim;
+          while (i < n && s[i] != '(') delim += s[i++];
+          std::string close = ")" + delim + "\"";
+          std::size_t b = (i < n) ? i + 1 : n;
+          std::size_t e2 = s.find(close, b);
+          if (e2 == std::string_view::npos) e2 = n;
+          for (std::size_t k = b; k < e2 && k < n; ++k)
+            if (s[k] == '\n') ++line;
+          push(Tok::kString, std::string(s.substr(b, e2 - b)));
+          i = (e2 == n) ? n : e2 + close.size();
+        } else if (s[i] == '"') {
+          push(Tok::kString, scan_quoted('"'));
+        } else {
+          push(Tok::kChar, scan_quoted('\''));
+        }
+        continue;
+      }
+      push(Tok::kIdent, std::move(id));
+      i = e;
+      continue;
+    }
+
+    if (c == '"') {
+      std::string body = scan_quoted('"');
+      if (after_hash_include())
+        out.includes.push_back(IncludeRef{line, body, false});
+      push(Tok::kString, std::move(body));
+      continue;
+    }
+    if (c == '\'') {
+      push(Tok::kChar, scan_quoted('\''));
+      continue;
+    }
+
+    // pp-number: digits, or .digit; swallows hex/suffixes/exponents.
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(s[i + 1])))) {
+      std::size_t e = i;
+      while (e < n && (ident_char(s[e]) || s[e] == '.' ||
+                       ((s[e] == '+' || s[e] == '-') && e > i &&
+                        (s[e - 1] == 'e' || s[e - 1] == 'E' ||
+                         s[e - 1] == 'p' || s[e - 1] == 'P'))))
+        ++e;
+      push(Tok::kNumber, std::string(s.substr(i, e - i)));
+      i = e;
+      continue;
+    }
+
+    // Punctuation. "::" and "->" are fused (receiver/qualifier detection);
+    // everything else is one char — rules never need ">>" or "&&" fused.
+    if (c == ':' && i + 1 < n && s[i + 1] == ':') {
+      push(Tok::kPunct, "::");
+      i += 2;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && s[i + 1] == '>') {
+      push(Tok::kPunct, "->");
+      i += 2;
+      continue;
+    }
+    push(Tok::kPunct, std::string(1, c));
+    ++i;
+  }
+  return out;
+}
+
+}  // namespace dpulint

@@ -1,0 +1,57 @@
+// dpulint lexer: a minimal C++ tokenizer that is exact about the three
+// things regex lint cannot be exact about — comments (line and block),
+// string/char literals (including raw strings and encoding prefixes), and
+// preprocessor directives (including line splices). Everything downstream
+// (the symbol index, the rule passes) operates on this token stream, so a
+// rule trigger inside a string literal or a comment is structurally
+// impossible, and a waiver comment is found by looking at comments, not by
+// re-scanning source lines.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dpulint {
+
+enum class Tok {
+  kIdent,   // identifiers and keywords (co_await, new, delete, ...)
+  kNumber,  // pp-numbers: 0x1f, 7777ull, 1.5e3
+  kString,  // text is the literal body, quotes and prefix stripped
+  kChar,    // character literal body
+  kPunct,   // operators; "::" and "->" are fused, everything else is 1 char
+};
+
+struct Token {
+  Tok kind = Tok::kPunct;
+  std::string text;
+  int line = 0;
+  /// 0 outside preprocessor directives; directives get 1, 2, 3, ... so a
+  /// rule can tell "same directive" from "directive boundary crossed".
+  int pp_id = 0;
+};
+
+/// One comment, attributed to its starting line (block comments may span
+/// further; waivers and self-test expectations are always line comments).
+struct Comment {
+  int line = 0;
+  std::string text;
+};
+
+/// One #include, both the directive form and the macro-body `#include`
+/// token form (the thread rule bans wrapper macros too).
+struct IncludeRef {
+  int line = 0;
+  std::string path;
+  bool system = false;  // <...> vs "..."
+};
+
+struct LexedFile {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+  std::vector<IncludeRef> includes;
+};
+
+LexedFile lex(std::string_view src);
+
+}  // namespace dpulint
